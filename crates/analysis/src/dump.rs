@@ -1,0 +1,179 @@
+//! Human-readable dumps of the analysis fixed point — the debugging
+//! view a compiler engineer wants when a barrier unexpectedly stays.
+//!
+//! For each reachable block the dump shows the abstract entry state
+//! (locals, escaped set, non-default σ/Len/NR entries) and, for every
+//! barrier-relevant store, the judgment with a *reason* when the
+//! barrier must stay.
+
+use std::fmt::Write as _;
+
+use wbe_ir::{Insn, Method, Program};
+
+use crate::config::AnalysisConfig;
+use crate::fixpoint::run_fixpoint;
+use crate::refs::singleton;
+use crate::state::{AbsValue, FieldKey, MethodCtx};
+use crate::transfer::{is_barrier_site, transfer_insn};
+
+/// Renders the fixed point of `method` as text.
+pub fn dump_method(program: &Program, method: &Method, config: &AnalysisConfig) -> String {
+    let ctx = MethodCtx::new(program, method, config);
+    let (states, _, iterations) = run_fixpoint(&ctx);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "=== analysis of {} ({} blocks, {} fixpoint iterations) ===",
+        method.name,
+        method.blocks.len(),
+        iterations
+    );
+    for (bid, block) in method.iter_blocks() {
+        let Some(entry) = &states[bid.index()] else {
+            let _ = writeln!(out, "{bid}: (unreachable)");
+            continue;
+        };
+        let _ = writeln!(out, "{bid}: entry state");
+        for (i, v) in entry.locals.iter().enumerate() {
+            if !matches!(v, AbsValue::Bottom) {
+                let _ = writeln!(out, "    l{i} = {v:?}");
+            }
+        }
+        if !entry.stack.is_empty() {
+            let _ = writeln!(out, "    stack = {:?}", entry.stack);
+        }
+        let nl: Vec<String> = entry.nl.iter().map(|r| r.to_string()).collect();
+        let _ = writeln!(out, "    NL = {{{}}}", nl.join(", "));
+        for ((r, key), v) in &entry.sigma {
+            let keyname = match key {
+                FieldKey::Field(f) => program.field(*f).name.clone(),
+                FieldKey::Elems => "[*]".to_string(),
+            };
+            let _ = writeln!(out, "    σ({r}, {keyname}) = {v:?}");
+        }
+        for (r, l) in &entry.len {
+            let _ = writeln!(out, "    Len({r}) = {l:?}");
+        }
+        for (r, nr) in &entry.nr {
+            let _ = writeln!(out, "    NR({r}) = {nr:?}");
+        }
+        // Replay, annotating barrier stores.
+        let mut st = entry.clone();
+        for (idx, insn) in block.insns.iter().enumerate() {
+            let pre = st.clone();
+            let judgment = transfer_insn(&mut st, &ctx, insn);
+            if !is_barrier_site(program, insn) {
+                continue;
+            }
+            let verdict = match judgment {
+                Some(true) => "ELIDED (pre-null)".to_string(),
+                Some(false) => {
+                    // Work out a reason from the pre-state.
+                    let reason = match insn {
+                        Insn::PutField(f) => {
+                            let depth = pre.stack.len();
+                            let obj = &pre.stack[depth - 2];
+                            match obj {
+                                AbsValue::Refs(s) => {
+                                    if s.iter().any(|r| pre.nl.contains(r)) {
+                                        "receiver may be non-thread-local".to_string()
+                                    } else if let Some(r) = singleton(s) {
+                                        format!(
+                                            "field may be non-null: σ = {:?}",
+                                            pre.sigma_lookup(&ctx, r, FieldKey::Field(*f))
+                                        )
+                                    } else {
+                                        "field may be non-null on some receiver".to_string()
+                                    }
+                                }
+                                _ => "receiver unknown".to_string(),
+                            }
+                        }
+                        Insn::AaStore => {
+                            let depth = pre.stack.len();
+                            let arr = &pre.stack[depth - 3];
+                            match arr {
+                                AbsValue::Refs(s) if s.iter().any(|r| pre.nl.contains(r)) => {
+                                    "array may be non-thread-local".to_string()
+                                }
+                                AbsValue::Refs(s) => match singleton(s) {
+                                    Some(r) => format!(
+                                        "index not provably in null range {:?}",
+                                        pre.nr_lookup(r)
+                                    ),
+                                    None => "multiple possible arrays".to_string(),
+                                },
+                                _ => "array unknown".to_string(),
+                            }
+                        }
+                        _ => String::new(),
+                    };
+                    format!("barrier KEPT — {reason}")
+                }
+                None => continue,
+            };
+            let _ = writeln!(out, "  {bid}[{idx}] {insn:?}: {verdict}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wbe_ir::builder::ProgramBuilder;
+    use wbe_ir::Ty;
+
+    #[test]
+    fn dump_names_the_blocking_reason() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("C");
+        let f = pb.field(c, "f", Ty::Ref(c));
+        let g = pb.static_field("g", Ty::Ref(c));
+        let m = pb.method("mixed", vec![Ty::Ref(c)], None, 1, |mb| {
+            let arg = mb.local(0);
+            let o = mb.local(1);
+            mb.new_object(c).store(o);
+            mb.load(o).load(arg).putfield(f); // elided
+            mb.load(o).putstatic(g); // escape
+            mb.load(o).load(arg).putfield(f); // kept: escaped
+            mb.return_();
+        });
+        let p = pb.finish();
+        let dump = dump_method(&p, p.method(m), &AnalysisConfig::full());
+        assert!(dump.contains("ELIDED (pre-null)"), "{dump}");
+        assert!(dump.contains("non-thread-local"), "{dump}");
+        assert!(dump.contains("NL = {G"), "{dump}");
+    }
+
+    #[test]
+    fn dump_shows_null_ranges() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("C");
+        let m = pb.method("arr", vec![], None, 1, |mb| {
+            let a = mb.local(0);
+            mb.iconst(8).new_ref_array(c).store(a);
+            mb.load(a).iconst(0).const_null().aastore();
+            mb.load(a).iconst(5).const_null().aastore(); // out of order
+            mb.load(a).iconst(6).const_null().aastore(); // NR is empty now
+            mb.return_();
+        });
+        let p = pb.finish();
+        let dump = dump_method(&p, p.method(m), &AnalysisConfig::full());
+        assert!(dump.contains("ELIDED"), "{dump}");
+        assert!(dump.contains("null range"), "{dump}");
+    }
+
+    #[test]
+    fn unreachable_blocks_are_labeled() {
+        let mut pb = ProgramBuilder::new();
+        pb.method("u", vec![], None, 0, |mb| {
+            let dead = mb.new_block();
+            mb.return_();
+            mb.switch_to(dead).return_();
+        });
+        let p = pb.finish();
+        let dump = dump_method(&p, &p.methods[0], &AnalysisConfig::full());
+        assert!(dump.contains("(unreachable)"), "{dump}");
+    }
+}

@@ -1,0 +1,568 @@
+//! Fixed-point driver and the final elision judgment.
+//!
+//! Standard worklist iteration in reverse postorder: process a block
+//! from its entry state, merge the out-state into each successor, repeat
+//! until nothing changes (§2.2). Integer components are widened to ⊤
+//! after [`AnalysisConfig::widen_after`] merges at one join point — the
+//! termination backstop for the stride-variable machinery.
+//!
+//! Elision judgments are taken in one extra pass *after* the fixed
+//! point, because "the last such judgment (at the fixed point of the
+//! analysis) is correct" (§2.4).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::{Duration, Instant};
+
+use wbe_ir::{cfg, InsnAddr, Method, MethodId, Program};
+
+use crate::config::AnalysisConfig;
+use crate::intval::VarAlloc;
+use crate::refs::Ref;
+use crate::state::{AbsState, MethodCtx};
+use crate::transfer::{is_barrier_site, transfer_insn, transfer_term};
+
+/// Per-method analysis result.
+#[derive(Clone, Debug, Default)]
+pub struct MethodAnalysis {
+    /// Store sites whose SATB barrier may be omitted.
+    pub elided: BTreeSet<InsnAddr>,
+    /// Total barrier-relevant store sites in the method.
+    pub barrier_sites: usize,
+    /// Barrier-relevant `putfield` sites.
+    pub field_sites: usize,
+    /// `aastore` sites.
+    pub array_sites: usize,
+    /// Blocks processed until the fixed point (a work measure).
+    pub iterations: usize,
+}
+
+impl MethodAnalysis {
+    /// Elided sites as a fraction of barrier sites (static rate).
+    pub fn static_elim_rate(&self) -> f64 {
+        if self.barrier_sites == 0 {
+            0.0
+        } else {
+            self.elided.len() as f64 / self.barrier_sites as f64
+        }
+    }
+}
+
+/// Whole-program analysis result.
+#[derive(Clone, Debug, Default)]
+pub struct ProgramAnalysis {
+    /// Per-method results.
+    pub methods: BTreeMap<MethodId, MethodAnalysis>,
+    /// Wall-clock analysis time (Figure 2's compile-time axis).
+    pub elapsed: Duration,
+}
+
+impl ProgramAnalysis {
+    /// Total elided sites.
+    pub fn total_elided(&self) -> usize {
+        self.methods.values().map(|m| m.elided.len()).sum()
+    }
+
+    /// Total barrier-relevant sites.
+    pub fn total_sites(&self) -> usize {
+        self.methods.values().map(|m| m.barrier_sites).sum()
+    }
+
+    /// Iterates `(method, site)` pairs for every elided barrier.
+    pub fn iter_elided(&self) -> impl Iterator<Item = (MethodId, InsnAddr)> + '_ {
+        self.methods
+            .iter()
+            .flat_map(|(&m, a)| a.elided.iter().map(move |&addr| (m, addr)))
+    }
+}
+
+/// Runs the analyses on every method of `program`.
+pub fn analyze_program(program: &Program, config: &AnalysisConfig) -> ProgramAnalysis {
+    let start = Instant::now();
+    let mut methods = BTreeMap::new();
+    for (mid, method) in program.iter_methods() {
+        methods.insert(mid, analyze_method(program, method, config));
+    }
+    ProgramAnalysis {
+        methods,
+        elapsed: start.elapsed(),
+    }
+}
+
+/// Runs the analyses on one method.
+///
+/// # Panics
+///
+/// Panics if the iteration fails to converge within a generous bound —
+/// that would be a bug in the merge/widening machinery, not a property
+/// of the input program.
+pub fn analyze_method(
+    program: &Program,
+    method: &Method,
+    config: &AnalysisConfig,
+) -> MethodAnalysis {
+    let mut ctx = MethodCtx::new(program, method, config);
+
+    let (entry_states, iterations) = if config.flow_sensitive_escape {
+        let (states, _, it) = run_fixpoint(&ctx);
+        (states, it)
+    } else {
+        // Ablation: classic escape analysis. First find everything that
+        // escapes anywhere, then rerun with those references pinned as
+        // escaped from the start (and across allocation renames).
+        let (_, nl_anywhere, it1) = run_fixpoint(&ctx);
+        ctx.pinned_nl = nl_anywhere;
+        let (states, _, it2) = run_fixpoint(&ctx);
+        (states, it1 + it2)
+    };
+    let ctx = ctx;
+
+    // Final judgment pass over the fixed point.
+    let mut result = MethodAnalysis {
+        iterations,
+        ..MethodAnalysis::default()
+    };
+    for (bid, block) in method.iter_blocks() {
+        for insn in block.insns.iter() {
+            if is_barrier_site(program, insn) {
+                result.barrier_sites += 1;
+                if matches!(insn, wbe_ir::Insn::AaStore) {
+                    result.array_sites += 1;
+                } else {
+                    result.field_sites += 1;
+                }
+            }
+        }
+        let Some(entry) = &entry_states[bid.index()] else {
+            continue; // unreachable block: no judgments, sites stay counted
+        };
+        let mut st = entry.clone();
+        for (idx, insn) in block.insns.iter().enumerate() {
+            let judgment = transfer_insn(&mut st, &ctx, insn);
+            if judgment == Some(true) {
+                result.elided.insert(InsnAddr::new(bid, idx));
+            }
+        }
+    }
+    result
+}
+
+/// Computes the fixed-point entry state of every reachable block — the
+/// white-box view used by the dump module, the §6 clients, and tests
+/// that follow the paper's §3.5 walkthrough.
+pub fn entry_states(
+    program: &Program,
+    method: &Method,
+    config: &AnalysisConfig,
+) -> Vec<Option<AbsState>> {
+    let ctx = MethodCtx::new(program, method, config);
+    run_fixpoint(&ctx).0
+}
+
+/// Worklist fixpoint. `extra_nl` (the classic-escape ablation) is merged
+/// into the entry NL. Returns per-block entry states, the union of NL
+/// over every program point (for the classic-escape ablation), and the
+/// iteration count.
+pub(crate) fn run_fixpoint(
+    ctx: &MethodCtx<'_>,
+) -> (Vec<Option<AbsState>>, BTreeSet<Ref>, usize) {
+    let method = ctx.method;
+    let nblocks = method.blocks.len();
+    let rpo = cfg::reverse_postorder(method);
+    let mut rpo_pos = vec![usize::MAX; nblocks];
+    for (i, b) in rpo.iter().enumerate() {
+        rpo_pos[b.index()] = i;
+    }
+
+    // Blocks with a single incoming edge are not join points: their
+    // entry state is replaced, not merged (merging successive iterates
+    // would needlessly widen stride variables to ⊤).
+    let preds = cfg::predecessors(method);
+    let mut incoming_edges: Vec<usize> = preds.iter().map(|p| p.len()).collect();
+    incoming_edges[0] += 1; // the entry block also receives the initial state
+
+    let mut alloc = VarAlloc::new();
+    let mut entry_states: Vec<Option<AbsState>> = vec![None; nblocks];
+    let mut merge_counts: Vec<usize> = vec![0; nblocks];
+    entry_states[0] = Some(AbsState::entry(ctx));
+
+    // Worklist keyed by RPO position for fast convergence.
+    let mut worklist: BTreeSet<usize> = [0].into_iter().collect();
+    let mut nl_anywhere: BTreeSet<Ref> = BTreeSet::new();
+    let mut iterations = 0usize;
+    let max_iterations = (nblocks + 1) * (ctx.method.size + 8) * 4 + 10_000;
+
+    while let Some(&pos) = worklist.iter().next() {
+        worklist.remove(&pos);
+        iterations += 1;
+        assert!(
+            iterations <= max_iterations,
+            "analysis failed to converge in {} (bug in merge/widening)",
+            ctx.method.name
+        );
+        let bid = rpo[pos];
+        let mut st = entry_states[bid.index()]
+            .clone()
+            .expect("worklist blocks have entry states");
+        let block = method.block(bid);
+        for insn in &block.insns {
+            let _ = transfer_insn(&mut st, ctx, insn);
+        }
+        transfer_term(&mut st, &block.term);
+        nl_anywhere.extend(st.nl.iter().copied());
+        for succ in block.term.successors() {
+            let changed = match &mut entry_states[succ.index()] {
+                slot @ None => {
+                    *slot = Some(st.clone());
+                    true
+                }
+                Some(existing) if incoming_edges[succ.index()] <= 1 => {
+                    // Not a join point: the new iterate replaces the old.
+                    if *existing == st {
+                        false
+                    } else {
+                        *existing = st.clone();
+                        true
+                    }
+                }
+                Some(existing) => {
+                    merge_counts[succ.index()] += 1;
+                    let widen = merge_counts[succ.index()] >= ctx.widen_after;
+                    existing.merge_from(&st, ctx, &mut alloc, widen)
+                }
+            };
+            if changed {
+                worklist.insert(rpo_pos[succ.index()]);
+            }
+        }
+    }
+    (entry_states, nl_anywhere, iterations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wbe_ir::builder::ProgramBuilder;
+    use wbe_ir::{CmpOp, Ty};
+
+    /// The paper's §3.1 expand(): every aastore in the copy loop must be
+    /// proven initializing. This is the headline test of the array
+    /// analysis.
+    #[test]
+    fn expand_loop_array_stores_are_elided() {
+        let mut pb = ProgramBuilder::new();
+        let t = pb.class("T");
+        let expand = pb.method(
+            "expand",
+            vec![Ty::RefArray(t)],
+            Some(Ty::RefArray(t)),
+            2,
+            |mb| {
+                let ta = mb.local(0);
+                let new_ta = mb.local(1);
+                let i = mb.local(2);
+                let head = mb.new_block();
+                let body = mb.new_block();
+                let exit = mb.new_block();
+                mb.load(ta).arraylength().iconst(2).mul().new_ref_array(t).store(new_ta);
+                mb.iconst(0).store(i).goto_(head);
+                mb.switch_to(head);
+                mb.load(i).load(ta).arraylength().if_icmp(CmpOp::Lt, body, exit);
+                mb.switch_to(body);
+                mb.load(new_ta).load(i).load(ta).load(i).aaload().aastore();
+                mb.iinc(i, 1).goto_(head);
+                mb.switch_to(exit);
+                mb.load(new_ta).return_value();
+            },
+        );
+        let p = pb.finish();
+        p.validate().unwrap();
+        let res = analyze_method(&p, p.method(expand), &AnalysisConfig::full());
+        assert_eq!(res.array_sites, 1);
+        assert_eq!(
+            res.elided.len(),
+            1,
+            "the copy-loop aastore must be elided; got {res:?}"
+        );
+        // Field-only mode must not elide it.
+        let res_f = analyze_method(&p, p.method(expand), &AnalysisConfig::field_only());
+        assert!(res_f.elided.is_empty());
+        // Disabling stride inference must also lose it (ablation).
+        let res_ns = analyze_method(
+            &p,
+            p.method(expand),
+            &AnalysisConfig {
+                stride_inference: false,
+                ..AnalysisConfig::full()
+            },
+        );
+        assert!(res_ns.elided.is_empty());
+    }
+
+    /// The paper's §2.4 motivating example for two refs per site:
+    ///
+    /// ```java
+    /// while (p1) {
+    ///   T t = new T();        // site s
+    ///   t.f = o1;             // W1: elidable (strong update on A)
+    ///   if (p2) t.f = o2;     // W2: not elidable
+    /// }
+    /// ```
+    #[test]
+    fn two_refs_per_site_example() {
+        let mut pb = ProgramBuilder::new();
+        let tcl = pb.class("T");
+        let f = pb.field(tcl, "f", Ty::Ref(tcl));
+        let m = pb.method(
+            "w1w2",
+            vec![Ty::Int, Ty::Int, Ty::Ref(tcl), Ty::Ref(tcl)],
+            None,
+            1,
+            |mb| {
+                let p1 = mb.local(0);
+                let p2 = mb.local(1);
+                let o1 = mb.local(2);
+                let o2 = mb.local(3);
+                let t = mb.local(4);
+                let head = mb.new_block();
+                let body = mb.new_block();
+                let w2 = mb.new_block();
+                let back = mb.new_block();
+                let exit = mb.new_block();
+                mb.goto_(head);
+                mb.switch_to(head).load(p1).if_zero(CmpOp::Ne, body, exit);
+                mb.switch_to(body);
+                mb.new_object(tcl).store(t);
+                mb.load(t).load(o1).putfield(f); // W1
+                mb.load(p2).if_zero(CmpOp::Ne, w2, back);
+                mb.switch_to(w2);
+                mb.load(t).load(o2).putfield(f); // W2
+                mb.goto_(back);
+                mb.switch_to(back).goto_(head);
+                mb.switch_to(exit).return_();
+            },
+        );
+        let p = pb.finish();
+        p.validate().unwrap();
+        let res = analyze_method(&p, p.method(m), &AnalysisConfig::full());
+        assert_eq!(res.field_sites, 2);
+        assert_eq!(res.elided.len(), 1, "exactly W1: {res:?}");
+        // The elided one is the first putfield (block B2, the body).
+        let addr = res.elided.iter().next().unwrap();
+        assert_eq!(addr.block, wbe_ir::BlockId(2));
+
+        // Ablation: single summary name per site loses W1 as well
+        // (must use weak update, W2's value pollutes the summary).
+        let res_single = analyze_method(
+            &p,
+            p.method(m),
+            &AnalysisConfig {
+                two_refs_per_site: false,
+                ..AnalysisConfig::full()
+            },
+        );
+        assert_eq!(res_single.elided.len(), 0, "{res_single:?}");
+    }
+
+    /// Constructor bodies: `this` starts thread-local with null declared
+    /// fields, so initializing stores in constructors are elidable.
+    #[test]
+    fn constructor_initializing_stores_elided() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("Node");
+        let next = pb.field(c, "next", Ty::Ref(c));
+        let prev = pb.field(c, "prev", Ty::Ref(c));
+        let ctor = pb.declare_constructor(c, vec![Ty::Ref(c), Ty::Ref(c)]);
+        pb.define_method(ctor, 0, |mb| {
+            let this = mb.local(0);
+            let n = mb.local(1);
+            let q = mb.local(2);
+            mb.load(this).load(n).putfield(next);
+            mb.load(this).load(q).putfield(prev);
+            mb.return_();
+        });
+        let p = pb.finish();
+        let res = analyze_method(&p, p.method(ctor), &AnalysisConfig::full());
+        assert_eq!(res.elided.len(), 2, "{res:?}");
+    }
+
+    /// Without inlining, a constructor call makes the allocated object
+    /// escape, so later stores to it are not elidable (§2.4's discussion
+    /// of why the analysis runs after inlining).
+    #[test]
+    fn un_inlined_constructor_blocks_elision() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("C");
+        let f = pb.field(c, "f", Ty::Ref(c));
+        let ctor = pb.declare_constructor(c, vec![]);
+        pb.define_method(ctor, 0, |mb| {
+            mb.return_();
+        });
+        let m = pb.method("make", vec![Ty::Ref(c)], None, 1, |mb| {
+            let arg = mb.local(0);
+            let o = mb.local(1);
+            mb.new_object(c).dup().invoke(ctor).store(o);
+            mb.load(o).load(arg).putfield(f);
+            mb.return_();
+        });
+        let p = pb.finish();
+        let res = analyze_method(&p, p.method(m), &AnalysisConfig::full());
+        assert!(res.elided.is_empty(), "{res:?}");
+    }
+
+    /// Flow-sensitive escape vs classic escape ablation: a store before
+    /// a later escape is elidable only flow-sensitively.
+    #[test]
+    fn flow_sensitive_escape_beats_classic() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("C");
+        let f = pb.field(c, "f", Ty::Ref(c));
+        let g = pb.static_field("g", Ty::Ref(c));
+        let m = pb.method("pub", vec![Ty::Ref(c)], None, 1, |mb| {
+            let arg = mb.local(0);
+            let o = mb.local(1);
+            mb.new_object(c).store(o);
+            mb.load(o).load(arg).putfield(f); // before escape
+            mb.load(o).putstatic(g); // escape
+            mb.return_();
+        });
+        let p = pb.finish();
+        let res = analyze_method(&p, p.method(m), &AnalysisConfig::full());
+        assert_eq!(res.elided.len(), 1, "{res:?}");
+        let res_classic = analyze_method(
+            &p,
+            p.method(m),
+            &AnalysisConfig {
+                flow_sensitive_escape: false,
+                ..AnalysisConfig::full()
+            },
+        );
+        assert!(res_classic.elided.is_empty(), "{res_classic:?}");
+    }
+
+    /// A loop that conditionally overwrites: the judgment must be taken
+    /// at the fixed point, not on the first visit.
+    #[test]
+    fn judgment_taken_at_fixed_point() {
+        // o = new C; loop { o.f = x; }  — second iteration overwrites a
+        // non-null value, so the store is NOT elidable even though the
+        // first abstract visit sees null.
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("C");
+        let f = pb.field(c, "f", Ty::Ref(c));
+        let m = pb.method("looped", vec![Ty::Int, Ty::Ref(c)], None, 1, |mb| {
+            let n = mb.local(0);
+            let x = mb.local(1);
+            let o = mb.local(2);
+            let head = mb.new_block();
+            let body = mb.new_block();
+            let exit = mb.new_block();
+            mb.new_object(c).store(o).goto_(head);
+            mb.switch_to(head).load(n).if_zero(CmpOp::Gt, body, exit);
+            mb.switch_to(body)
+                .load(o)
+                .load(x)
+                .putfield(f)
+                .iinc(n, -1)
+                .goto_(head);
+            mb.switch_to(exit).return_();
+        });
+        let p = pb.finish();
+        let res = analyze_method(&p, p.method(m), &AnalysisConfig::full());
+        assert!(res.elided.is_empty(), "{res:?}");
+    }
+
+    /// Allocation inside the loop, store after: each iteration's store
+    /// initializes the *fresh* object, so it is elidable via R/A.
+    #[test]
+    fn allocation_in_loop_with_initializing_store() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("C");
+        let f = pb.field(c, "f", Ty::Ref(c));
+        let m = pb.method("alloc_loop", vec![Ty::Int, Ty::Ref(c)], None, 1, |mb| {
+            let n = mb.local(0);
+            let x = mb.local(1);
+            let o = mb.local(2);
+            let head = mb.new_block();
+            let body = mb.new_block();
+            let exit = mb.new_block();
+            mb.goto_(head);
+            mb.switch_to(head).load(n).if_zero(CmpOp::Gt, body, exit);
+            mb.switch_to(body)
+                .new_object(c)
+                .store(o)
+                .load(o)
+                .load(x)
+                .putfield(f)
+                .iinc(n, -1)
+                .goto_(head);
+            mb.switch_to(exit).return_();
+        });
+        let p = pb.finish();
+        let res = analyze_method(&p, p.method(m), &AnalysisConfig::full());
+        assert_eq!(res.elided.len(), 1, "{res:?}");
+    }
+
+    #[test]
+    fn program_analysis_aggregates() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("C");
+        let f = pb.field(c, "f", Ty::Ref(c));
+        pb.method("a", vec![Ty::Ref(c)], None, 1, |mb| {
+            let arg = mb.local(0);
+            let o = mb.local(1);
+            mb.new_object(c).store(o);
+            mb.load(o).load(arg).putfield(f);
+            mb.return_();
+        });
+        pb.method("b", vec![Ty::Ref(c), Ty::Ref(c)], None, 0, |mb| {
+            let x = mb.local(0);
+            let y = mb.local(1);
+            mb.load(x).load(y).putfield(f);
+            mb.return_();
+        });
+        let p = pb.finish();
+        let res = analyze_program(&p, &AnalysisConfig::full());
+        assert_eq!(res.total_sites(), 2);
+        assert_eq!(res.total_elided(), 1);
+        assert_eq!(res.iter_elided().count(), 1);
+    }
+
+    /// Convergence stress: nested loops with conflicting strides must
+    /// still terminate (via widening) and stay sound.
+    #[test]
+    fn nested_loops_converge() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("C");
+        let m = pb.method("nest", vec![Ty::Int], None, 3, |mb| {
+            let n = mb.local(0);
+            let i = mb.local(1);
+            let j = mb.local(2);
+            let arr = mb.local(3);
+            let oh = mb.new_block();
+            let ob = mb.new_block();
+            let ih = mb.new_block();
+            let ib = mb.new_block();
+            let oe = mb.new_block();
+            let ie = mb.new_block();
+            mb.iconst(0).store(i).load(n).new_ref_array(c).store(arr).goto_(oh);
+            mb.switch_to(oh).load(i).load(n).if_icmp(CmpOp::Lt, ob, oe);
+            mb.switch_to(ob).iconst(0).store(j).goto_(ih);
+            mb.switch_to(ih).load(j).load(i).if_icmp(CmpOp::Lt, ib, ie);
+            mb.switch_to(ib)
+                .load(arr)
+                .load(j)
+                .const_null()
+                .aastore()
+                .iinc(j, 2)
+                .goto_(ih);
+            mb.switch_to(ie).iinc(i, 3).goto_(oh);
+            mb.switch_to(oe).return_();
+        });
+        let p = pb.finish();
+        p.validate().unwrap();
+        let res = analyze_method(&p, p.method(m), &AnalysisConfig::full());
+        // The stride-2 inner store over a shared array is not provably
+        // in-order across outer iterations; it must not be elided.
+        assert!(res.elided.is_empty(), "{res:?}");
+    }
+}

@@ -1,0 +1,301 @@
+//! Uninitialized-index ranges of object arrays (§3.2, §3.3).
+//!
+//! `NR` maps an array reference to an [`IntRange`] of indices known to
+//! contain null. A *full* range `[lo..hi]` appears only right after
+//! allocation; stores *contract* the range, and the contraction
+//! heuristics only understand stores at either end — anything else
+//! collapses the range to empty (no information), which is also what
+//! makes the §3.6 overflow argument go through: an elided store site can
+//! only execute with in-order indices.
+
+use std::fmt;
+
+use crate::intval::{merge_intvals, IntLat, IntVal, MergeCtx};
+
+/// A subrange of an array's valid indices known to be null.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum IntRange {
+    /// No indices known null (the lattice's "no information" point).
+    Empty,
+    /// The closed interval `[lo..hi]` — only produced by allocation.
+    Full(IntVal, IntVal),
+    /// All valid indices `≥ lo`.
+    From(IntVal),
+    /// All valid indices `≤ hi`.
+    Upto(IntVal),
+}
+
+impl IntRange {
+    /// The range covering a whole freshly allocated array of length
+    /// `len`: `[0 .. len-1]` when the length is known, `[0..]`
+    /// otherwise (every valid index of a fresh array is null).
+    pub fn fresh_array(len: &IntLat) -> IntRange {
+        match len {
+            IntLat::Val(n) => match n.add_literal(-1) {
+                Some(hi) => IntRange::Full(IntVal::constant(0), hi),
+                None => IntRange::From(IntVal::constant(0)),
+            },
+            IntLat::Top => IntRange::From(IntVal::constant(0)),
+        }
+    }
+
+    /// True if this range provably contains `index`: the membership
+    /// check behind array-store elision. Symbolic comparisons succeed
+    /// only when the difference is a literal constant.
+    pub fn contains(&self, index: &IntVal) -> bool {
+        let ge = |a: &IntVal, b: &IntVal| -> bool {
+            matches!(a.sub(b).and_then(|d| d.as_literal()), Some(d) if d >= 0)
+        };
+        match self {
+            IntRange::Empty => false,
+            IntRange::Full(lo, hi) => ge(index, lo) && ge(hi, index),
+            IntRange::From(lo) => ge(index, lo),
+            IntRange::Upto(hi) => ge(hi, index),
+        }
+    }
+
+    /// The paper's `contract`: the effect of a store at `index` on the
+    /// null range. Recognizes stores at either end; a store provably
+    /// outside the range leaves it unchanged; anything unprovable
+    /// collapses to [`IntRange::Empty`].
+    pub fn contract(&self, index: &IntLat) -> IntRange {
+        let IntLat::Val(idx) = index else {
+            return IntRange::Empty;
+        };
+        // Literal difference `a - b`, if provable.
+        let diff = |a: &IntVal, b: &IntVal| a.sub(b).and_then(|d| d.as_literal());
+        match self {
+            IntRange::Empty => IntRange::Empty,
+            IntRange::Full(lo, hi) => {
+                match (diff(idx, lo), diff(hi, idx)) {
+                    // Store at the low end: [lo..hi] → [lo+1..].
+                    // (Relaxing the upper bound to "all valid indices" is
+                    // sound because indices beyond hi trap.)
+                    (Some(0), _) => match lo.add_literal(1) {
+                        Some(l) => IntRange::From(l),
+                        None => IntRange::Empty,
+                    },
+                    // Store at the high end: [lo..hi] → [..hi-1] when
+                    // lo is 0 (the only lower bound allocation-created
+                    // full ranges have — asserted rather than assumed),
+                    // otherwise stay closed.
+                    (_, Some(0)) => match (lo.as_literal(), hi.add_literal(-1)) {
+                        (Some(0), Some(h)) => IntRange::Upto(h),
+                        (_, Some(h)) => IntRange::Full(lo.clone(), h),
+                        _ => IntRange::Empty,
+                    },
+                    // Provably outside the range: unchanged.
+                    (Some(d), _) if d < 0 => self.clone(),
+                    (_, Some(d)) if d < 0 => self.clone(),
+                    _ => IntRange::Empty,
+                }
+            }
+            IntRange::From(lo) => match diff(idx, lo) {
+                Some(0) => match lo.add_literal(1) {
+                    Some(l) => IntRange::From(l),
+                    None => IntRange::Empty,
+                },
+                Some(d) if d < 0 => self.clone(),
+                _ => IntRange::Empty,
+            },
+            IntRange::Upto(hi) => match diff(hi, idx) {
+                Some(0) => match hi.add_literal(-1) {
+                    Some(h) => IntRange::Upto(h),
+                    None => IntRange::Empty,
+                },
+                Some(d) if d < 0 => self.clone(),
+                _ => IntRange::Empty,
+            },
+        }
+    }
+
+    /// Lattice merge of two ranges at a join point, merging bounds with
+    /// the stride-inferring integer merge. Per the paper's ordering, a
+    /// full range merged with a half-open range keeps the half-open
+    /// side's shape.
+    pub fn merge(&self, other: &IntRange, ctx: &mut MergeCtx<'_>) -> IntRange {
+        use IntRange::*;
+        let m = |a: &IntVal, b: &IntVal, ctx: &mut MergeCtx<'_>| -> Option<IntVal> {
+            match merge_intvals(&IntLat::Val(a.clone()), &IntLat::Val(b.clone()), ctx) {
+                IntLat::Val(v) => Some(v),
+                IntLat::Top => None,
+            }
+        };
+        match (self, other) {
+            (Empty, _) | (_, Empty) => Empty,
+            (Full(l1, h1), Full(l2, h2)) => {
+                match (m(l1, l2, ctx), m(h1, h2, ctx)) {
+                    (Some(l), Some(h)) => Full(l, h),
+                    (Some(l), None) => From(l),
+                    (None, Some(h)) => Upto(h),
+                    (None, None) => Empty,
+                }
+            }
+            (Full(l1, _), From(l2)) | (From(l2), Full(l1, _)) | (From(l1), From(l2)) => {
+                match m(l1, l2, ctx) {
+                    Some(l) => From(l),
+                    None => Empty,
+                }
+            }
+            (Full(l1, h1), Upto(h2)) | (Upto(h2), Full(l1, h1)) => {
+                // Collapsing a full range into a half-open upper range
+                // claims indices below l1; only valid when l1 is 0.
+                if l1.as_literal() != Some(0) {
+                    return Empty;
+                }
+                match m(h1, h2, ctx) {
+                    Some(h) => Upto(h),
+                    None => Empty,
+                }
+            }
+            (Upto(h1), Upto(h2)) => match m(h1, h2, ctx) {
+                Some(h) => Upto(h),
+                None => Empty,
+            },
+            (From(_), Upto(_)) | (Upto(_), From(_)) => Empty,
+        }
+    }
+}
+
+impl fmt::Debug for IntRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IntRange::Empty => write!(f, "[]"),
+            IntRange::Full(l, h) => write!(f, "[{l}..{h}]"),
+            IntRange::From(l) => write!(f, "[{l}..]"),
+            IntRange::Upto(h) => write!(f, "[..{h}]"),
+        }
+    }
+}
+
+impl fmt::Display for IntRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intval::{UnkId, VarAlloc};
+
+    fn iv(b: i64) -> IntVal {
+        IntVal::constant(b)
+    }
+
+    #[test]
+    fn fresh_array_ranges() {
+        let known = IntRange::fresh_array(&IntLat::constant(10));
+        assert_eq!(known, IntRange::Full(iv(0), iv(9)));
+        let unknown = IntRange::fresh_array(&IntLat::Top);
+        assert_eq!(unknown, IntRange::From(iv(0)));
+        // Symbolic length 2*c0: hi = 2*c0 - 1.
+        let sym = IntVal::unknown(UnkId(0)).mul_literal(2).unwrap();
+        let r = IntRange::fresh_array(&IntLat::Val(sym));
+        assert!(format!("{r}").contains("2*c0-1"), "{r}");
+    }
+
+    #[test]
+    fn contains_with_literal_proofs() {
+        let r = IntRange::Full(iv(0), iv(9));
+        assert!(r.contains(&iv(0)));
+        assert!(r.contains(&iv(9)));
+        assert!(!r.contains(&iv(10)));
+        assert!(!r.contains(&iv(-1)));
+        // Symbolic: [c0..] contains c0+3 but not provably c0-1 or c1.
+        let c0 = IntVal::unknown(UnkId(0));
+        let r = IntRange::From(c0.clone());
+        assert!(r.contains(&c0.add_literal(3).unwrap()));
+        assert!(!r.contains(&c0.add_literal(-1).unwrap()));
+        assert!(!r.contains(&IntVal::unknown(UnkId(1))));
+        assert!(!IntRange::Empty.contains(&iv(0)));
+    }
+
+    #[test]
+    fn contract_at_low_end() {
+        let r = IntRange::Full(iv(0), iv(9));
+        let r1 = r.contract(&IntLat::constant(0));
+        assert_eq!(r1, IntRange::From(iv(1)));
+        let r2 = r1.contract(&IntLat::constant(1));
+        assert_eq!(r2, IntRange::From(iv(2)));
+    }
+
+    #[test]
+    fn contract_at_high_end() {
+        let r = IntRange::Full(iv(0), iv(9));
+        let r1 = r.contract(&IntLat::constant(9));
+        assert_eq!(r1, IntRange::Upto(iv(8)));
+        let r2 = r1.contract(&IntLat::constant(8));
+        assert_eq!(r2, IntRange::Upto(iv(7)));
+    }
+
+    #[test]
+    fn contract_out_of_order_collapses() {
+        let r = IntRange::Full(iv(0), iv(9));
+        assert_eq!(r.contract(&IntLat::constant(5)), IntRange::Empty);
+        assert_eq!(
+            IntRange::From(iv(3)).contract(&IntLat::Top),
+            IntRange::Empty
+        );
+        // Unprovable symbolic index collapses too.
+        let c0 = IntVal::unknown(UnkId(0));
+        assert_eq!(
+            IntRange::From(iv(3)).contract(&IntLat::Val(c0)),
+            IntRange::Empty
+        );
+    }
+
+    #[test]
+    fn contract_outside_range_is_unchanged() {
+        // Store at 2 when nulls are [5..]: the write hits an
+        // already-initialized index, null info is preserved.
+        let r = IntRange::From(iv(5));
+        assert_eq!(r.contract(&IntLat::constant(2)), r);
+        let r = IntRange::Upto(iv(5));
+        assert_eq!(r.contract(&IntLat::constant(9)), r);
+        let r = IntRange::Full(iv(3), iv(7));
+        assert_eq!(r.contract(&IntLat::constant(1)), r);
+        assert_eq!(r.contract(&IntLat::constant(9)), r);
+    }
+
+    #[test]
+    fn merge_full_with_from_keeps_from_shape() {
+        // The paper's walkthrough: [0..2c0-1] merged with [1..] at the
+        // loop head becomes [v..] with a fresh stride variable.
+        let mut alloc = VarAlloc::new();
+        let mut ctx = MergeCtx::new(&mut alloc, false);
+        let c0 = IntVal::unknown(UnkId(0));
+        let full = IntRange::Full(iv(0), c0.mul_literal(2).unwrap().add_literal(-1).unwrap());
+        let from = IntRange::From(iv(1));
+        let merged = full.merge(&from, &mut ctx);
+        let IntRange::From(lo) = &merged else {
+            panic!("expected From, got {merged}");
+        };
+        assert!(lo.var_term().is_some(), "lower bound became a variable");
+    }
+
+    #[test]
+    fn merge_with_empty_is_empty() {
+        let mut alloc = VarAlloc::new();
+        let mut ctx = MergeCtx::new(&mut alloc, false);
+        let r = IntRange::From(iv(0));
+        assert_eq!(r.merge(&IntRange::Empty, &mut ctx), IntRange::Empty);
+    }
+
+    #[test]
+    fn merge_opposite_half_open_is_empty() {
+        let mut alloc = VarAlloc::new();
+        let mut ctx = MergeCtx::new(&mut alloc, false);
+        let a = IntRange::From(iv(0));
+        let b = IntRange::Upto(iv(9));
+        assert_eq!(a.merge(&b, &mut ctx), IntRange::Empty);
+    }
+
+    #[test]
+    fn merge_equal_ranges_unchanged() {
+        let mut alloc = VarAlloc::new();
+        let mut ctx = MergeCtx::new(&mut alloc, false);
+        let a = IntRange::Full(iv(0), iv(4));
+        assert_eq!(a.merge(&a.clone(), &mut ctx), a);
+    }
+}

@@ -1,0 +1,121 @@
+//! Abstract reference values (§2.1 of the paper).
+//!
+//! When analyzing a method we create two `Ref`s per allocation site
+//! `id`: [`Ref::SiteA`] denotes the object *most recently* allocated at
+//! the site (a single concrete object, so stores to its fields may use
+//! strong update), and [`Ref::SiteB`] summarizes all *previously*
+//! allocated objects (weak update only). [`Ref::Arg`] denotes an
+//! argument's initial value, and [`Ref::Global`] collapses every object
+//! allocated outside the method and not passed to it.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use wbe_ir::SiteId;
+
+/// An abstract object reference.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Ref {
+    /// All objects allocated outside the analyzed method.
+    Global,
+    /// The initial value of reference argument `i`.
+    Arg(u16),
+    /// The object most recently allocated at the site (unique).
+    SiteA(SiteId),
+    /// All objects previously allocated at the site (summary).
+    SiteB(SiteId),
+}
+
+impl Ref {
+    /// The paper's `unique` predicate: true iff this abstract reference
+    /// denotes a single concrete object. `SiteA` is always unique;
+    /// `Arg(0)` is unique *in a constructor* (the object under
+    /// construction), which the caller decides via `this_is_unique`.
+    pub fn is_unique(self, this_is_unique: bool) -> bool {
+        match self {
+            Ref::SiteA(_) => true,
+            Ref::Arg(0) => this_is_unique,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Debug for Ref {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ref::Global => write!(f, "G"),
+            Ref::Arg(i) => write!(f, "arg{i}"),
+            Ref::SiteA(s) => write!(f, "{s}/A"),
+            Ref::SiteB(s) => write!(f, "{s}/B"),
+        }
+    }
+}
+
+impl fmt::Display for Ref {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A *RefVal*: the set of possible non-null referents of a value. The
+/// empty set means "known to contain only null" — the property barrier
+/// elision needs. Sets are may-information: larger is more conservative.
+pub type RefSet = BTreeSet<Ref>;
+
+/// Returns the singleton member if `s` has exactly one element.
+pub fn singleton(s: &RefSet) -> Option<Ref> {
+    if s.len() == 1 {
+        s.iter().next().copied()
+    } else {
+        None
+    }
+}
+
+/// Substitutes `from → to` in a ref set (used when an allocation retires
+/// the previous `SiteA` into `SiteB`).
+pub fn subst(s: &RefSet, from: Ref, to: Ref) -> RefSet {
+    s.iter()
+        .map(|&r| if r == from { to } else { r })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniqueness() {
+        assert!(Ref::SiteA(SiteId(0)).is_unique(false));
+        assert!(!Ref::SiteB(SiteId(0)).is_unique(true));
+        assert!(Ref::Arg(0).is_unique(true), "ctor this is unique");
+        assert!(!Ref::Arg(0).is_unique(false));
+        assert!(!Ref::Arg(1).is_unique(true));
+        assert!(!Ref::Global.is_unique(true));
+    }
+
+    #[test]
+    fn singleton_detection() {
+        let mut s = RefSet::new();
+        assert_eq!(singleton(&s), None);
+        s.insert(Ref::Global);
+        assert_eq!(singleton(&s), Some(Ref::Global));
+        s.insert(Ref::Arg(1));
+        assert_eq!(singleton(&s), None);
+    }
+
+    #[test]
+    fn substitution() {
+        let a = Ref::SiteA(SiteId(3));
+        let b = Ref::SiteB(SiteId(3));
+        let s: RefSet = [a, Ref::Global].into_iter().collect();
+        let out = subst(&s, a, b);
+        assert!(out.contains(&b) && out.contains(&Ref::Global) && !out.contains(&a));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Ref::SiteA(SiteId(2)).to_string(), "site2/A");
+        assert_eq!(Ref::Arg(0).to_string(), "arg0");
+        assert_eq!(Ref::Global.to_string(), "G");
+    }
+}

@@ -1,0 +1,774 @@
+//! The abstract program state (§2.1, §3.2) and its merge (§2.2, §3.5).
+//!
+//! A state is the tuple `<ρ, σ, NL, stk>` of the field analysis extended
+//! with the array analysis's `Len` and `NR` maps. Maps are kept
+//! *canonical*: entries equal to their context-determined default are
+//! absent, so structural equality detects fixed points.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use wbe_ir::{FieldId, Method, Program, SiteId, Ty};
+
+use crate::config::AnalysisConfig;
+
+use crate::intval::{merge_intvals, IntLat, IntVal, MergeCtx, UnkId};
+use crate::range::IntRange;
+use crate::refs::{subst, Ref, RefSet};
+
+/// Field identifier within the abstract store σ: a named field, or the
+/// single pseudo-field `f_elems` that collapses all elements of an
+/// object array (§2.4).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum FieldKey {
+    /// A declared instance field.
+    Field(FieldId),
+    /// All elements of an object array.
+    Elems,
+}
+
+/// An abstract slot value: bottom (uninitialized), a reference set, a
+/// symbolic integer, or `Any` (type-confused; treated as the universe of
+/// references and ⊤ as an integer).
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub enum AbsValue {
+    /// Uninitialized (`⊥`): merge identity.
+    #[default]
+    Bottom,
+    /// Unknown type; conservatively both "any reference" and ⊤ int.
+    Any,
+    /// Reference value: the may-set of non-null referents.
+    Refs(RefSet),
+    /// Integer value.
+    Int(IntLat),
+}
+
+impl AbsValue {
+    /// The definitely-null reference value.
+    pub fn null() -> Self {
+        AbsValue::Refs(RefSet::new())
+    }
+
+    /// A singleton reference value.
+    pub fn single(r: Ref) -> Self {
+        AbsValue::Refs([r].into_iter().collect())
+    }
+
+    /// A literal integer.
+    pub fn int(b: i64) -> Self {
+        AbsValue::Int(IntLat::constant(b))
+    }
+
+    /// Merge (the lattice meet the paper calls it; union for ref sets,
+    /// Figure 1 for integers, `Any` on type confusion).
+    pub fn merge(&self, other: &AbsValue, ctx: &mut MergeCtx<'_>) -> AbsValue {
+        match (self, other) {
+            (AbsValue::Bottom, x) | (x, AbsValue::Bottom) => x.clone(),
+            (AbsValue::Any, _) | (_, AbsValue::Any) => AbsValue::Any,
+            (AbsValue::Refs(a), AbsValue::Refs(b)) => {
+                AbsValue::Refs(a.union(b).copied().collect())
+            }
+            (AbsValue::Int(a), AbsValue::Int(b)) => AbsValue::Int(merge_intvals(a, b, ctx)),
+            _ => AbsValue::Any,
+        }
+    }
+
+    /// Merge without a stride context (used by `transfer` at allocation
+    /// renames): ref sets union, unequal integers go to ⊤.
+    pub fn merge_plain(&self, other: &AbsValue) -> AbsValue {
+        match (self, other) {
+            (AbsValue::Bottom, x) | (x, AbsValue::Bottom) => x.clone(),
+            (AbsValue::Any, _) | (_, AbsValue::Any) => AbsValue::Any,
+            (AbsValue::Refs(a), AbsValue::Refs(b)) => {
+                AbsValue::Refs(a.union(b).copied().collect())
+            }
+            (AbsValue::Int(a), AbsValue::Int(b)) => {
+                if a == b {
+                    AbsValue::Int(a.clone())
+                } else {
+                    AbsValue::Int(IntLat::Top)
+                }
+            }
+            _ => AbsValue::Any,
+        }
+    }
+
+    /// Substitutes one abstract reference for another inside the value.
+    pub fn subst_ref(&self, from: Ref, to: Ref) -> AbsValue {
+        match self {
+            AbsValue::Refs(s) if s.contains(&from) => AbsValue::Refs(subst(s, from, to)),
+            _ => self.clone(),
+        }
+    }
+}
+
+/// Per-method analysis context: everything the transfer functions and
+/// defaults need to know about the method under analysis.
+#[derive(Debug)]
+pub struct MethodCtx<'p> {
+    /// The containing program.
+    pub program: &'p Program,
+    /// The method under analysis.
+    pub method: &'p Method,
+    /// True when analyzing a constructor (gives `this` the special
+    /// initial state of §2.3).
+    pub is_ctor: bool,
+    /// Fields declared by the constructor's owner class (known null on
+    /// entry for `this`).
+    pub owner_fields: BTreeSet<FieldId>,
+    /// Allocation sites occurring in the method body.
+    pub sites: Vec<SiteId>,
+    /// Whether the array analysis (Len/NR) is enabled.
+    pub track_arrays: bool,
+    /// Whether allocation sites get the A/B reference pair (§2.4) or a
+    /// single summary reference (ablation).
+    pub two_refs: bool,
+    /// Whether merges may infer stride variables (§3.5) or widen
+    /// immediately (ablation).
+    pub stride_inference: bool,
+    /// Merge count at one join point before integer widening kicks in.
+    pub widen_after: usize,
+    /// References forced non-thread-local everywhere (the classic-escape
+    /// ablation pins every reference that escapes anywhere). Re-asserted
+    /// after allocation renames.
+    pub pinned_nl: BTreeSet<Ref>,
+}
+
+impl<'p> MethodCtx<'p> {
+    /// Builds the context for `method`.
+    pub fn new(program: &'p Program, method: &'p Method, config: &AnalysisConfig) -> Self {
+        let is_ctor = method.is_constructor;
+        let owner_fields = method
+            .owner
+            .filter(|_| is_ctor)
+            .map(|c| program.class(c).fields.iter().copied().collect())
+            .unwrap_or_default();
+        let mut sites: Vec<SiteId> = method
+            .iter_insns()
+            .filter_map(|(_, _, i)| i.allocation_site())
+            .collect();
+        sites.sort_unstable();
+        sites.dedup();
+        MethodCtx {
+            program,
+            method,
+            is_ctor,
+            owner_fields,
+            sites,
+            track_arrays: config.array_analysis,
+            two_refs: config.two_refs_per_site,
+            stride_inference: config.stride_inference,
+            widen_after: config.widen_after,
+            pinned_nl: BTreeSet::new(),
+        }
+    }
+
+    /// True if `this` (`Arg(0)`) denotes a unique object here.
+    pub fn this_is_unique(&self) -> bool {
+        self.is_ctor
+    }
+
+    /// The paper's `unique` predicate in this method's context.
+    pub fn is_unique(&self, r: Ref) -> bool {
+        r.is_unique(self.this_is_unique())
+    }
+
+    /// Every abstract reference that can occur in this method — the
+    /// concretization of `Any`.
+    pub fn universe(&self) -> Vec<Ref> {
+        let mut u = vec![Ref::Global];
+        for (i, ty) in self.method.sig.params.iter().enumerate() {
+            if ty.is_ref_like() {
+                u.push(Ref::Arg(i as u16));
+            }
+        }
+        for &s in &self.sites {
+            u.push(Ref::SiteA(s));
+            u.push(Ref::SiteB(s));
+        }
+        u
+    }
+
+    /// The constant unknown for integer argument `i`'s initial value.
+    pub fn arg_value_unknown(&self, i: usize) -> UnkId {
+        UnkId(i as u32)
+    }
+
+    /// The constant unknown for the length of array argument `i` (§3.4).
+    pub fn arg_length_unknown(&self, i: usize) -> UnkId {
+        UnkId((self.method.sig.params.len() + i) as u32)
+    }
+
+    /// Default σ entry for `(r, key)` when no explicit entry exists.
+    ///
+    /// Site references default to their allocation-zeroed value (null /
+    /// 0); `this` in a constructor defaults to null for fields its class
+    /// declares; arguments and `Global` default to escaped contents.
+    pub fn sigma_default(&self, r: Ref, key: FieldKey) -> AbsValue {
+        let is_ref_field = match key {
+            FieldKey::Field(f) => self.program.field(f).ty.is_ref_like(),
+            FieldKey::Elems => true,
+        };
+        let zeroed = |is_ref: bool| {
+            if is_ref {
+                AbsValue::null()
+            } else {
+                AbsValue::int(0)
+            }
+        };
+        let escaped = |is_ref: bool| {
+            if is_ref {
+                AbsValue::single(Ref::Global)
+            } else {
+                AbsValue::Int(IntLat::Top)
+            }
+        };
+        match r {
+            Ref::SiteA(_) | Ref::SiteB(_) => zeroed(is_ref_field),
+            Ref::Arg(0) if self.is_ctor => match key {
+                FieldKey::Field(f) if self.owner_fields.contains(&f) => zeroed(is_ref_field),
+                _ => escaped(is_ref_field),
+            },
+            Ref::Arg(_) | Ref::Global => escaped(is_ref_field),
+        }
+    }
+}
+
+/// The abstract program state at one program point.
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct AbsState {
+    /// `ρ`: local variable slots.
+    pub locals: Vec<AbsValue>,
+    /// `stk`: the operand stack.
+    pub stack: Vec<AbsValue>,
+    /// `NL`: references known possibly non-thread-local (escaped).
+    pub nl: BTreeSet<Ref>,
+    /// `σ`: abstract store (canonical: defaults absent).
+    pub sigma: BTreeMap<(Ref, FieldKey), AbsValue>,
+    /// `Len`: array lengths (canonical: ⊤ absent).
+    pub len: BTreeMap<Ref, IntLat>,
+    /// `NR`: null ranges of object arrays (canonical: empty absent).
+    pub nr: BTreeMap<Ref, IntRange>,
+}
+
+impl fmt::Debug for AbsState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "locals: {:?}", self.locals)?;
+        writeln!(f, "stack:  {:?}", self.stack)?;
+        writeln!(f, "NL:     {:?}", self.nl)?;
+        writeln!(f, "sigma:  {:?}", self.sigma)?;
+        writeln!(f, "len:    {:?}", self.len)?;
+        write!(f, "NR:     {:?}", self.nr)
+    }
+}
+
+impl AbsState {
+    /// The initial state at method entry (§2.3, §3.4).
+    pub fn entry(ctx: &MethodCtx<'_>) -> AbsState {
+        let m = ctx.method;
+        let mut locals = vec![AbsValue::Bottom; m.num_locals as usize];
+        let mut nl: BTreeSet<Ref> = [Ref::Global].into_iter().collect();
+        let mut len = BTreeMap::new();
+        for (i, &ty) in m.sig.params.iter().enumerate() {
+            let arg = Ref::Arg(i as u16);
+            match ty {
+                Ty::Int => {
+                    locals[i] = AbsValue::Int(IntLat::Val(IntVal::unknown(
+                        ctx.arg_value_unknown(i),
+                    )));
+                }
+                Ty::Ref(_) => {
+                    locals[i] = AbsValue::single(arg);
+                    if !(ctx.is_ctor && i == 0) {
+                        nl.insert(arg);
+                    }
+                }
+                Ty::RefArray(_) | Ty::IntArray => {
+                    locals[i] = AbsValue::single(arg);
+                    nl.insert(arg);
+                    if ctx.track_arrays {
+                        len.insert(
+                            arg,
+                            IntLat::Val(IntVal::unknown(ctx.arg_length_unknown(i))),
+                        );
+                    }
+                }
+            }
+        }
+        nl.extend(ctx.pinned_nl.iter().copied());
+        AbsState {
+            locals,
+            stack: Vec::new(),
+            nl,
+            sigma: BTreeMap::new(),
+            len,
+            nr: BTreeMap::new(),
+        }
+    }
+
+    /// σ lookup with the paper's rule: non-thread-local references read
+    /// as escaped contents; otherwise the explicit entry or the default.
+    pub fn sigma_lookup(&self, ctx: &MethodCtx<'_>, r: Ref, key: FieldKey) -> AbsValue {
+        if self.nl.contains(&r) {
+            let is_ref = match key {
+                FieldKey::Field(f) => ctx.program.field(f).ty.is_ref_like(),
+                FieldKey::Elems => true,
+            };
+            return if is_ref {
+                AbsValue::single(Ref::Global)
+            } else {
+                AbsValue::Int(IntLat::Top)
+            };
+        }
+        self.sigma
+            .get(&(r, key))
+            .cloned()
+            .unwrap_or_else(|| ctx.sigma_default(r, key))
+    }
+
+    /// Raw σ entry (explicit or default), ignoring NL — used by escape
+    /// closure.
+    pub fn sigma_raw(&self, ctx: &MethodCtx<'_>, r: Ref, key: FieldKey) -> AbsValue {
+        self.sigma
+            .get(&(r, key))
+            .cloned()
+            .unwrap_or_else(|| ctx.sigma_default(r, key))
+    }
+
+    /// Stores into σ, keeping the map canonical.
+    pub fn sigma_set(&mut self, ctx: &MethodCtx<'_>, r: Ref, key: FieldKey, v: AbsValue) {
+        if v == ctx.sigma_default(r, key) {
+            self.sigma.remove(&(r, key));
+        } else {
+            self.sigma.insert((r, key), v);
+        }
+    }
+
+    /// `Len` lookup (⊤ when unknown).
+    pub fn len_lookup(&self, r: Ref) -> IntLat {
+        self.len.get(&r).cloned().unwrap_or(IntLat::Top)
+    }
+
+    /// Stores a length, keeping the map canonical.
+    pub fn len_set(&mut self, r: Ref, v: IntLat) {
+        match v {
+            IntLat::Top => {
+                self.len.remove(&r);
+            }
+            v => {
+                self.len.insert(r, v);
+            }
+        }
+    }
+
+    /// `NR` lookup (empty when unknown).
+    pub fn nr_lookup(&self, r: Ref) -> IntRange {
+        self.nr.get(&r).cloned().unwrap_or(IntRange::Empty)
+    }
+
+    /// Stores a null range, keeping the map canonical.
+    pub fn nr_set(&mut self, r: Ref, v: IntRange) {
+        if v == IntRange::Empty {
+            self.nr.remove(&r);
+        } else {
+            self.nr.insert(r, v);
+        }
+    }
+
+    /// Escape closure: all references transitively reachable from `roots`
+    /// through σ (the paper's `AllNonTL` reachability).
+    pub fn reachable_from(&self, _ctx: &MethodCtx<'_>, roots: &RefSet) -> BTreeSet<Ref> {
+        let mut seen: BTreeSet<Ref> = BTreeSet::new();
+        let mut work: Vec<Ref> = roots.iter().copied().collect();
+        while let Some(r) = work.pop() {
+            if !seen.insert(r) {
+                continue;
+            }
+            // Follow every σ entry of r: explicit entries plus the
+            // defaults for reference-shaped keys. Defaults for site refs
+            // are null (nothing to follow); for args/global they are
+            // {Global}, which we add directly.
+            match r {
+                Ref::Global | Ref::Arg(_)
+                    // Escaped-by-default contents collapse to Global.
+                    if seen.insert(Ref::Global) => {
+                        work.push(Ref::Global);
+                    }
+                _ => {}
+            }
+            for ((er, _), v) in self.sigma.range((r, FieldKey::Field(FieldId(0)))..) {
+                if *er != r {
+                    break;
+                }
+                if let AbsValue::Refs(s) = v {
+                    for &child in s {
+                        if !seen.contains(&child) {
+                            work.push(child);
+                        }
+                    }
+                }
+            }
+        }
+        seen
+    }
+
+    /// `AllNonTL`: extends NL with `vals` and everything reachable from
+    /// them.
+    pub fn escape(&mut self, ctx: &MethodCtx<'_>, vals: &RefSet) {
+        let closure = self.reachable_from(ctx, vals);
+        self.nl.extend(closure);
+    }
+
+    /// Merges `incoming` into `self`; returns true if `self` changed.
+    /// `widen` disables stride-variable creation (forced ⊤ for unequal
+    /// integers).
+    pub fn merge_from(
+        &mut self,
+        incoming: &AbsState,
+        ctx: &MethodCtx<'_>,
+        alloc: &mut crate::intval::VarAlloc,
+        widen: bool,
+    ) -> bool {
+        assert_eq!(
+            self.stack.len(),
+            incoming.stack.len(),
+            "operand stacks must agree at join points (verified IR)"
+        );
+        let mut mctx = MergeCtx::new(alloc, widen || !ctx.stride_inference);
+        let mut changed = false;
+
+        for i in 0..self.locals.len() {
+            let merged = self.locals[i].merge(&incoming.locals[i], &mut mctx);
+            if merged != self.locals[i] {
+                self.locals[i] = merged;
+                changed = true;
+            }
+        }
+        for i in 0..self.stack.len() {
+            let merged = self.stack[i].merge(&incoming.stack[i], &mut mctx);
+            if merged != self.stack[i] {
+                self.stack[i] = merged;
+                changed = true;
+            }
+        }
+        let nl_before = self.nl.len();
+        self.nl.extend(incoming.nl.iter().copied());
+        changed |= self.nl.len() != nl_before;
+
+        // σ: union of keys; absent = default.
+        let keys: BTreeSet<(Ref, FieldKey)> = self
+            .sigma
+            .keys()
+            .chain(incoming.sigma.keys())
+            .copied()
+            .collect();
+        for (r, key) in keys {
+            let a = self.sigma_raw(ctx, r, key);
+            let b = incoming.sigma_raw(ctx, r, key);
+            let merged = a.merge(&b, &mut mctx);
+            if merged != a {
+                changed = true;
+            }
+            self.sigma_set(ctx, r, key, merged);
+        }
+
+        // Len: absent = ⊤.
+        let keys: BTreeSet<Ref> = self.len.keys().chain(incoming.len.keys()).copied().collect();
+        for r in keys {
+            let a = self.len_lookup(r);
+            let b = incoming.len_lookup(r);
+            let merged = merge_intvals(&a, &b, &mut mctx);
+            if merged != a {
+                changed = true;
+            }
+            self.len_set(r, merged);
+        }
+
+        // NR: absent = empty.
+        let keys: BTreeSet<Ref> = self.nr.keys().chain(incoming.nr.keys()).copied().collect();
+        for r in keys {
+            let a = self.nr_lookup(r);
+            let b = incoming.nr_lookup(r);
+            let merged = a.merge(&b, &mut mctx);
+            if merged != a {
+                changed = true;
+            }
+            self.nr_set(r, merged);
+        }
+        changed
+    }
+
+    /// The allocation-site rename (§2.4 `newinstance`): retire the
+    /// current `R_site/A` into `R_site/B` across every state component.
+    pub fn retire_site(&mut self, ctx: &MethodCtx<'_>, site: SiteId) {
+        let a = Ref::SiteA(site);
+        let b = Ref::SiteB(site);
+        for v in self.locals.iter_mut().chain(self.stack.iter_mut()) {
+            *v = v.subst_ref(a, b);
+        }
+        // replS on NL.
+        if self.nl.remove(&a) {
+            self.nl.insert(b);
+        }
+        // transfer on σ: move/merge A's entries into B's, substituting in
+        // values everywhere.
+        let old = std::mem::take(&mut self.sigma);
+        let mut merged_entries: BTreeMap<(Ref, FieldKey), AbsValue> = BTreeMap::new();
+        for ((r, key), v) in old {
+            let r2 = if r == a { b } else { r };
+            let v2 = v.subst_ref(a, b);
+            match merged_entries.entry((r2, key)) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(v2);
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    let m = e.get().merge_plain(&v2);
+                    e.insert(m);
+                }
+            }
+        }
+        // If only one of (A,key)/(B,key) existed, the move must still
+        // merge with the *default* of the absent side. Site defaults are
+        // identical for A and B (allocation-zeroed), so a moved A entry
+        // merged with B's default equals merge_plain(v, default); handle
+        // by merging with default when the key changed owners.
+        self.sigma = BTreeMap::new();
+        for ((r, key), v) in merged_entries {
+            self.sigma_set(ctx, r, key, v);
+        }
+
+        // Len / NR: A's info merges into B's conservative default
+        // (⊤ / empty), i.e. it is dropped; B keeps whatever it had only
+        // if it agrees. Here we conservatively clear both A and B unless
+        // they already agree.
+        let len_a = self.len.remove(&a);
+        if let Some(la) = len_a {
+            let lb = self.len_lookup(b);
+            let merged = if IntLat::Val(la.as_val().cloned().unwrap_or_default()) == lb {
+                lb
+            } else {
+                IntLat::Top
+            };
+            self.len_set(b, merged);
+        }
+        let nr_a = self.nr.remove(&a);
+        if let Some(ra) = nr_a {
+            let rb = self.nr_lookup(b);
+            let merged = if ra == rb { rb } else { IntRange::Empty };
+            self.nr_set(b, merged);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intval::VarAlloc;
+    use wbe_ir::builder::ProgramBuilder;
+    use wbe_ir::MethodId;
+
+    fn simple_program() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("C");
+        let _f = pb.field(c, "f", Ty::Ref(c));
+        let _g = pb.field(c, "g", Ty::Int);
+        let ctor = pb.declare_constructor(c, vec![]);
+        pb.define_method(ctor, 0, |mb| {
+            mb.return_();
+        });
+        pb.method(
+            "m",
+            vec![Ty::Ref(c), Ty::Int, Ty::RefArray(c)],
+            None,
+            2,
+            |mb| {
+                mb.new_object(c).pop().return_();
+            },
+        );
+        pb.finish()
+    }
+
+    #[test]
+    fn entry_state_of_plain_method() {
+        let p = simple_program();
+        let m = p.method(MethodId(1));
+        let ctx = MethodCtx::new(&p, m, &AnalysisConfig::default());
+        let st = AbsState::entry(&ctx);
+        assert_eq!(st.locals[0], AbsValue::single(Ref::Arg(0)));
+        assert!(matches!(st.locals[1], AbsValue::Int(IntLat::Val(_))));
+        assert_eq!(st.locals[2], AbsValue::single(Ref::Arg(2)));
+        assert_eq!(st.locals[3], AbsValue::Bottom);
+        // All ref args escape on entry (non-ctor).
+        assert!(st.nl.contains(&Ref::Arg(0)));
+        assert!(st.nl.contains(&Ref::Arg(2)));
+        assert!(st.nl.contains(&Ref::Global));
+        // Array arg length is a constant unknown.
+        assert!(st.len.contains_key(&Ref::Arg(2)));
+    }
+
+    #[test]
+    fn entry_state_of_constructor_keeps_this_local() {
+        let p = simple_program();
+        let m = p.method(MethodId(0));
+        assert!(m.is_constructor);
+        let ctx = MethodCtx::new(&p, m, &AnalysisConfig::default());
+        let st = AbsState::entry(&ctx);
+        assert!(!st.nl.contains(&Ref::Arg(0)), "ctor this is thread-local");
+        // Declared fields of this are null by default.
+        assert_eq!(
+            st.sigma_lookup(&ctx, Ref::Arg(0), FieldKey::Field(FieldId(0))),
+            AbsValue::null()
+        );
+        assert_eq!(
+            st.sigma_lookup(&ctx, Ref::Arg(0), FieldKey::Field(FieldId(1))),
+            AbsValue::int(0)
+        );
+        assert!(ctx.is_unique(Ref::Arg(0)));
+    }
+
+    #[test]
+    fn sigma_lookup_respects_nl() {
+        let p = simple_program();
+        let m = p.method(MethodId(1));
+        let ctx = MethodCtx::new(&p, m, &AnalysisConfig::default());
+        let mut st = AbsState::entry(&ctx);
+        let site = wbe_ir::SiteId(0);
+        let a = Ref::SiteA(site);
+        // Fresh site object: ref field defaults to null.
+        assert_eq!(
+            st.sigma_lookup(&ctx, a, FieldKey::Field(FieldId(0))),
+            AbsValue::null()
+        );
+        // Once escaped, lookups collapse to Global.
+        st.nl.insert(a);
+        assert_eq!(
+            st.sigma_lookup(&ctx, a, FieldKey::Field(FieldId(0))),
+            AbsValue::single(Ref::Global)
+        );
+    }
+
+    #[test]
+    fn merge_unions_refs_and_detects_change() {
+        let p = simple_program();
+        let m = p.method(MethodId(1));
+        let ctx = MethodCtx::new(&p, m, &AnalysisConfig::default());
+        let mut alloc = VarAlloc::new();
+        let mut s1 = AbsState::entry(&ctx);
+        let mut s2 = s1.clone();
+        s1.locals[3] = AbsValue::null();
+        s2.locals[3] = AbsValue::single(Ref::Arg(0));
+        let changed = s1.merge_from(&s2, &ctx, &mut alloc, false);
+        assert!(changed);
+        assert_eq!(s1.locals[3], AbsValue::single(Ref::Arg(0)));
+        // Merging the same thing again: no change.
+        let changed = s1.merge_from(&s2, &ctx, &mut alloc, false);
+        assert!(!changed);
+    }
+
+    #[test]
+    fn merge_creates_shared_stride_variable_across_components() {
+        let p = simple_program();
+        let m = p.method(MethodId(1));
+        let ctx = MethodCtx::new(&p, m, &AnalysisConfig::default());
+        let mut alloc = VarAlloc::new();
+        let site = wbe_ir::SiteId(0);
+        let a = Ref::SiteA(site);
+        let mut s1 = AbsState::entry(&ctx);
+        s1.locals[3] = AbsValue::int(0);
+        s1.nr_set(a, IntRange::From(IntVal::constant(0)));
+        let mut s2 = s1.clone();
+        s2.locals[3] = AbsValue::int(1);
+        s2.nr_set(a, IntRange::From(IntVal::constant(1)));
+        s1.merge_from(&s2, &ctx, &mut alloc, false);
+        // Both the local and the NR bound became the same variable.
+        let AbsValue::Int(IntLat::Val(iv)) = &s1.locals[3] else {
+            panic!("local not symbolic: {:?}", s1.locals[3]);
+        };
+        let (coef, var) = iv.var_term().expect("variable created");
+        assert_eq!(coef, 1);
+        let IntRange::From(lo) = s1.nr_lookup(a) else {
+            panic!("NR lost: {:?}", s1.nr_lookup(a));
+        };
+        assert_eq!(lo.var_term(), Some((1, var)), "stride variable shared");
+    }
+
+    #[test]
+    fn merge_type_confusion_goes_to_any() {
+        let p = simple_program();
+        let m = p.method(MethodId(1));
+        let ctx = MethodCtx::new(&p, m, &AnalysisConfig::default());
+        let mut alloc = VarAlloc::new();
+        let mut s1 = AbsState::entry(&ctx);
+        let mut s2 = s1.clone();
+        s1.locals[3] = AbsValue::int(0);
+        s2.locals[3] = AbsValue::null();
+        s1.merge_from(&s2, &ctx, &mut alloc, false);
+        assert_eq!(s1.locals[3], AbsValue::Any);
+    }
+
+    #[test]
+    fn retire_site_renames_everywhere() {
+        let p = simple_program();
+        let m = p.method(MethodId(1));
+        let ctx = MethodCtx::new(&p, m, &AnalysisConfig::default());
+        let site = wbe_ir::SiteId(0);
+        let a = Ref::SiteA(site);
+        let b = Ref::SiteB(site);
+        let mut st = AbsState::entry(&ctx);
+        st.locals[3] = AbsValue::single(a);
+        st.stack.push(AbsValue::single(a));
+        st.nl.insert(a);
+        st.sigma
+            .insert((a, FieldKey::Field(FieldId(0))), AbsValue::single(a));
+        st.len_set(a, IntLat::constant(4));
+        st.nr_set(a, IntRange::From(IntVal::constant(2)));
+        st.retire_site(&ctx, site);
+        assert_eq!(st.locals[3], AbsValue::single(b));
+        assert_eq!(st.stack[0], AbsValue::single(b));
+        assert!(st.nl.contains(&b) && !st.nl.contains(&a));
+        assert_eq!(
+            st.sigma.get(&(b, FieldKey::Field(FieldId(0)))),
+            Some(&AbsValue::single(b))
+        );
+        assert!(!st.sigma.contains_key(&(a, FieldKey::Field(FieldId(0)))));
+        // Len/NR for A are conservatively dropped (B summary keeps only
+        // agreeing info; here B had none).
+        assert_eq!(st.len_lookup(b), IntLat::Top);
+        assert_eq!(st.nr_lookup(b), IntRange::Empty);
+        assert!(!st.len.contains_key(&a) && !st.nr.contains_key(&a));
+    }
+
+    #[test]
+    fn escape_closure_follows_sigma() {
+        let p = simple_program();
+        let m = p.method(MethodId(1));
+        let ctx = MethodCtx::new(&p, m, &AnalysisConfig::default());
+        let s0 = wbe_ir::SiteId(0);
+        let s1 = wbe_ir::SiteId(1);
+        let a0 = Ref::SiteA(s0);
+        let a1 = Ref::SiteA(s1);
+        let mut st = AbsState::entry(&ctx);
+        // a0.f = a1
+        st.sigma
+            .insert((a0, FieldKey::Field(FieldId(0))), AbsValue::single(a1));
+        let roots: RefSet = [a0].into_iter().collect();
+        st.escape(&ctx, &roots);
+        assert!(st.nl.contains(&a0));
+        assert!(st.nl.contains(&a1), "reachable object escaped too");
+    }
+
+    #[test]
+    fn canonical_maps_drop_defaults() {
+        let p = simple_program();
+        let m = p.method(MethodId(1));
+        let ctx = MethodCtx::new(&p, m, &AnalysisConfig::default());
+        let a = Ref::SiteA(wbe_ir::SiteId(0));
+        let mut st = AbsState::entry(&ctx);
+        st.sigma_set(&ctx, a, FieldKey::Field(FieldId(0)), AbsValue::null());
+        assert!(st.sigma.is_empty(), "default entries are not stored");
+        st.len_set(a, IntLat::Top);
+        assert!(!st.len.contains_key(&a));
+        st.nr_set(a, IntRange::Empty);
+        assert!(st.nr.is_empty());
+    }
+}

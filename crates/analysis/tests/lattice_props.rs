@@ -1,0 +1,163 @@
+//! Property tests on the analysis lattices: symbolic integers, ranges,
+//! and the `contract` heuristics.
+
+use proptest::prelude::*;
+
+use wbe_analysis::intval::{merge_intvals, IntLat, IntVal, MergeCtx, UnkId, VarAlloc};
+use wbe_analysis::range::IntRange;
+
+fn small_intval() -> impl Strategy<Value = IntVal> {
+    // Literal, constant-unknown, or affine in one unknown.
+    prop_oneof![
+        (-50i64..50).prop_map(IntVal::constant),
+        (0u32..3, -4i64..5, -50i64..50).prop_map(|(c, k, b)| {
+            let base = IntVal::unknown(UnkId(c));
+            match base.mul_literal(k).and_then(|v| v.add_literal(b)) {
+                Some(v) => v,
+                None => IntVal::constant(b),
+            }
+        }),
+    ]
+}
+
+fn small_range() -> impl Strategy<Value = IntRange> {
+    // Ranges describe valid array indices (≥ 0); full ranges come from
+    // allocation with a zero lower bound or contraction of one.
+    prop_oneof![
+        Just(IntRange::Empty),
+        (0i64..20, 0i64..20)
+            .prop_map(|(lo, w)| IntRange::Full(IntVal::constant(lo), IntVal::constant(lo + w))),
+        (0i64..20).prop_map(|lo| IntRange::From(IntVal::constant(lo))),
+        (0i64..20).prop_map(|hi| IntRange::Upto(IntVal::constant(hi))),
+    ]
+}
+
+proptest! {
+    /// `a + b - b == a` whenever both operations are representable.
+    #[test]
+    fn add_sub_round_trip(a in small_intval(), b in small_intval()) {
+        if let Some(sum) = a.add(&b) {
+            prop_assert_eq!(sum.sub(&b), Some(a));
+        }
+    }
+
+    /// Multiplication by a literal distributes over addition.
+    #[test]
+    fn mul_distributes(a in small_intval(), b in small_intval(), k in -5i64..6) {
+        if let (Some(sum), Some(ka), Some(kb)) =
+            (a.add(&b), a.mul_literal(k), b.mul_literal(k))
+        {
+            prop_assert_eq!(sum.mul_literal(k), ka.add(&kb));
+        }
+    }
+
+    /// Merging a value with itself is the identity (no variable noise).
+    #[test]
+    fn merge_idempotent(a in small_intval()) {
+        let mut alloc = VarAlloc::new();
+        let mut ctx = MergeCtx::new(&mut alloc, false);
+        let v = IntLat::Val(a);
+        prop_assert_eq!(merge_intvals(&v, &v, &mut ctx), v);
+    }
+
+    /// The merge result is never *more* precise than either input:
+    /// substituting the recorded μ values back reproduces the inputs.
+    #[test]
+    fn merge_of_literals_is_exact_or_variable(x in -30i64..30, y in -30i64..30) {
+        let mut alloc = VarAlloc::new();
+        let mut ctx = MergeCtx::new(&mut alloc, false);
+        let out = merge_intvals(
+            &IntLat::constant(x),
+            &IntLat::constant(y),
+            &mut ctx,
+        );
+        if x == y {
+            prop_assert_eq!(out, IntLat::constant(x));
+        } else {
+            // Distinct literals always merge to a fresh stride variable.
+            let IntLat::Val(v) = out else {
+                return Err(TestCaseError::fail("literals must not merge to top"));
+            };
+            prop_assert!(v.var_term().is_some());
+        }
+    }
+
+    /// `contract` soundness against a concrete array: starting from a
+    /// fresh array's range and applying any store sequence, every index
+    /// the range still claims null IS null in the simulated array.
+    /// (Ranges denote *valid* indices, so claims are checked within
+    /// bounds — out-of-bounds stores trap before reaching the range.)
+    #[test]
+    fn contract_soundness(
+        len in 1i64..16,
+        stores in proptest::collection::vec(0i64..16, 0..12),
+    ) {
+        let mut range = IntRange::fresh_array(&IntLat::constant(len));
+        let mut is_null = vec![true; len as usize];
+        for &i in &stores {
+            if i >= len {
+                continue; // would trap at run time; range untouched
+            }
+            range = range.contract(&IntLat::constant(i));
+            is_null[i as usize] = false;
+        }
+        for j in 0..len {
+            if range.contains(&IntVal::constant(j)) {
+                prop_assert!(
+                    is_null[j as usize],
+                    "range {range:?} claims {j} null after stores {stores:?}"
+                );
+            }
+        }
+    }
+
+    /// `contract` with an unknown index always collapses to empty.
+    #[test]
+    fn contract_unknown_collapses(r in small_range()) {
+        prop_assert_eq!(r.contract(&IntLat::Top), IntRange::Empty);
+    }
+
+    /// Range merge is conservative over the reachable state space: for
+    /// two contraction sequences of the same fresh array, the merged
+    /// range only claims indices null on *both* paths.
+    #[test]
+    fn range_merge_is_intersection_like(
+        len in 1i64..16,
+        stores_a in proptest::collection::vec(0i64..16, 0..10),
+        stores_b in proptest::collection::vec(0i64..16, 0..10),
+    ) {
+        let run = |stores: &[i64]| {
+            let mut range = IntRange::fresh_array(&IntLat::constant(len));
+            let mut is_null = vec![true; len as usize];
+            for &i in stores {
+                if i >= len {
+                    continue;
+                }
+                range = range.contract(&IntLat::constant(i));
+                is_null[i as usize] = false;
+            }
+            (range, is_null)
+        };
+        let (ra, na) = run(&stores_a);
+        let (rb, nb) = run(&stores_b);
+        let mut alloc = VarAlloc::new();
+        let mut ctx = MergeCtx::new(&mut alloc, false);
+        let merged = ra.merge(&rb, &mut ctx);
+        for j in 0..len {
+            if merged.contains(&IntVal::constant(j)) {
+                prop_assert!(
+                    na[j as usize] && nb[j as usize],
+                    "merged {merged:?} claims {j}: a={stores_a:?} b={stores_b:?}"
+                );
+            }
+        }
+    }
+
+    /// Membership proofs are definite: `contains` never claims an index
+    /// outside a literal range's true bounds.
+    #[test]
+    fn contains_matches_concrete_semantics(lo in -20i64..20, w in 0i64..20, probe in -45i64..45) {
+        let r = IntRange::Full(IntVal::constant(lo), IntVal::constant(lo + w));
+        prop_assert_eq!(r.contains(&IntVal::constant(probe)), lo <= probe && probe <= lo + w);
+    }
+}

@@ -1,0 +1,115 @@
+//! The paper's §3.5 walkthrough, verified state by state.
+//!
+//! For the `expand` example, §3.5 narrates the loop-head merges:
+//!
+//! 1. after allocation: `ρ(i) = 0`, `NR(R_id/A) = [0 .. 2c₀−1]`;
+//! 2. after the first back edge: a stride variable `v` is created and
+//!    shared: `ρ(i) = v`, `NR(R_id/A) = [v..]`;
+//! 3. the second back edge *validates* (μ₂[v] = v + 1) and the state is
+//!    unchanged — the fixed point.
+//!
+//! This test checks the fixed-point loop-head state has exactly that
+//! shape: the loop index and the null-range lower bound are the *same*
+//! variable unknown, and the judgment elides the copy store.
+
+use wbe_analysis::fixpoint::entry_states;
+use wbe_analysis::{analyze_method, AbsValue, AnalysisConfig, IntLat, IntRange, Ref};
+use wbe_ir::builder::ProgramBuilder;
+use wbe_ir::{CmpOp, SiteId, Ty};
+
+fn expand_program() -> (wbe_ir::Program, wbe_ir::MethodId) {
+    let mut pb = ProgramBuilder::new();
+    let t = pb.class("T");
+    let m = pb.method(
+        "expand",
+        vec![Ty::RefArray(t)],
+        Some(Ty::RefArray(t)),
+        2,
+        |mb| {
+            let ta = mb.local(0);
+            let new_ta = mb.local(1);
+            let i = mb.local(2);
+            let head = mb.new_block();
+            let body = mb.new_block();
+            let exit = mb.new_block();
+            mb.load(ta).arraylength().iconst(2).mul().new_ref_array(t).store(new_ta);
+            mb.iconst(0).store(i).goto_(head);
+            mb.switch_to(head);
+            mb.load(i).load(ta).arraylength().if_icmp(CmpOp::Lt, body, exit);
+            mb.switch_to(body);
+            mb.load(new_ta).load(i).load(ta).load(i).aaload().aastore();
+            mb.iinc(i, 1).goto_(head);
+            mb.switch_to(exit);
+            mb.load(new_ta).return_value();
+        },
+    );
+    (pb.finish(), m)
+}
+
+#[test]
+fn loop_head_state_matches_the_papers_walkthrough() {
+    let (p, m) = expand_program();
+    let states = entry_states(&p, p.method(m), &AnalysisConfig::full());
+    // Block B1 is the loop head.
+    let head = states[1].as_ref().expect("loop head reachable");
+
+    // ρ(i): a variable unknown with coefficient 1 (the paper's `v`).
+    let AbsValue::Int(IntLat::Val(iv)) = &head.locals[2] else {
+        panic!("ρ(i) is not a symbolic int: {:?}", head.locals[2]);
+    };
+    let (coeff, v) = iv.var_term().expect("ρ(i) must carry the stride variable");
+    assert_eq!(coeff, 1, "stride is 1");
+    assert_eq!(iv.literal_part(), 0, "ρ(i) = v exactly");
+
+    // ρ(new_ta): the unique most-recent allocation R_site/A.
+    let AbsValue::Refs(s) = &head.locals[1] else {
+        panic!("ρ(new_ta) not refs");
+    };
+    assert_eq!(s.len(), 1);
+    let r = *s.iter().next().unwrap();
+    assert!(matches!(r, Ref::SiteA(SiteId(_))), "{r:?}");
+    assert!(!head.nl.contains(&r), "new_ta has not escaped");
+
+    // NR(R_id/A) = [v..] — the SAME variable as ρ(i).
+    let nr = head.nr_lookup(r);
+    let IntRange::From(lo) = &nr else {
+        panic!("NR is not a lower-bounded half-open range: {nr:?}");
+    };
+    assert_eq!(
+        lo.var_term(),
+        Some((1, v)),
+        "the null-range bound and the loop index share the stride variable"
+    );
+    assert_eq!(lo.literal_part(), 0);
+
+    // Len(R_id/A) = 2·c₀ (twice the input array's symbolic length).
+    let IntLat::Val(len) = head.len_lookup(r) else {
+        panic!("length lost");
+    };
+    assert!(len.var_term().is_none(), "length is loop-invariant: {len:?}");
+    assert!(format!("{len}").contains("2*c"), "{len}");
+
+    // And the judgment, at the fixed point, elides the copy store.
+    let res = analyze_method(&p, p.method(m), &AnalysisConfig::full());
+    assert_eq!(res.elided.len(), 1);
+}
+
+/// §2.3: the paper's initial-state rules, observed directly.
+#[test]
+fn entry_state_matches_section_2_3() {
+    let (p, m) = expand_program();
+    let states = entry_states(&p, p.method(m), &AnalysisConfig::full());
+    let entry = states[0].as_ref().unwrap();
+    // The array argument: ρ(ta) = {R_arg(0)}, non-thread-local.
+    assert_eq!(entry.locals[0], AbsValue::single(Ref::Arg(0)));
+    assert!(entry.nl.contains(&Ref::Arg(0)));
+    assert!(entry.nl.contains(&Ref::Global));
+    // Non-argument locals are ⊥.
+    assert_eq!(entry.locals[1], AbsValue::Bottom);
+    assert_eq!(entry.locals[2], AbsValue::Bottom);
+    // Len(R_arg(0)) is the constant unknown c₀ (§3.4).
+    let IntLat::Val(len) = entry.len_lookup(Ref::Arg(0)) else {
+        panic!("argument length unknown missing");
+    };
+    assert!(format!("{len}").starts_with('c'), "{len}");
+}

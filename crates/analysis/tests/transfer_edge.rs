@@ -1,0 +1,217 @@
+//! Edge-case coverage for the transfer functions and fixpoint driver:
+//! havoc paths, type confusion, widening, and unusual control flow.
+
+use wbe_analysis::{analyze_method, AnalysisConfig};
+use wbe_ir::builder::ProgramBuilder;
+use wbe_ir::{CmpOp, Ty};
+
+/// Type-confused receiver (int merged with ref) must disable elision,
+/// not crash or wrongly elide.
+#[test]
+fn type_confused_receiver_is_conservative() {
+    let mut pb = ProgramBuilder::new();
+    let c = pb.class("C");
+    let f = pb.field(c, "f", Ty::Ref(c));
+    let m = pb.method("confused", vec![Ty::Int], None, 1, |mb| {
+        let cnd = mb.local(0);
+        let x = mb.local(1);
+        let a = mb.new_block();
+        let b = mb.new_block();
+        let j = mb.new_block();
+        mb.load(cnd).if_zero(CmpOp::Eq, a, b);
+        mb.switch_to(a).new_object(c).store(x).goto_(j);
+        mb.switch_to(b).iconst(7).store(x).goto_(j);
+        // x is Any at the join; storing through it must not be elided.
+        mb.switch_to(j).load(x).const_null().putfield(f).return_();
+    });
+    let p = pb.finish();
+    let res = analyze_method(&p, p.method(m), &AnalysisConfig::full());
+    assert!(res.elided.is_empty(), "{res:?}");
+    assert_eq!(res.barrier_sites, 1);
+}
+
+/// A store through an Any receiver must also weaken knowledge about
+/// every site (havoc): a previously-null field can no longer be
+/// assumed null.
+#[test]
+fn any_receiver_havocs_sigma() {
+    let mut pb = ProgramBuilder::new();
+    let c = pb.class("C");
+    let f = pb.field(c, "f", Ty::Ref(c));
+    let m = pb.method("havoc", vec![Ty::Int, Ty::Ref(c)], None, 2, |mb| {
+        let cnd = mb.local(0);
+        let v = mb.local(1);
+        let o = mb.local(2);
+        let x = mb.local(3);
+        let a = mb.new_block();
+        let b = mb.new_block();
+        let j = mb.new_block();
+        // o = new C (fields null)
+        mb.new_object(c).store(o);
+        mb.load(cnd).if_zero(CmpOp::Eq, a, b);
+        mb.switch_to(a).load(o).store(x).goto_(j); // x aliases o
+        mb.switch_to(b).iconst(1).store(x).goto_(j); // x is an int
+        mb.switch_to(j);
+        // Store through Any x: may hit o.f.
+        mb.load(x).load(v).putfield(f);
+        // Now a store to o.f is NOT pre-null anymore.
+        mb.load(o).const_null().putfield(f);
+        mb.return_();
+    });
+    let p = pb.finish();
+    let res = analyze_method(&p, p.method(m), &AnalysisConfig::full());
+    assert!(
+        res.elided.is_empty(),
+        "havoc must kill o.f's null fact: {res:?}"
+    );
+}
+
+/// Widening terminates an adversarial stride pattern that changes every
+/// iteration (no common stride exists).
+#[test]
+fn chaotic_strides_converge_via_widening() {
+    let mut pb = ProgramBuilder::new();
+    let c = pb.class("C");
+    let m = pb.method("chaos", vec![Ty::Int], None, 3, |mb| {
+        let n = mb.local(0);
+        let i = mb.local(1);
+        let k = mb.local(2);
+        let arr = mb.local(3);
+        let head = mb.new_block();
+        let body = mb.new_block();
+        let exit = mb.new_block();
+        mb.iconst(16).new_ref_array(c).store(arr);
+        mb.iconst(0).store(i).iconst(1).store(k).goto_(head);
+        mb.switch_to(head).load(i).load(n).if_icmp(CmpOp::Lt, body, exit);
+        mb.switch_to(body);
+        // k doubles each iteration: no linear stride.
+        mb.load(k).load(k).add().store(k);
+        mb.load(arr).load(k).iconst(15).and().const_null().aastore();
+        mb.iinc(i, 1).goto_(head);
+        mb.switch_to(exit).return_();
+    });
+    let p = pb.finish();
+    p.validate().unwrap();
+    // Must terminate (widening) and elide nothing.
+    let res = analyze_method(&p, p.method(m), &AnalysisConfig::full());
+    assert!(res.elided.is_empty());
+}
+
+/// Self-loop on a block with an allocation: A/B retirement every
+/// iteration must converge.
+#[test]
+fn allocation_self_loop_converges() {
+    let mut pb = ProgramBuilder::new();
+    let c = pb.class("C");
+    let f = pb.field(c, "f", Ty::Ref(c));
+    let m = pb.method("selfloop", vec![Ty::Int], None, 1, |mb| {
+        let n = mb.local(0);
+        let o = mb.local(1);
+        let body = mb.new_block();
+        let exit = mb.new_block();
+        mb.goto_(body);
+        mb.switch_to(body);
+        mb.new_object(c).store(o);
+        mb.load(o).load(o).putfield(f);
+        mb.iinc(n, -1);
+        mb.load(n).if_zero(CmpOp::Gt, body, exit);
+        mb.switch_to(exit).return_();
+    });
+    let p = pb.finish();
+    let res = analyze_method(&p, p.method(m), &AnalysisConfig::full());
+    // Each iteration's store hits the fresh object: elidable.
+    assert_eq!(res.elided.len(), 1, "{res:?}");
+}
+
+/// An int-returning call produces ⊤, not a bogus constant.
+#[test]
+fn int_call_results_are_top() {
+    let mut pb = ProgramBuilder::new();
+    let c = pb.class("C");
+    let callee = pb.method("five", vec![], Some(Ty::Int), 0, |mb| {
+        mb.iconst(5).return_value();
+    });
+    let m = pb.method("use_call", vec![], None, 2, |mb| {
+        let arr = mb.local(0);
+        let i = mb.local(1);
+        mb.iconst(8).new_ref_array(c).store(arr);
+        mb.invoke(callee).store(i);
+        // Index is ⊤ even though the callee always returns 5: no elision
+        // (the analysis is intra-procedural).
+        mb.load(arr).load(i).const_null().aastore();
+        mb.return_();
+    });
+    let p = pb.finish();
+    let res = analyze_method(&p, p.method(m), &AnalysisConfig::full());
+    assert!(res.elided.is_empty(), "{res:?}");
+}
+
+/// getfield on a maybe-null-only receiver and stores through empty
+/// refsets are vacuously elidable (the store always traps).
+#[test]
+fn definite_null_receiver_is_vacuously_elidable() {
+    let mut pb = ProgramBuilder::new();
+    let c = pb.class("C");
+    let f = pb.field(c, "f", Ty::Ref(c));
+    let m = pb.method("npe", vec![], None, 0, |mb| {
+        mb.const_null().const_null().putfield(f).return_();
+    });
+    let p = pb.finish();
+    let res = analyze_method(&p, p.method(m), &AnalysisConfig::full());
+    // The site never executes a store (traps first); counting it elided
+    // is sound. Either judgment is acceptable, but it must not crash:
+    assert!(res.barrier_sites == 1);
+}
+
+/// Arrays of different lengths reaching one arraylength: result is ⊤
+/// and downstream elision fails.
+#[test]
+fn mixed_lengths_kill_length_knowledge() {
+    let mut pb = ProgramBuilder::new();
+    let c = pb.class("C");
+    let m = pb.method("mixedlen", vec![Ty::Int], None, 2, |mb| {
+        let cnd = mb.local(0);
+        let arr = mb.local(1);
+        let i = mb.local(2);
+        let a = mb.new_block();
+        let b = mb.new_block();
+        let j = mb.new_block();
+        mb.load(cnd).if_zero(CmpOp::Eq, a, b);
+        mb.switch_to(a).iconst(4).new_ref_array(c).store(arr).goto_(j);
+        mb.switch_to(b).iconst(8).new_ref_array(c).store(arr).goto_(j);
+        mb.switch_to(j);
+        // length is merged; a store at length-1 cannot be proven inside
+        // either null range (the ranges themselves merged).
+        mb.load(arr).arraylength().iconst(1).sub().store(i);
+        mb.load(arr).load(i).const_null().aastore();
+        mb.return_();
+    });
+    let p = pb.finish();
+    p.validate().unwrap();
+    let res = analyze_method(&p, p.method(m), &AnalysisConfig::full());
+    // Receiver is {site-a/A retired?.. both sites} — distinct sites with
+    // distinct ranges; membership must hold for BOTH, which fails since
+    // each range's bound ties to its own length. Conservative: no
+    // elision.
+    assert!(res.elided.is_empty(), "{res:?}");
+}
+
+/// DupX1 and Swap flow reference values correctly through the analysis.
+#[test]
+fn stack_shuffles_preserve_ref_tracking() {
+    let mut pb = ProgramBuilder::new();
+    let c = pb.class("C");
+    let f = pb.field(c, "f", Ty::Ref(c));
+    let m = pb.method("shuffle", vec![Ty::Ref(c)], None, 1, |mb| {
+        let v = mb.local(0);
+        let o = mb.local(1);
+        mb.new_object(c).store(o);
+        // Push (v, o), swap → (o, v), putfield o.f = v: initializing.
+        mb.load(v).load(o).swap().putfield(f);
+        mb.return_();
+    });
+    let p = pb.finish();
+    p.validate().unwrap();
+    let res = analyze_method(&p, p.method(m), &AnalysisConfig::full());
+    assert_eq!(res.elided.len(), 1, "{res:?}");
+}

@@ -1,0 +1,75 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! two-refs-per-site, flow-sensitive escape, and stride inference.
+//! Each variant is run over the whole suite; the interesting output is
+//! both the time and (printed once) the elision counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wbe_analysis::AnalysisConfig;
+use wbe_opt::{compile, OptMode, PipelineConfig};
+use wbe_workloads::standard_suite;
+
+fn variants() -> Vec<(&'static str, AnalysisConfig)> {
+    vec![
+        ("full", AnalysisConfig::full()),
+        (
+            "single_ref_per_site",
+            AnalysisConfig {
+                two_refs_per_site: false,
+                ..AnalysisConfig::full()
+            },
+        ),
+        (
+            "classic_escape",
+            AnalysisConfig {
+                flow_sensitive_escape: false,
+                ..AnalysisConfig::full()
+            },
+        ),
+        (
+            "no_stride_inference",
+            AnalysisConfig {
+                stride_inference: false,
+                ..AnalysisConfig::full()
+            },
+        ),
+        ("field_only", AnalysisConfig::field_only()),
+    ]
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let suite = standard_suite();
+    // Print the elision counts once so the ablation's *effect* is
+    // visible alongside its cost.
+    for (name, cfg) in variants() {
+        let total: usize = suite
+            .iter()
+            .map(|w| {
+                let pc = PipelineConfig {
+                    analysis_override: Some(cfg),
+                    ..PipelineConfig::new(OptMode::Full, 100)
+                };
+                compile(&w.program, &pc).elided_sites().len()
+            })
+            .sum();
+        eprintln!("ablation {name}: {total} elided sites across the suite");
+    }
+    let mut group = c.benchmark_group("analysis_ablations");
+    group.sample_size(10);
+    for (name, cfg) in variants() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| {
+                for w in &suite {
+                    let pc = PipelineConfig {
+                        analysis_override: Some(*cfg),
+                        ..PipelineConfig::new(OptMode::Full, 100)
+                    };
+                    std::hint::black_box(compile(&w.program, &pc).elided_sites().len());
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

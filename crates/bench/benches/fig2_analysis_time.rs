@@ -1,0 +1,34 @@
+//! Benchmarks Figure 2's compile-time axis: inlining + analysis cost at
+//! each inline limit and mode, across the whole suite.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wbe_opt::{compile, OptMode, PipelineConfig};
+use wbe_workloads::standard_suite;
+
+fn bench_fig2(c: &mut Criterion) {
+    let suite = standard_suite();
+    let mut group = c.benchmark_group("fig2_compile_time");
+    group.sample_size(10);
+    for limit in [0usize, 25, 50, 100, 200] {
+        for mode in OptMode::ALL {
+            let id = format!("limit{limit}_{}", mode.label());
+            group.bench_with_input(
+                BenchmarkId::from_parameter(id),
+                &(limit, mode),
+                |b, &(limit, mode)| {
+                    b.iter(|| {
+                        for w in &suite {
+                            let compiled =
+                                compile(&w.program, &PipelineConfig::new(mode, limit));
+                            std::hint::black_box(compiled.elided_sites().len());
+                        }
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Benchmarks the GC pause experiment: SATB vs incremental-update
+//! remark work under identical mutator activity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wbe_heap::gc::MarkStyle;
+use wbe_interp::{BarrierMode, GcPolicy};
+use wbe_opt::OptMode;
+use wbe_workloads::by_name;
+
+fn bench_pause(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gc_pause");
+    group.sample_size(10);
+    let policy = GcPolicy {
+        alloc_trigger: 200,
+        step_interval: 32,
+        step_budget: 4,
+    };
+    for (label, style) in [
+        ("satb", MarkStyle::Satb),
+        ("incremental_update", MarkStyle::IncrementalUpdate),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &style, |b, &style| {
+            b.iter(|| {
+                let w = by_name("jess").unwrap();
+                wbe_harness::runner::run_workload(
+                    &w,
+                    OptMode::Baseline,
+                    100,
+                    600,
+                    BarrierMode::Checked,
+                    style,
+                    Some(policy),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pause);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Benchmarks the full Table 1 pipeline (compile + analyze + run) per
+//! workload, at a reduced scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wbe_heap::gc::MarkStyle;
+use wbe_interp::BarrierMode;
+use wbe_opt::OptMode;
+use wbe_workloads::standard_suite;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_pipeline");
+    group.sample_size(10);
+    for w in standard_suite() {
+        let iters = (w.default_iters / 20).max(16);
+        group.bench_with_input(BenchmarkId::from_parameter(w.name), &w, |b, w| {
+            b.iter(|| {
+                wbe_harness::runner::run_workload(
+                    w,
+                    OptMode::Full,
+                    100,
+                    iters,
+                    BarrierMode::Checked,
+                    MarkStyle::Satb,
+                    None,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

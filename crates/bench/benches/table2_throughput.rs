@@ -1,0 +1,44 @@
+//! Benchmarks Table 2's throughput comparison: jbb under no-barrier,
+//! always-log, and always-log-elim. Criterion measures wall time; the
+//! modeled-cycle ratios come from the `experiments` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wbe_heap::gc::MarkStyle;
+use wbe_interp::BarrierMode;
+use wbe_opt::OptMode;
+use wbe_workloads::by_name;
+
+fn bench_table2(c: &mut Criterion) {
+    let w = by_name("jbb").unwrap();
+    let iters = 400;
+    let mut group = c.benchmark_group("table2_jbb");
+    group.sample_size(10);
+    let configs: [(&str, BarrierMode, OptMode); 3] = [
+        ("no_barrier", BarrierMode::None, OptMode::Baseline),
+        ("always_log", BarrierMode::AlwaysLog, OptMode::Baseline),
+        ("always_log_elim", BarrierMode::AlwaysLog, OptMode::Full),
+    ];
+    for (label, mode, opt) in configs {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &(mode, opt),
+            |b, &(mode, opt)| {
+                b.iter(|| {
+                    wbe_harness::runner::run_workload(
+                        &w,
+                        opt,
+                        100,
+                        iters,
+                        mode,
+                        MarkStyle::Satb,
+                        None,
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Criterion benchmarks regenerating the paper's tables/figures under
+//! the bench harness, plus ablation benches for the design choices
+//! DESIGN.md calls out. The headline experiment *numbers* come from the
+//! `experiments` binary in `wbe-harness`; these benches measure the
+//! *costs* (analysis time, interpretation throughput, pause work).

@@ -1,0 +1,200 @@
+//! `wbe-tool` — command-line front end for `.wbe` IR files.
+//!
+//! ```text
+//! wbe_tool verify  <file.wbe>                      validate + type-check
+//! wbe_tool dump    <file.wbe|workload>             pretty-print the IR
+//! wbe_tool analyze <file.wbe|workload> [--mode A|F] [--inline N] [--nos]
+//! wbe_tool run     <file.wbe|workload> <method> [int args...] [--elide] [--fuel N]
+//! wbe_tool export  <workload>                      print a workload as .wbe text
+//! ```
+//!
+//! Wherever a file is expected, a built-in workload name (jess, db,
+//! javac, mtrt, jack, jbb) is also accepted.
+
+use std::process::exit;
+
+use wbe_analysis::nullsame;
+use wbe_interp::{BarrierConfig, BarrierMode, ElidedBarriers, ElisionKind, Interp, Value};
+use wbe_ir::display::{method_display, program_display};
+use wbe_ir::{parse_program, Program};
+use wbe_opt::{compile, OptMode, PipelineConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: wbe_tool <verify|dump|analyze|run|export> <file.wbe|workload> [options]\n\
+         analyze: [--mode A|F] [--inline N] [--nos]\n\
+         run:     <method> [int args...] [--elide] [--fuel N]"
+    );
+    exit(2)
+}
+
+fn load(source: &str) -> Program {
+    if let Some(w) = wbe_workloads::by_name(source) {
+        return w.program;
+    }
+    let text = std::fs::read_to_string(source).unwrap_or_else(|e| {
+        eprintln!("cannot read {source}: {e}");
+        exit(1)
+    });
+    parse_program(&text).unwrap_or_else(|e| {
+        eprintln!("{source}: {e}");
+        exit(1)
+    })
+}
+
+fn check(program: &Program, source: &str) {
+    if let Err(e) = program.validate() {
+        eprintln!("{source}: validation failed: {e}");
+        exit(1);
+    }
+    if let Err(e) = wbe_ir::type_check_program(program) {
+        eprintln!("{source}: type check failed: {e}");
+        exit(1);
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, source) = match (args.first(), args.get(1)) {
+        (Some(c), Some(s)) => (c.as_str(), s.as_str()),
+        _ => usage(),
+    };
+    let rest = &args[2..];
+    let program = load(source);
+
+    match cmd {
+        "verify" => {
+            check(&program, source);
+            println!(
+                "{source}: OK ({} classes, {} methods, {} instructions)",
+                program.classes.len(),
+                program.methods.len(),
+                program.total_size()
+            );
+        }
+        "dump" | "export" => {
+            check(&program, source);
+            print!("{}", program_display(&program));
+        }
+        "analyze" => {
+            check(&program, source);
+            let mut mode = OptMode::Full;
+            let mut inline = 100usize;
+            let mut nos = false;
+            let mut dump = false;
+            let mut it = rest.iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--mode" => match it.next().map(String::as_str) {
+                        Some("A") => mode = OptMode::Full,
+                        Some("F") => mode = OptMode::FieldOnly,
+                        Some("B") => mode = OptMode::Baseline,
+                        _ => usage(),
+                    },
+                    "--inline" => {
+                        inline = it.next().and_then(|n| n.parse().ok()).unwrap_or_else(|| usage())
+                    }
+                    "--nos" => nos = true,
+                    "--dump" => dump = true,
+                    _ => usage(),
+                }
+            }
+            let mut cfg = PipelineConfig::new(mode, inline);
+            cfg.null_or_same = nos;
+            let compiled = compile(&program, &cfg);
+            println!(
+                "inlined {} calls; analysis time {:?}",
+                compiled.inline_stats.inlined_calls,
+                compiled.analysis_time()
+            );
+            let mut total = 0usize;
+            for (mid, m) in compiled.program.iter_methods() {
+                let elided = compiled.elided_of(mid);
+                let nos_sites = compiled
+                    .null_or_same
+                    .get(&mid)
+                    .cloned()
+                    .unwrap_or_default();
+                if elided.is_empty() && nos_sites.is_empty() {
+                    continue;
+                }
+                println!("method {} ({}):", mid, m.name);
+                for a in &elided {
+                    println!("  {a}: pre-null — barrier removed");
+                    total += 1;
+                }
+                for a in nos_sites.difference(&elided) {
+                    println!("  {a}: null-or-same — barrier removed");
+                    total += 1;
+                }
+            }
+            println!("{total} barriers removed; code size {} bytes", compiled.code_size());
+            if dump {
+                let cfg = mode
+                    .analysis_config()
+                    .unwrap_or_else(wbe_analysis::AnalysisConfig::full);
+                for (_, m) in compiled.program.iter_methods() {
+                    print!("{}", wbe_analysis::dump::dump_method(&compiled.program, m, &cfg));
+                }
+            }
+        }
+        "run" => {
+            check(&program, source);
+            let method_name = rest.first().unwrap_or_else(|| usage());
+            let mut int_args: Vec<Value> = Vec::new();
+            let mut elide = false;
+            let mut fuel = 50_000_000u64;
+            let mut it = rest[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--elide" => elide = true,
+                    "--fuel" => {
+                        fuel = it.next().and_then(|n| n.parse().ok()).unwrap_or_else(|| usage())
+                    }
+                    n => int_args.push(Value::Int(n.parse().unwrap_or_else(|_| usage()))),
+                }
+            }
+            let Some(m) = program.method_by_name(method_name) else {
+                eprintln!("no method named '{method_name}'");
+                exit(1);
+            };
+            let mid = m.id;
+            let bc = if elide {
+                let res = wbe_analysis::analyze_program(&program, &wbe_analysis::AnalysisConfig::full());
+                let mut elided: ElidedBarriers = res.iter_elided().collect();
+                for (nm, sites) in nullsame::analyze_program(&program) {
+                    for a in sites {
+                        elided.insert_kind(nm, a, ElisionKind::NullOrSame);
+                    }
+                }
+                println!("elided {} sites", elided.len());
+                BarrierConfig::with_elision(BarrierMode::Checked, elided)
+            } else {
+                BarrierConfig::new(BarrierMode::Checked)
+            };
+            let mut interp = Interp::new(&program, bc);
+            match interp.run(mid, &int_args, fuel) {
+                Ok(v) => {
+                    println!(
+                        "result: {}",
+                        v.map(|v| v.to_string()).unwrap_or_else(|| "void".into())
+                    );
+                    println!(
+                        "insns: {}, cycles: {}, barrier cycles: {}, elided execs: {}",
+                        interp.stats.insns,
+                        interp.stats.cycles,
+                        interp.stats.barrier_cycles,
+                        interp.stats.elided_executions
+                    );
+                }
+                Err(t) => {
+                    eprintln!("trap: {t}");
+                    // Show the faulting method for context.
+                    print!("{}", method_display(&program, program.method(mid)));
+                    exit(1);
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

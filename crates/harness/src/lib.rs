@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! Experiment harness: regenerates every table and figure of the
+//! paper's evaluation section.
+//!
+//! | id | paper artifact | module |
+//! |----|----------------|--------|
+//! | T1 | Table 1 (dynamic elimination) | [`table1`] |
+//! | F2 | Figure 2 (inline limit sweep) | [`fig2`] |
+//! | F3 | Figure 3 (code size)          | [`fig3`] |
+//! | T2 | Table 2 (jbb throughput)      | [`table2`] |
+//! | P0 | §1/§4.5 pause claim           | [`pause`] |
+//! | X1 | §4.3 null-or-same extension   | [`ext`]   |
+//! | X2 | §4.3 rearrangement protocol   | [`rearrange_exp`] |
+//! | X3 | §6 framework clients          | [`clients`] |
+//! | S1 | §4.2 static counts (TR)       | [`static_counts`] |
+//! | X4 | all techniques stacked        | [`combined`] |
+//!
+//! The `experiments` binary prints any of them:
+//! `cargo run -p wbe-harness --bin experiments -- table1`.
+
+pub mod clients;
+pub mod combined;
+pub mod ext;
+pub mod fig2;
+pub mod fig3;
+pub mod pause;
+pub mod rearrange_exp;
+pub mod runner;
+pub mod static_counts;
+pub mod table1;
+pub mod table2;

@@ -1,0 +1,123 @@
+//! Pause comparison: SATB vs incremental-update remark work.
+//!
+//! Supports the paper's motivating claim (§1, §4.5): "pause times
+//! necessary to complete SATB marking are sometimes more than an order
+//! of magnitude smaller than corresponding incremental update pauses".
+//! Objects allocated during SATB marking are allocated black and never
+//! examined; the incremental-update remark must rescan every dirty
+//! object, including everything allocated and linked during the cycle.
+//!
+//! We run the allocation-heavy `jess` workload under both marker styles
+//! with the same deterministic GC policy and compare the remark pauses.
+
+use std::fmt;
+
+use wbe_heap::gc::MarkStyle;
+use wbe_interp::{BarrierMode, GcPolicy};
+use wbe_opt::OptMode;
+use wbe_workloads::by_name;
+
+use crate::runner::run_workload;
+
+/// Pause statistics for one marker style.
+#[derive(Clone, Debug)]
+pub struct PauseRow {
+    /// Style label.
+    pub style: &'static str,
+    /// Completed GC cycles.
+    pub cycles: u64,
+    /// Mean remark pause (work units).
+    pub mean_pause: f64,
+    /// Max remark pause (work units).
+    pub max_pause: usize,
+}
+
+/// The experiment result.
+#[derive(Clone, Debug)]
+pub struct PauseReport {
+    /// SATB then incremental update.
+    pub rows: Vec<PauseRow>,
+}
+
+impl PauseReport {
+    /// Ratio of incremental-update to SATB mean pause.
+    pub fn ratio(&self) -> f64 {
+        let satb = self.rows[0].mean_pause.max(1e-9);
+        self.rows[1].mean_pause / satb
+    }
+}
+
+/// Runs the experiment; `scale` shrinks the workload.
+pub fn run(scale: f64) -> PauseReport {
+    let policy = GcPolicy {
+        alloc_trigger: 400,
+        step_interval: 32,
+        step_budget: 4,
+    };
+    let mut rows = Vec::new();
+    for (label, style) in [
+        ("satb", MarkStyle::Satb),
+        ("incremental-update", MarkStyle::IncrementalUpdate),
+    ] {
+        let w = by_name("jess").expect("jess exists");
+        let iters = ((w.default_iters as f64 * scale) as i64).max(512);
+        let r = run_workload(
+            &w,
+            OptMode::Baseline,
+            100,
+            iters,
+            BarrierMode::Checked,
+            style,
+            Some(policy),
+        );
+        let pauses = &r.stats.pauses;
+        let total: usize = pauses.iter().map(|p| p.work_units()).sum();
+        let max = pauses.iter().map(|p| p.work_units()).max().unwrap_or(0);
+        rows.push(PauseRow {
+            style: label,
+            cycles: r.stats.gc_cycles,
+            mean_pause: if pauses.is_empty() {
+                0.0
+            } else {
+                total as f64 / pauses.len() as f64
+            },
+            max_pause: max,
+        });
+    }
+    PauseReport { rows }
+}
+
+impl fmt::Display for PauseReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<20} {:>7} {:>12} {:>11}",
+            "marker style", "cycles", "mean pause", "max pause"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<20} {:>7} {:>12.1} {:>11}",
+                r.style, r.cycles, r.mean_pause, r.max_pause
+            )?;
+        }
+        writeln!(f, "incremental/satb mean-pause ratio: {:.1}x", self.ratio())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn satb_pauses_are_an_order_of_magnitude_smaller() {
+        let report = run(0.5);
+        assert!(report.rows[0].cycles > 0, "SATB cycles completed");
+        assert!(report.rows[1].cycles > 0, "IU cycles completed");
+        assert!(
+            report.ratio() >= 10.0,
+            "expected ≥10x pause gap, got {:.1}x ({report})",
+            report.ratio()
+        );
+    }
+}

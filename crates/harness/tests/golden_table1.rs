@@ -1,0 +1,20 @@
+//! Golden regression: Table 1 at a fixed scale is fully deterministic
+//! (no wall-clock columns), so we pin the exact rendered output. If a
+//! workload or analysis change shifts these numbers intentionally,
+//! update the golden text and re-check the shape against the paper.
+
+#[test]
+fn table1_output_is_pinned() {
+    let t = wbe_harness::table1::run(0.1);
+    let rendered = t.to_string();
+    let golden = "\
+benchmark Total x10^3  % elim  % Pot.pre0 Field/Array  Fld%el  Arr%el
+jess             0.8    50.0        75.0       50/50   100.0     0.0
+db               3.1    11.9        34.7       12/88   100.0     0.0
+javac            2.1    31.1        37.9       88/12    33.4    15.0
+mtrt             0.3    60.0       100.0       40/60    75.0    50.0
+jack             1.1    37.5        50.0       75/25    50.0     0.0
+jbb             30.3    25.4        50.8       66/34    38.3     0.0
+";
+    assert_eq!(rendered, golden, "\nrendered:\n{rendered}");
+}

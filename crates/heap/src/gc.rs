@@ -1,0 +1,580 @@
+//! Concurrent marking: SATB and incremental-update styles.
+//!
+//! Both markers run *stepped*: the driver (interpreter or test)
+//! interleaves mutator work with [`GcState::mark_step`] calls, then ends
+//! the cycle with a stop-the-world [`GcState::remark`] whose measured
+//! work is the "pause". This reproduces the paper's framing:
+//!
+//! * **SATB** (snapshot at the beginning, Yuasa-style): the collector
+//!   marks everything reachable in the logical snapshot taken at
+//!   [`GcState::begin_marking`]. The mutator's barrier logs overwritten
+//!   non-null references ([`GcState::satb_log`]); objects allocated
+//!   during marking are allocated black (implicitly marked), so the
+//!   remark pause only drains the residual log.
+//! * **Incremental update** (mostly-parallel, Boehm–Demers–Shenker
+//!   style): the mutator's barrier dirties modified objects
+//!   ([`GcState::dirty`]); the remark pause must rescan every dirty
+//!   object — including all objects allocated and initialized during
+//!   marking — which is why its pauses are often an order of magnitude
+//!   longer (§1, §4.5 of the paper).
+
+use std::collections::BTreeSet;
+
+use crate::heap::Store;
+use crate::object::{ObjKind, TraceState};
+use crate::value::GcRef;
+
+/// Which concurrent marking style the collector uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MarkStyle {
+    /// Snapshot-at-the-beginning with a pre-write logging barrier.
+    Satb,
+    /// Incremental update with a dirty-object (card-marking) barrier.
+    IncrementalUpdate,
+}
+
+/// Collector phase.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Phase {
+    /// No cycle in progress; barriers may be skipped.
+    #[default]
+    Idle,
+    /// Concurrent marking in progress; barriers are required.
+    Marking,
+}
+
+/// Work performed during the stop-the-world remark — the "pause" the
+/// experiments measure.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PauseReport {
+    /// Objects scanned during the pause.
+    pub objects_scanned: usize,
+    /// Reference slots traced during the pause.
+    pub refs_traced: usize,
+    /// SATB log entries drained during the pause.
+    pub log_drained: usize,
+    /// Dirty objects rescanned during the pause (incremental update).
+    pub dirty_rescanned: usize,
+    /// Arrays retraced via the §4.3 retrace list.
+    pub retraced: usize,
+    /// Roots examined during the pause (both styles pay this).
+    pub roots_examined: usize,
+}
+
+impl PauseReport {
+    /// Total pause work in abstract units (one per object scan, ref
+    /// trace, log drain, and rescan).
+    pub fn work_units(&self) -> usize {
+        self.objects_scanned
+            + self.refs_traced
+            + self.log_drained
+            + self.dirty_rescanned
+            + self.roots_examined
+    }
+}
+
+/// Cumulative collector statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GcStats {
+    /// Completed marking cycles.
+    pub cycles: u64,
+    /// SATB log entries recorded by the mutator barrier.
+    pub satb_logs: u64,
+    /// Objects dirtied by the incremental-update barrier.
+    pub dirty_marks: u64,
+    /// Objects scanned concurrently (outside pauses).
+    pub concurrent_scans: u64,
+    /// Objects allocated black (during SATB marking).
+    pub allocated_black: u64,
+    /// Objects freed by sweeps.
+    pub swept: u64,
+}
+
+/// Collector state: mark bits, grey stack, mutator-barrier buffers.
+#[derive(Debug)]
+pub struct GcState {
+    style: MarkStyle,
+    phase: Phase,
+    mark: Vec<bool>,
+    grey: Vec<GcRef>,
+    satb_buf: Vec<GcRef>,
+    dirty: BTreeSet<GcRef>,
+    retrace: BTreeSet<GcRef>,
+    /// Cumulative statistics.
+    pub stats: GcStats,
+}
+
+impl GcState {
+    /// Creates an idle collector of the given style.
+    pub fn new(style: MarkStyle) -> Self {
+        GcState {
+            style,
+            phase: Phase::Idle,
+            mark: Vec::new(),
+            grey: Vec::new(),
+            satb_buf: Vec::new(),
+            dirty: BTreeSet::new(),
+            retrace: BTreeSet::new(),
+            stats: GcStats::default(),
+        }
+    }
+
+    /// The marker style.
+    pub fn style(&self) -> MarkStyle {
+        self.style
+    }
+
+    /// The current phase.
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// True while a marking cycle is in progress — the condition the
+    /// paper's "inline" barrier checks first.
+    pub fn is_marking(&self) -> bool {
+        self.phase == Phase::Marking
+    }
+
+    /// True if `r` is marked in the current/most recent cycle.
+    pub fn is_marked(&self, r: GcRef) -> bool {
+        self.mark.get(r.index()).copied().unwrap_or(false)
+    }
+
+    fn ensure_mark_capacity(&mut self, r: GcRef) {
+        if self.mark.len() <= r.index() {
+            self.mark.resize(r.index() + 1, false);
+        }
+    }
+
+    /// Allocator hook. During SATB marking, new objects are allocated
+    /// black (implicitly marked): they are not part of the snapshot and
+    /// the marker never examines them — the key SATB advantage.
+    pub fn on_allocate(&mut self, r: GcRef) {
+        self.ensure_mark_capacity(r);
+        match (self.phase, self.style) {
+            (Phase::Marking, MarkStyle::Satb) => {
+                self.mark[r.index()] = true;
+                self.stats.allocated_black += 1;
+            }
+            _ => {
+                // Slot reuse must not inherit a stale mark bit.
+                self.mark[r.index()] = false;
+            }
+        }
+    }
+
+    /// SATB mutator barrier payload: log the overwritten (pre-write)
+    /// value. The caller has already checked that the value is non-null;
+    /// whether to check `is_marking` first is the interpreter's barrier
+    /// mode (the paper's "always log" mode skips the check).
+    pub fn satb_log(&mut self, old: GcRef) {
+        self.stats.satb_logs += 1;
+        if self.phase == Phase::Marking {
+            self.satb_buf.push(old);
+        }
+        // When idle the log is dropped: its cost was still paid by the
+        // mutator, which is exactly the always-log experiment's point.
+    }
+
+    /// Incremental-update mutator barrier payload: record that `obj` was
+    /// modified so the collector re-examines it.
+    pub fn dirty(&mut self, obj: GcRef) {
+        self.stats.dirty_marks += 1;
+        if self.phase == Phase::Marking {
+            self.dirty.insert(obj);
+        }
+    }
+
+    /// §4.3 protocol: current tracing state of the array at `r`.
+    pub fn trace_state(&self, store: &Store, r: GcRef) -> TraceState {
+        store.get(r).map(|o| o.trace_state).unwrap_or_default()
+    }
+
+    /// §4.3 protocol: the mutator detected possible interference with the
+    /// marker while rearranging an array; schedule the whole array for
+    /// retracing during the pause.
+    pub fn push_retrace(&mut self, arr: GcRef) {
+        if self.phase == Phase::Marking {
+            self.retrace.insert(arr);
+        }
+    }
+
+    /// Begins a marking cycle from `roots` (plus whatever the caller
+    /// includes — typically mutator stacks and statics). Clears all mark
+    /// state from the previous cycle.
+    pub fn begin_marking(&mut self, store: &mut Store, roots: &[GcRef]) {
+        assert_eq!(self.phase, Phase::Idle, "marking already in progress");
+        self.phase = Phase::Marking;
+        self.mark.clear();
+        self.mark.resize(store.capacity(), false);
+        self.grey.clear();
+        self.satb_buf.clear();
+        self.dirty.clear();
+        self.retrace.clear();
+        // trace_state is per-cycle; reset it on every live object.
+        for slot in 0..store.capacity() {
+            let r = GcRef(slot as u32);
+            if store.is_live(r) {
+                if let Ok(o) = store.get_mut(r) {
+                    o.trace_state = TraceState::Untraced;
+                }
+            }
+        }
+        for &r in roots {
+            self.shade(r);
+        }
+    }
+
+    /// Marks `r` grey if it is live and unmarked.
+    fn shade(&mut self, r: GcRef) {
+        self.ensure_mark_capacity(r);
+        if !self.mark[r.index()] {
+            self.mark[r.index()] = true;
+            self.grey.push(r);
+        }
+    }
+
+    /// Scans one object: traces its outgoing references, shading each.
+    /// Returns the number of references traced.
+    fn scan(&mut self, store: &mut Store, r: GcRef) -> usize {
+        let Ok(obj) = store.get_mut(r) else {
+            return 0;
+        };
+        let is_array = matches!(obj.kind, ObjKind::RefArray(_));
+        if is_array {
+            obj.trace_state = TraceState::Tracing;
+        }
+        let outgoing: Vec<GcRef> = obj.outgoing_refs().collect();
+        if is_array {
+            // Re-borrow to flip the state after collecting the refs; the
+            // mutator in stepped mode cannot interleave inside scan, but
+            // the threaded mode observes Tracing between the two writes.
+            if let Ok(obj) = store.get_mut(r) {
+                obj.trace_state = TraceState::Traced;
+            }
+        }
+        let n = outgoing.len();
+        for child in outgoing {
+            self.shade(child);
+        }
+        n
+    }
+
+    /// Performs up to `budget` units of concurrent marking work (one unit
+    /// ≈ one log entry drained or one object scanned). Returns the units
+    /// actually performed; `0` means the collector has no pending work
+    /// (though the mutator may still generate more via barriers).
+    pub fn mark_step(&mut self, store: &mut Store, budget: usize) -> usize {
+        assert_eq!(self.phase, Phase::Marking, "mark_step while idle");
+        let mut done = 0;
+        while done < budget {
+            if let Some(old) = self.satb_buf.pop() {
+                self.shade(old);
+                done += 1;
+                continue;
+            }
+            // (Incremental update defers dirty objects entirely to the
+            // stop-the-world remark, in the mostly-parallel style: that
+            // deferred rescan IS the pause the experiments measure.)
+            if let Some(r) = self.grey.pop() {
+                self.scan(store, r);
+                self.stats.concurrent_scans += 1;
+                done += 1;
+                continue;
+            }
+            break;
+        }
+        done
+    }
+
+    /// Finishes the cycle with the mutator stopped, measuring the pause.
+    ///
+    /// For SATB this drains the residual log and grey stack (new roots
+    /// need no rescan: every reference a mutator holds is either
+    /// snapshot-reachable — and will be marked via the log — or was
+    /// allocated black). For incremental update it must rescan every
+    /// dirty object and trace everything that became reachable during
+    /// marking, including all objects allocated during the cycle.
+    pub fn remark(&mut self, store: &mut Store, roots: &[GcRef]) -> PauseReport {
+        assert_eq!(self.phase, Phase::Marking, "remark while idle");
+        let mut pause = PauseReport::default();
+        for &r in roots {
+            pause.roots_examined += 1;
+            self.shade(r);
+        }
+        // §4.3: arrays whose rearrangement raced with tracing are traced
+        // again, conservatively, with the world stopped.
+        let retrace: Vec<GcRef> = std::mem::take(&mut self.retrace).into_iter().collect();
+        for arr in retrace {
+            if self.is_marked(arr) {
+                pause.retraced += 1;
+                pause.objects_scanned += 1;
+                pause.refs_traced += self.scan(store, arr);
+            }
+        }
+        match self.style {
+            MarkStyle::Satb => {
+                while let Some(old) = self.satb_buf.pop() {
+                    pause.log_drained += 1;
+                    self.shade(old);
+                }
+                while let Some(r) = self.grey.pop() {
+                    pause.objects_scanned += 1;
+                    pause.refs_traced += self.scan(store, r);
+                }
+            }
+            MarkStyle::IncrementalUpdate => {
+                // Rescan marked dirty objects; then trace to completion.
+                // Unmarked dirty objects are scanned if tracing reaches
+                // them (their scan is then a fresh, correct scan).
+                let dirty: Vec<GcRef> = std::mem::take(&mut self.dirty).into_iter().collect();
+                for d in dirty {
+                    if self.is_marked(d) {
+                        pause.dirty_rescanned += 1;
+                        pause.objects_scanned += 1;
+                        pause.refs_traced += self.scan(store, d);
+                    }
+                }
+                while let Some(r) = self.grey.pop() {
+                    pause.objects_scanned += 1;
+                    pause.refs_traced += self.scan(store, r);
+                }
+            }
+        }
+        self.phase = Phase::Idle;
+        self.stats.cycles += 1;
+        pause
+    }
+
+    /// Frees every live object left unmarked by the completed cycle.
+    /// Returns the number freed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called while marking is in progress.
+    pub fn sweep(&mut self, store: &mut Store) -> usize {
+        assert_eq!(self.phase, Phase::Idle, "sweep during marking");
+        let mut freed = 0;
+        for slot in 0..store.capacity() {
+            let r = GcRef(slot as u32);
+            if store.is_live(r) && !self.is_marked(r) {
+                store.remove(r);
+                freed += 1;
+            }
+        }
+        self.stats.swept += freed as u64;
+        freed
+    }
+
+    /// Pending SATB log length (diagnostics).
+    pub fn satb_backlog(&self) -> usize {
+        self.satb_buf.len()
+    }
+
+    /// Pending dirty-object count (diagnostics).
+    pub fn dirty_backlog(&self) -> usize {
+        self.dirty.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heap::Heap;
+    use crate::value::{FieldShape, Value};
+
+    fn obj(h: &mut Heap) -> GcRef {
+        h.alloc_object(0, &[FieldShape::Ref, FieldShape::Ref]).unwrap()
+    }
+
+    /// Build `a -> b -> c`, start marking, then unlink b from a and
+    /// relink nothing: SATB must still mark b and c (snapshot), provided
+    /// the barrier logged the overwritten value.
+    #[test]
+    fn satb_preserves_snapshot_under_unlink() {
+        let mut h = Heap::new(MarkStyle::Satb);
+        let a = obj(&mut h);
+        let b = obj(&mut h);
+        let c = obj(&mut h);
+        h.set_field(a, 0, Value::from(b)).unwrap();
+        h.set_field(b, 0, Value::from(c)).unwrap();
+        h.gc.begin_marking(&mut h.store, &[a]);
+        // Mutator: a.f0 = null, with the SATB barrier logging old value b.
+        let old = h.get_field(a, 0).unwrap();
+        if let Value::Ref(Some(o)) = old {
+            h.gc.satb_log(o);
+        }
+        h.set_field(a, 0, Value::NULL).unwrap();
+        let pause = h.gc.remark(&mut h.store, &[a]);
+        assert!(h.gc.is_marked(b), "snapshot object b must be marked");
+        assert!(h.gc.is_marked(c), "snapshot object c must be marked");
+        assert!(pause.log_drained >= 1);
+    }
+
+    /// Without the barrier, unlinking during marking loses the subgraph —
+    /// demonstrating why elision must be restricted to pre-null stores.
+    #[test]
+    fn satb_without_barrier_loses_objects() {
+        let mut h = Heap::new(MarkStyle::Satb);
+        let a = obj(&mut h);
+        let b = obj(&mut h);
+        h.set_field(a, 0, Value::from(b)).unwrap();
+        h.gc.begin_marking(&mut h.store, &[a]);
+        h.set_field(a, 0, Value::NULL).unwrap(); // no barrier!
+        h.gc.remark(&mut h.store, &[a]);
+        assert!(!h.gc.is_marked(b));
+        assert_eq!(h.sweep(), 1);
+        assert!(!h.store.is_live(b));
+    }
+
+    /// Eliding the barrier on a pre-null (initializing) store is safe:
+    /// the overwritten value is null, so there is nothing to log.
+    #[test]
+    fn elided_barrier_on_pre_null_store_is_safe() {
+        let mut h = Heap::new(MarkStyle::Satb);
+        let a = obj(&mut h);
+        h.gc.begin_marking(&mut h.store, &[a]);
+        let b = obj(&mut h); // allocated black
+        // a.f1 is null; store without barrier.
+        assert!(h.get_field(a, 1).unwrap().is_null());
+        h.set_field(a, 1, Value::from(b)).unwrap();
+        h.gc.remark(&mut h.store, &[a]);
+        assert!(h.gc.is_marked(b), "allocated-black object survives");
+        assert_eq!(h.sweep(), 0);
+    }
+
+    #[test]
+    fn satb_allocates_black_during_marking() {
+        let mut h = Heap::new(MarkStyle::Satb);
+        let a = obj(&mut h);
+        h.gc.begin_marking(&mut h.store, &[a]);
+        let n = obj(&mut h);
+        assert!(h.gc.is_marked(n));
+        assert_eq!(h.gc.stats.allocated_black, 1);
+        // And the remark never scans it (not part of the snapshot).
+        let pause = h.gc.remark(&mut h.store, &[a]);
+        assert_eq!(pause.objects_scanned, 1, "only the root a is scanned");
+    }
+
+    #[test]
+    fn incremental_update_rescans_dirty_and_new_objects() {
+        let mut h = Heap::new(MarkStyle::IncrementalUpdate);
+        let a = obj(&mut h);
+        h.gc.begin_marking(&mut h.store, &[a]);
+        // Drain concurrent work so `a` is scanned.
+        while h.gc.mark_step(&mut h.store, 8) > 0 {}
+        // Mutator allocates n and links it into a (dirtying a).
+        let n = obj(&mut h);
+        assert!(!h.gc.is_marked(n), "IU does not allocate black");
+        h.set_field(a, 0, Value::from(n)).unwrap();
+        h.gc.dirty(a);
+        let pause = h.gc.remark(&mut h.store, &[a]);
+        assert!(h.gc.is_marked(n));
+        assert!(pause.dirty_rescanned >= 1);
+        assert!(pause.objects_scanned >= 2, "rescans a and scans n");
+    }
+
+    #[test]
+    fn satb_pause_is_smaller_than_incremental_under_allocation() {
+        // Allocate and link many objects during marking; the SATB pause
+        // stays O(log residue) while IU rescans everything new.
+        let run = |style: MarkStyle| -> usize {
+            let mut h = Heap::new(style);
+            let root = obj(&mut h);
+            h.gc.begin_marking(&mut h.store, &[root]);
+            while h.gc.mark_step(&mut h.store, 4) > 0 {}
+            let mut prev = root;
+            for _ in 0..200 {
+                let n = obj(&mut h);
+                // prev.f0 = n, with the style's barrier.
+                let old = h.get_field(prev, 0).unwrap();
+                match style {
+                    MarkStyle::Satb => {
+                        if let Value::Ref(Some(o)) = old {
+                            h.gc.satb_log(o);
+                        }
+                    }
+                    MarkStyle::IncrementalUpdate => h.gc.dirty(prev),
+                }
+                h.set_field(prev, 0, Value::from(n)).unwrap();
+                prev = n;
+            }
+            h.gc.remark(&mut h.store, &[root]).work_units()
+        };
+        let satb = run(MarkStyle::Satb);
+        let iu = run(MarkStyle::IncrementalUpdate);
+        assert!(
+            satb * 10 <= iu,
+            "expected order-of-magnitude pause gap, got satb={satb} iu={iu}"
+        );
+    }
+
+    #[test]
+    fn sweep_frees_unreachable_and_preserves_reachable() {
+        let mut h = Heap::new(MarkStyle::Satb);
+        let a = obj(&mut h);
+        let b = obj(&mut h);
+        let garbage = obj(&mut h);
+        h.set_field(a, 0, Value::from(b)).unwrap();
+        h.gc.begin_marking(&mut h.store, &[a]);
+        h.gc.remark(&mut h.store, &[a]);
+        assert_eq!(h.sweep(), 1);
+        assert!(h.store.is_live(a) && h.store.is_live(b));
+        assert!(!h.store.is_live(garbage));
+        assert_eq!(h.stats.frees, 1);
+    }
+
+    #[test]
+    fn mark_step_respects_budget() {
+        let mut h = Heap::new(MarkStyle::Satb);
+        let root = obj(&mut h);
+        let mut prev = root;
+        for _ in 0..10 {
+            let n = obj(&mut h);
+            h.set_field(prev, 0, Value::from(n)).unwrap();
+            prev = n;
+        }
+        h.gc.begin_marking(&mut h.store, &[root]);
+        assert_eq!(h.gc.mark_step(&mut h.store, 3), 3);
+        let pause = h.gc.remark(&mut h.store, &[root]);
+        // 11 objects total, 3 scanned concurrently.
+        assert_eq!(pause.objects_scanned, 8);
+    }
+
+    #[test]
+    fn retrace_list_rescans_arrays_at_pause() {
+        let mut h = Heap::new(MarkStyle::Satb);
+        let arr = h.alloc_ref_array(0, 4).unwrap();
+        let x = obj(&mut h);
+        h.set_elem(arr, 0, Some(x)).unwrap();
+        h.gc.begin_marking(&mut h.store, &[arr]);
+        while h.gc.mark_step(&mut h.store, 8) > 0 {}
+        assert_eq!(h.gc.trace_state(&h.store, arr), TraceState::Traced);
+        // Mutator rearranged arr concurrently and detected interference:
+        let y = obj(&mut h);
+        h.set_elem(arr, 1, Some(y)).unwrap();
+        h.gc.push_retrace(arr);
+        let pause = h.gc.remark(&mut h.store, &[arr]);
+        assert_eq!(pause.retraced, 1);
+        assert!(h.gc.is_marked(x));
+    }
+
+    #[test]
+    fn marks_cleared_between_cycles_and_slot_reuse_safe() {
+        let mut h = Heap::new(MarkStyle::Satb);
+        let a = obj(&mut h);
+        let g = obj(&mut h);
+        h.gc.begin_marking(&mut h.store, &[a, g]);
+        h.gc.remark(&mut h.store, &[a]);
+        assert!(h.gc.is_marked(g));
+        // Second cycle: g no longer a root.
+        h.gc.begin_marking(&mut h.store, &[a]);
+        h.gc.remark(&mut h.store, &[a]);
+        assert!(!h.gc.is_marked(g));
+        assert_eq!(h.sweep(), 1);
+        // The freed slot is reused; its stale mark must not leak.
+        let n = obj(&mut h);
+        assert_eq!(n, g);
+        assert!(!h.gc.is_marked(n));
+    }
+}

@@ -1,0 +1,532 @@
+//! The heap proper: slot store, zeroing allocator, statics, accessors.
+
+use std::fmt;
+
+use crate::gc::{GcState, MarkStyle};
+use crate::object::{HeapObject, ObjKind, TraceState};
+use crate::value::{FieldShape, GcRef, Value};
+
+/// Errors from heap accessors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HeapError {
+    /// The reference does not denote a live object (freed or never
+    /// allocated).
+    DanglingRef(GcRef),
+    /// An object access used the wrong payload kind (e.g. field access on
+    /// an array).
+    WrongKind(GcRef),
+    /// Field offset out of range for the object.
+    FieldOutOfRange {
+        /// Receiver.
+        obj: GcRef,
+        /// Offset requested.
+        offset: usize,
+    },
+    /// Array index out of bounds (this is the trap the paper's §3.6
+    /// overflow argument relies on).
+    IndexOutOfBounds {
+        /// Receiver.
+        arr: GcRef,
+        /// Index requested.
+        index: i64,
+        /// Array length.
+        len: usize,
+    },
+    /// Static id out of range.
+    StaticOutOfRange(usize),
+    /// Negative array length at allocation.
+    NegativeArrayLength(i64),
+}
+
+impl fmt::Display for HeapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HeapError::DanglingRef(r) => write!(f, "dangling reference {r}"),
+            HeapError::WrongKind(r) => write!(f, "wrong object kind for access at {r}"),
+            HeapError::FieldOutOfRange { obj, offset } => {
+                write!(f, "field offset {offset} out of range on {obj}")
+            }
+            HeapError::IndexOutOfBounds { arr, index, len } => {
+                write!(f, "array index {index} out of bounds (len {len}) on {arr}")
+            }
+            HeapError::StaticOutOfRange(i) => write!(f, "static {i} out of range"),
+            HeapError::NegativeArrayLength(n) => write!(f, "negative array length {n}"),
+        }
+    }
+}
+
+impl std::error::Error for HeapError {}
+
+/// The slot store: object storage decoupled from GC state so the marker
+/// can walk objects while the mutator-facing [`Heap`] API is borrowed.
+#[derive(Debug, Default)]
+pub struct Store {
+    slots: Vec<Option<HeapObject>>,
+    free: Vec<u32>,
+}
+
+impl Store {
+    /// Number of slots ever allocated (live + free).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of live objects.
+    pub fn live_count(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// Returns the object at `r`.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::DanglingRef`] if `r` is not live.
+    pub fn get(&self, r: GcRef) -> Result<&HeapObject, HeapError> {
+        self.slots
+            .get(r.index())
+            .and_then(|s| s.as_ref())
+            .ok_or(HeapError::DanglingRef(r))
+    }
+
+    /// Returns the object at `r` mutably.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::DanglingRef`] if `r` is not live.
+    pub fn get_mut(&mut self, r: GcRef) -> Result<&mut HeapObject, HeapError> {
+        self.slots
+            .get_mut(r.index())
+            .and_then(|s| s.as_mut())
+            .ok_or(HeapError::DanglingRef(r))
+    }
+
+    /// Installs `obj` in a free slot (or a new one) and returns its ref.
+    pub fn insert(&mut self, obj: HeapObject) -> GcRef {
+        if let Some(idx) = self.free.pop() {
+            self.slots[idx as usize] = Some(obj);
+            GcRef(idx)
+        } else {
+            let idx = u32::try_from(self.slots.len()).expect("heap slot overflow");
+            self.slots.push(Some(obj));
+            GcRef(idx)
+        }
+    }
+
+    /// Frees the slot at `r`. Idempotent on already-free slots.
+    pub fn remove(&mut self, r: GcRef) {
+        if let Some(slot) = self.slots.get_mut(r.index()) {
+            if slot.take().is_some() {
+                self.free.push(r.0);
+            }
+        }
+    }
+
+    /// True if `r` denotes a live object.
+    pub fn is_live(&self, r: GcRef) -> bool {
+        self.slots.get(r.index()).is_some_and(|s| s.is_some())
+    }
+
+    /// Iterates over live `(GcRef, &HeapObject)` pairs.
+    pub fn iter_live(&self) -> impl Iterator<Item = (GcRef, &HeapObject)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|o| (GcRef(i as u32), o)))
+    }
+}
+
+/// Allocation statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HeapStats {
+    /// Objects allocated.
+    pub allocations: u64,
+    /// Total words allocated (header + slots).
+    pub words_allocated: u64,
+    /// Objects freed by sweeps.
+    pub frees: u64,
+}
+
+/// The managed heap: slot store, GC state, statics, statistics.
+///
+/// All allocation goes through the zeroing allocator: new objects have
+/// null reference fields/elements and zero integers, which is what makes
+/// initializing stores pre-null.
+#[derive(Debug)]
+pub struct Heap {
+    /// Object storage.
+    pub store: Store,
+    /// Collector state (marker style, phase, mark bits, buffers).
+    pub gc: GcState,
+    /// Static (global) variables.
+    statics: Vec<Value>,
+    /// Allocation statistics.
+    pub stats: HeapStats,
+}
+
+impl Heap {
+    /// Creates an empty heap with the given marker style.
+    pub fn new(style: MarkStyle) -> Self {
+        Heap {
+            store: Store::default(),
+            gc: GcState::new(style),
+            statics: Vec::new(),
+            stats: HeapStats::default(),
+        }
+    }
+
+    /// Declares the static variables; statics start zeroed/null.
+    pub fn register_statics(&mut self, shapes: &[FieldShape]) {
+        self.statics = shapes.iter().map(|s| s.zero_value()).collect();
+    }
+
+    /// Number of registered statics.
+    pub fn static_count(&self) -> usize {
+        self.statics.len()
+    }
+
+    /// Reads static `i`.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::StaticOutOfRange`] if `i` is unregistered.
+    pub fn get_static(&self, i: usize) -> Result<Value, HeapError> {
+        self.statics
+            .get(i)
+            .copied()
+            .ok_or(HeapError::StaticOutOfRange(i))
+    }
+
+    /// Writes static `i`.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::StaticOutOfRange`] if `i` is unregistered.
+    pub fn set_static(&mut self, i: usize, v: Value) -> Result<(), HeapError> {
+        *self
+            .statics
+            .get_mut(i)
+            .ok_or(HeapError::StaticOutOfRange(i))? = v;
+        Ok(())
+    }
+
+    /// References currently stored in statics (GC roots).
+    pub fn static_roots(&self) -> Vec<GcRef> {
+        self.statics
+            .iter()
+            .filter_map(|v| match v {
+                Value::Ref(Some(r)) => Some(*r),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn finish_alloc(&mut self, obj: HeapObject) -> GcRef {
+        let words = obj.size_words() as u64;
+        let r = self.store.insert(obj);
+        self.stats.allocations += 1;
+        self.stats.words_allocated += words;
+        self.gc.on_allocate(r);
+        r
+    }
+
+    /// Allocates an instance of a class with the given field shapes; all
+    /// fields are zeroed (ints) or null (refs).
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible in practice; returns `Result` for uniformity
+    /// with the array allocators.
+    pub fn alloc_object(
+        &mut self,
+        class_tag: u32,
+        shapes: &[FieldShape],
+    ) -> Result<GcRef, HeapError> {
+        let fields = shapes.iter().map(|s| s.zero_value()).collect();
+        Ok(self.finish_alloc(HeapObject {
+            class_tag,
+            trace_state: TraceState::Untraced,
+            kind: ObjKind::Object(fields),
+        }))
+    }
+
+    /// Allocates a reference array with all elements null.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::NegativeArrayLength`] if `len < 0`.
+    pub fn alloc_ref_array(&mut self, class_tag: u32, len: i64) -> Result<GcRef, HeapError> {
+        let n = usize::try_from(len).map_err(|_| HeapError::NegativeArrayLength(len))?;
+        Ok(self.finish_alloc(HeapObject {
+            class_tag,
+            trace_state: TraceState::Untraced,
+            kind: ObjKind::RefArray(vec![None; n]),
+        }))
+    }
+
+    /// Allocates an int array with all elements zero.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::NegativeArrayLength`] if `len < 0`.
+    pub fn alloc_int_array(&mut self, len: i64) -> Result<GcRef, HeapError> {
+        let n = usize::try_from(len).map_err(|_| HeapError::NegativeArrayLength(len))?;
+        Ok(self.finish_alloc(HeapObject {
+            class_tag: HeapObject::INT_ARRAY_TAG,
+            trace_state: TraceState::Untraced,
+            kind: ObjKind::IntArray(vec![0; n]),
+        }))
+    }
+
+    /// Reads field `offset` of object `r`.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::DanglingRef`], [`HeapError::WrongKind`], or
+    /// [`HeapError::FieldOutOfRange`].
+    pub fn get_field(&self, r: GcRef, offset: usize) -> Result<Value, HeapError> {
+        match &self.store.get(r)?.kind {
+            ObjKind::Object(fields) => fields
+                .get(offset)
+                .copied()
+                .ok_or(HeapError::FieldOutOfRange { obj: r, offset }),
+            _ => Err(HeapError::WrongKind(r)),
+        }
+    }
+
+    /// Writes field `offset` of object `r`. This is the *raw* write: the
+    /// interpreter executes (or elides) the SATB barrier before calling
+    /// it.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::DanglingRef`], [`HeapError::WrongKind`], or
+    /// [`HeapError::FieldOutOfRange`].
+    pub fn set_field(&mut self, r: GcRef, offset: usize, v: Value) -> Result<(), HeapError> {
+        match &mut self.store.get_mut(r)?.kind {
+            ObjKind::Object(fields) => {
+                let slot = fields
+                    .get_mut(offset)
+                    .ok_or(HeapError::FieldOutOfRange { obj: r, offset })?;
+                *slot = v;
+                Ok(())
+            }
+            _ => Err(HeapError::WrongKind(r)),
+        }
+    }
+
+    fn check_index(r: GcRef, index: i64, len: usize) -> Result<usize, HeapError> {
+        usize::try_from(index)
+            .ok()
+            .filter(|&i| i < len)
+            .ok_or(HeapError::IndexOutOfBounds {
+                arr: r,
+                index,
+                len,
+            })
+    }
+
+    /// Reads element `index` of reference array `r`.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::DanglingRef`], [`HeapError::WrongKind`], or
+    /// [`HeapError::IndexOutOfBounds`].
+    pub fn get_elem(&self, r: GcRef, index: i64) -> Result<Option<GcRef>, HeapError> {
+        match &self.store.get(r)?.kind {
+            ObjKind::RefArray(elems) => {
+                let i = Self::check_index(r, index, elems.len())?;
+                Ok(elems[i])
+            }
+            _ => Err(HeapError::WrongKind(r)),
+        }
+    }
+
+    /// Writes element `index` of reference array `r` (raw write; barrier
+    /// is the interpreter's job).
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::DanglingRef`], [`HeapError::WrongKind`], or
+    /// [`HeapError::IndexOutOfBounds`].
+    pub fn set_elem(&mut self, r: GcRef, index: i64, v: Option<GcRef>) -> Result<(), HeapError> {
+        match &mut self.store.get_mut(r)?.kind {
+            ObjKind::RefArray(elems) => {
+                let len = elems.len();
+                let i = Self::check_index(r, index, len)?;
+                elems[i] = v;
+                Ok(())
+            }
+            _ => Err(HeapError::WrongKind(r)),
+        }
+    }
+
+    /// Reads element `index` of int array `r`.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::DanglingRef`], [`HeapError::WrongKind`], or
+    /// [`HeapError::IndexOutOfBounds`].
+    pub fn get_int_elem(&self, r: GcRef, index: i64) -> Result<i64, HeapError> {
+        match &self.store.get(r)?.kind {
+            ObjKind::IntArray(elems) => {
+                let i = Self::check_index(r, index, elems.len())?;
+                Ok(elems[i])
+            }
+            _ => Err(HeapError::WrongKind(r)),
+        }
+    }
+
+    /// Writes element `index` of int array `r`.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::DanglingRef`], [`HeapError::WrongKind`], or
+    /// [`HeapError::IndexOutOfBounds`].
+    pub fn set_int_elem(&mut self, r: GcRef, index: i64, v: i64) -> Result<(), HeapError> {
+        match &mut self.store.get_mut(r)?.kind {
+            ObjKind::IntArray(elems) => {
+                let len = elems.len();
+                let i = Self::check_index(r, index, len)?;
+                elems[i] = v;
+                Ok(())
+            }
+            _ => Err(HeapError::WrongKind(r)),
+        }
+    }
+
+    /// Length of the array at `r`.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::DanglingRef`] or [`HeapError::WrongKind`] (objects
+    /// have no length).
+    pub fn array_len(&self, r: GcRef) -> Result<i64, HeapError> {
+        match &self.store.get(r)?.kind {
+            ObjKind::RefArray(e) => Ok(e.len() as i64),
+            ObjKind::IntArray(e) => Ok(e.len() as i64),
+            ObjKind::Object(_) => Err(HeapError::WrongKind(r)),
+        }
+    }
+
+    /// Sweeps unmarked objects after a completed marking cycle. See
+    /// [`GcState::sweep`]; this convenience method also updates
+    /// [`HeapStats::frees`].
+    pub fn sweep(&mut self) -> usize {
+        let freed = self.gc.sweep(&mut self.store);
+        self.stats.frees += freed as u64;
+        freed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn heap() -> Heap {
+        Heap::new(MarkStyle::Satb)
+    }
+
+    #[test]
+    fn alloc_object_zeroes_fields() {
+        let mut h = heap();
+        let r = h
+            .alloc_object(3, &[FieldShape::Ref, FieldShape::Int, FieldShape::Ref])
+            .unwrap();
+        assert_eq!(h.get_field(r, 0).unwrap(), Value::NULL);
+        assert_eq!(h.get_field(r, 1).unwrap(), Value::Int(0));
+        assert_eq!(h.get_field(r, 2).unwrap(), Value::NULL);
+        assert_eq!(h.store.get(r).unwrap().class_tag, 3);
+    }
+
+    #[test]
+    fn alloc_arrays_zeroed_and_bounded() {
+        let mut h = heap();
+        let a = h.alloc_ref_array(1, 4).unwrap();
+        assert_eq!(h.array_len(a).unwrap(), 4);
+        for i in 0..4 {
+            assert_eq!(h.get_elem(a, i).unwrap(), None);
+        }
+        let ia = h.alloc_int_array(2).unwrap();
+        assert_eq!(h.get_int_elem(ia, 1).unwrap(), 0);
+        assert!(matches!(
+            h.get_elem(a, 4),
+            Err(HeapError::IndexOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            h.get_elem(a, -1),
+            Err(HeapError::IndexOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn negative_length_rejected() {
+        let mut h = heap();
+        assert_eq!(
+            h.alloc_ref_array(0, -3),
+            Err(HeapError::NegativeArrayLength(-3))
+        );
+        assert_eq!(
+            h.alloc_int_array(-1),
+            Err(HeapError::NegativeArrayLength(-1))
+        );
+    }
+
+    #[test]
+    fn field_writes_round_trip() {
+        let mut h = heap();
+        let a = h.alloc_object(0, &[FieldShape::Ref]).unwrap();
+        let b = h.alloc_object(0, &[FieldShape::Ref]).unwrap();
+        h.set_field(a, 0, Value::from(b)).unwrap();
+        assert_eq!(h.get_field(a, 0).unwrap(), Value::Ref(Some(b)));
+        assert!(matches!(
+            h.set_field(a, 5, Value::Int(0)),
+            Err(HeapError::FieldOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_kind_access_rejected() {
+        let mut h = heap();
+        let o = h.alloc_object(0, &[FieldShape::Int]).unwrap();
+        let a = h.alloc_ref_array(0, 1).unwrap();
+        assert!(matches!(h.get_elem(o, 0), Err(HeapError::WrongKind(_))));
+        assert!(matches!(h.get_field(a, 0), Err(HeapError::WrongKind(_))));
+        assert!(matches!(h.array_len(o), Err(HeapError::WrongKind(_))));
+        assert!(matches!(h.get_int_elem(a, 0), Err(HeapError::WrongKind(_))));
+    }
+
+    #[test]
+    fn statics_round_trip() {
+        let mut h = heap();
+        h.register_statics(&[FieldShape::Ref, FieldShape::Int]);
+        assert_eq!(h.get_static(0).unwrap(), Value::NULL);
+        let o = h.alloc_object(0, &[]).unwrap();
+        h.set_static(0, Value::from(o)).unwrap();
+        assert_eq!(h.static_roots(), vec![o]);
+        assert!(matches!(
+            h.get_static(7),
+            Err(HeapError::StaticOutOfRange(7))
+        ));
+    }
+
+    #[test]
+    fn slot_reuse_after_remove() {
+        let mut h = heap();
+        let a = h.alloc_object(0, &[]).unwrap();
+        h.store.remove(a);
+        assert!(!h.store.is_live(a));
+        assert!(matches!(h.get_field(a, 0), Err(HeapError::DanglingRef(_))));
+        let b = h.alloc_object(1, &[]).unwrap();
+        assert_eq!(a, b, "slot is reused");
+        assert_eq!(h.store.live_count(), 1);
+    }
+
+    #[test]
+    fn stats_track_allocation_words() {
+        let mut h = heap();
+        h.alloc_object(0, &[FieldShape::Int; 3]).unwrap();
+        h.alloc_int_array(5).unwrap();
+        assert_eq!(h.stats.allocations, 2);
+        assert_eq!(h.stats.words_allocated, (2 + 3) + (2 + 5));
+    }
+}

@@ -1,0 +1,57 @@
+#![warn(missing_docs)]
+
+//! Managed heap substrate for the write-barrier-elision reproduction.
+//!
+//! The CGO 2005 paper's analyses exist to elide the mutator's
+//! snapshot-at-the-beginning (SATB) write barriers. To exercise them
+//! end-to-end we need a managed runtime; this crate provides it:
+//!
+//! * a heap of objects, reference arrays, and int arrays with a
+//!   **zeroing allocator** — the property that makes initializing writes
+//!   pre-null and therefore elidable;
+//! * an **SATB concurrent marker** ([`gc`]): the mutator logs overwritten
+//!   non-null references while marking is in progress; the collector
+//!   marks the logical snapshot of the object graph taken when marking
+//!   started;
+//! * an **incremental-update marker** in the mostly-parallel style of
+//!   Boehm–Demers–Shenker, as the comparison point: the mutator dirties
+//!   modified objects and the collector re-examines them (including all
+//!   objects allocated during marking) in its final stop-the-world
+//!   remark — the pause SATB avoids;
+//! * the **array tracing-state protocol** of the paper's §4.3
+//!   (untraced/tracing/traced header bits plus a retrace list) used by
+//!   the optimistic array-rearrangement optimization.
+//!
+//! Concurrency is *stepped* by default — the driver interleaves mutator
+//! work and `mark_step` calls deterministically — which makes every GC
+//! test reproducible. A real-thread mode lives in [`threaded`].
+//!
+//! # Example
+//!
+//! ```
+//! use wbe_heap::{Heap, Value, FieldShape};
+//! use wbe_heap::gc::MarkStyle;
+//!
+//! let mut heap = Heap::new(MarkStyle::Satb);
+//! let a = heap.alloc_object(0, &[FieldShape::Ref, FieldShape::Int])?;
+//! let b = heap.alloc_object(0, &[FieldShape::Ref, FieldShape::Int])?;
+//! // a.f0 = b (no barrier needed: marking idle and old value is null)
+//! heap.set_field(a, 0, Value::Ref(Some(b)))?;
+//! heap.gc.begin_marking(&mut heap.store, &[a]);
+//! while heap.gc.mark_step(&mut heap.store, 16) > 0 {}
+//! let pause = heap.gc.remark(&mut heap.store, &[a]);
+//! assert_eq!(pause.objects_scanned, 0); // everything traced concurrently
+//! assert!(heap.gc.is_marked(b));
+//! # Ok::<(), wbe_heap::HeapError>(())
+//! ```
+
+pub mod debug;
+pub mod gc;
+pub mod heap;
+pub mod object;
+pub mod threaded;
+pub mod value;
+
+pub use heap::{Heap, HeapError, HeapStats, Store};
+pub use object::{HeapObject, ObjKind, TraceState};
+pub use value::{FieldShape, GcRef, Value};

@@ -1,0 +1,166 @@
+//! Runtime values and heap references.
+
+use std::fmt;
+
+/// A reference to a heap object: an index into the heap's slot table.
+///
+/// `GcRef` is never null; nullable references are `Option<GcRef>`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GcRef(pub u32);
+
+impl GcRef {
+    /// Raw slot index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for GcRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+impl fmt::Display for GcRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// A runtime value: a 64-bit integer or a nullable reference.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// Integer value.
+    Int(i64),
+    /// Reference value; `None` is null.
+    Ref(Option<GcRef>),
+}
+
+impl Value {
+    /// The null reference.
+    pub const NULL: Value = Value::Ref(None);
+
+    /// Returns the integer, or `None` if this is a reference.
+    pub fn as_int(self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(i),
+            Value::Ref(_) => None,
+        }
+    }
+
+    /// Returns the (nullable) reference, or `None` if this is an integer.
+    pub fn as_ref_value(self) -> Option<Option<GcRef>> {
+        match self {
+            Value::Ref(r) => Some(r),
+            Value::Int(_) => None,
+        }
+    }
+
+    /// True if this is a reference (including null).
+    pub fn is_ref(self) -> bool {
+        matches!(self, Value::Ref(_))
+    }
+
+    /// True if this is the null reference.
+    pub fn is_null(self) -> bool {
+        matches!(self, Value::Ref(None))
+    }
+}
+
+impl Default for Value {
+    /// The default value is the integer zero (the allocator picks
+    /// [`Value::NULL`] for reference-shaped slots via [`FieldShape`]).
+    fn default() -> Self {
+        Value::Int(0)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<Option<GcRef>> for Value {
+    fn from(r: Option<GcRef>) -> Self {
+        Value::Ref(r)
+    }
+}
+
+impl From<GcRef> for Value {
+    fn from(r: GcRef) -> Self {
+        Value::Ref(Some(r))
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Ref(None) => write!(f, "null"),
+            Value::Ref(Some(r)) => write!(f, "{r}"),
+        }
+    }
+}
+
+/// Shape of one field slot, used by the zeroing allocator: reference
+/// fields start null, integer fields start zero.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FieldShape {
+    /// Integer field (zero-initialized).
+    Int,
+    /// Reference field (null-initialized).
+    Ref,
+}
+
+impl FieldShape {
+    /// The zero value for this shape.
+    pub fn zero_value(self) -> Value {
+        match self {
+            FieldShape::Int => Value::Int(0),
+            FieldShape::Ref => Value::NULL,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_detection() {
+        assert!(Value::NULL.is_null());
+        assert!(Value::NULL.is_ref());
+        assert!(!Value::Int(0).is_ref());
+        assert!(!Value::Ref(Some(GcRef(1))).is_null());
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(7), Value::Int(7));
+        assert_eq!(Value::from(GcRef(3)), Value::Ref(Some(GcRef(3))));
+        assert_eq!(Value::from(None::<GcRef>), Value::NULL);
+        assert_eq!(Value::Int(5).as_int(), Some(5));
+        assert_eq!(Value::Int(5).as_ref_value(), None);
+        assert_eq!(Value::NULL.as_ref_value(), Some(None));
+    }
+
+    #[test]
+    fn zero_values_match_shapes() {
+        assert_eq!(FieldShape::Int.zero_value(), Value::Int(0));
+        assert_eq!(FieldShape::Ref.zero_value(), Value::NULL);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Int(-2).to_string(), "-2");
+        assert_eq!(Value::NULL.to_string(), "null");
+        assert_eq!(Value::Ref(Some(GcRef(9))).to_string(), "#9");
+    }
+
+    #[test]
+    fn value_fits_two_words() {
+        assert!(std::mem::size_of::<Value>() <= 16);
+    }
+}

@@ -1,0 +1,1276 @@
+//! The interpreter proper.
+
+use std::fmt;
+
+use wbe_heap::gc::{MarkStyle, PauseReport};
+use wbe_heap::{FieldShape, GcRef, Heap, HeapError, Value};
+use wbe_ir::{BlockId, Cond, FieldId, Insn, InsnAddr, MethodId, Program, Terminator, Ty};
+
+use crate::barrier::{
+    BarrierConfig, BarrierMode, BarrierStats, ElisionKind, RearrangeRole, StoreKind,
+};
+use crate::cost;
+
+/// A runtime trap: the interpreter's analogue of a JVM exception. The
+/// workloads are written not to trap; traps in tests indicate bugs (or
+/// deliberately exercised error paths).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Trap {
+    /// Heap-level failure (bounds, dangling, kinds).
+    Heap(HeapError),
+    /// Null receiver for a field/array/invoke operation.
+    NullReceiver {
+        /// Method executing when the trap occurred.
+        method: MethodId,
+        /// Instruction address.
+        at: InsnAddr,
+    },
+    /// An operand had the wrong runtime type.
+    TypeMismatch {
+        /// Method executing when the trap occurred.
+        method: MethodId,
+        /// Instruction address.
+        at: InsnAddr,
+        /// What was expected.
+        expected: &'static str,
+    },
+    /// Integer division or remainder by zero.
+    DivisionByZero {
+        /// Method executing when the trap occurred.
+        method: MethodId,
+        /// Instruction address.
+        at: InsnAddr,
+    },
+    /// **Soundness oracle**: a store whose barrier was statically elided
+    /// overwrote a non-null value at run time. The analysis must make
+    /// this impossible; any occurrence is a reproduction-level bug.
+    UnsoundElision {
+        /// Method executing when the trap occurred.
+        method: MethodId,
+        /// Instruction address.
+        at: InsnAddr,
+    },
+    /// The fuel budget was exhausted.
+    OutOfFuel,
+    /// Wrong number of arguments passed to [`Interp::run`].
+    BadArgCount {
+        /// Invoked method.
+        method: MethodId,
+        /// Expected parameter count.
+        expected: usize,
+        /// Provided argument count.
+        got: usize,
+    },
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trap::Heap(e) => write!(f, "heap error: {e}"),
+            Trap::NullReceiver { method, at } => {
+                write!(f, "null receiver in {method} at {at}")
+            }
+            Trap::TypeMismatch {
+                method,
+                at,
+                expected,
+            } => write!(f, "type mismatch in {method} at {at}: expected {expected}"),
+            Trap::DivisionByZero { method, at } => {
+                write!(f, "division by zero in {method} at {at}")
+            }
+            Trap::UnsoundElision { method, at } => write!(
+                f,
+                "UNSOUND ELISION: non-null pre-value at elided barrier in {method} at {at}"
+            ),
+            Trap::OutOfFuel => write!(f, "out of fuel"),
+            Trap::BadArgCount {
+                method,
+                expected,
+                got,
+            } => write!(f, "method {method} expects {expected} args, got {got}"),
+        }
+    }
+}
+
+impl std::error::Error for Trap {}
+
+impl From<HeapError> for Trap {
+    fn from(e: HeapError) -> Self {
+        Trap::Heap(e)
+    }
+}
+
+/// Policy for driving concurrent marking during execution, making GC
+/// activity deterministic: marking starts every `alloc_trigger`
+/// allocations, the marker gets `step_budget` units every
+/// `step_interval` executed instructions, and the cycle finishes (remark
+/// + sweep) when the collector runs dry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GcPolicy {
+    /// Allocations between the end of one cycle and the start of the
+    /// next.
+    pub alloc_trigger: u64,
+    /// Executed instructions between marker steps.
+    pub step_interval: u64,
+    /// Marking work units per step.
+    pub step_budget: usize,
+}
+
+impl Default for GcPolicy {
+    fn default() -> Self {
+        GcPolicy {
+            alloc_trigger: 1_000,
+            step_interval: 64,
+            step_budget: 8,
+        }
+    }
+}
+
+/// Statistics accumulated across [`Interp::run`] calls.
+#[derive(Clone, Debug, Default)]
+pub struct RunStats {
+    /// Instructions executed (terminators included).
+    pub insns: u64,
+    /// Total cycles charged, including barrier cycles.
+    pub cycles: u64,
+    /// Cycles charged to SATB barriers alone.
+    pub barrier_cycles: u64,
+    /// Executions of stores whose barrier was elided.
+    pub elided_executions: u64,
+    /// §4.3 rearrangement-member stores that skipped logging.
+    pub rearrange_skipped: u64,
+    /// Conservative whole-array retraces scheduled on interference.
+    pub retraces_scheduled: u64,
+    /// Per-site barrier counters.
+    pub barrier: BarrierStats,
+    /// Objects allocated in frame arenas (stack allocation).
+    pub stack_allocated: u64,
+    /// Frame-arena objects freed at frame pop.
+    pub stack_freed: u64,
+    /// Completed GC cycles (policy-driven).
+    pub gc_cycles: u64,
+    /// Pause reports of completed cycles.
+    pub pauses: Vec<PauseReport>,
+}
+
+struct Frame {
+    method: MethodId,
+    block: BlockId,
+    ip: usize,
+    locals: Vec<Value>,
+    stack: Vec<Value>,
+    /// Objects allocated at stack-allocatable sites in this frame; freed
+    /// when the frame pops (the §6 "escape analysis for stack
+    /// allocation" client, validated dynamically: any use after free
+    /// traps as a dangling reference).
+    owned: Vec<GcRef>,
+}
+
+/// The interpreter: owns a heap, executes methods of one program under a
+/// barrier configuration, accumulating [`RunStats`].
+pub struct Interp<'p> {
+    program: &'p Program,
+    /// The managed heap (public for tests and the harness).
+    pub heap: Heap,
+    config: BarrierConfig,
+    /// Accumulated statistics.
+    pub stats: RunStats,
+    gc_policy: Option<GcPolicy>,
+    /// Allocation sites whose objects live in the frame arena.
+    stack_sites: std::collections::BTreeSet<wbe_ir::SiteId>,
+    class_shapes: Vec<Vec<FieldShape>>,
+    allocs_since_cycle: u64,
+    frames: Vec<Frame>,
+}
+
+impl fmt::Debug for Interp<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Interp")
+            .field("config", &self.config)
+            .field("stats.insns", &self.stats.insns)
+            .finish()
+    }
+}
+
+impl<'p> Interp<'p> {
+    /// Creates an interpreter with an SATB-style heap.
+    pub fn new(program: &'p Program, config: BarrierConfig) -> Self {
+        Self::with_style(program, config, MarkStyle::Satb)
+    }
+
+    /// Creates an interpreter with the given marker style.
+    pub fn with_style(program: &'p Program, config: BarrierConfig, style: MarkStyle) -> Self {
+        let mut heap = Heap::new(style);
+        let static_shapes: Vec<FieldShape> = program
+            .statics
+            .iter()
+            .map(|s| shape_of(s.ty))
+            .collect();
+        heap.register_statics(&static_shapes);
+        let class_shapes = program
+            .classes
+            .iter()
+            .map(|c| {
+                c.fields
+                    .iter()
+                    .map(|&f| shape_of(program.field(f).ty))
+                    .collect()
+            })
+            .collect();
+        Interp {
+            program,
+            heap,
+            config,
+            stats: RunStats::default(),
+            gc_policy: None,
+            stack_sites: std::collections::BTreeSet::new(),
+            class_shapes,
+            allocs_since_cycle: 0,
+            frames: Vec::new(),
+        }
+    }
+
+    /// Enables policy-driven concurrent marking during execution.
+    pub fn set_gc_policy(&mut self, policy: GcPolicy) {
+        self.gc_policy = Some(policy);
+    }
+
+    /// Declares allocation sites whose objects may live in the frame
+    /// arena (from `wbe_analysis::stackalloc`). Objects allocated at
+    /// these sites are freed when their frame returns; an analysis error
+    /// surfaces as a dangling-reference trap.
+    pub fn set_stack_sites(
+        &mut self,
+        sites: impl IntoIterator<Item = wbe_ir::SiteId>,
+    ) {
+        self.stack_sites = sites.into_iter().collect();
+    }
+
+    /// The barrier configuration in force.
+    pub fn config(&self) -> &BarrierConfig {
+        &self.config
+    }
+
+    fn collect_roots(&self) -> Vec<GcRef> {
+        let mut roots = self.heap.static_roots();
+        for frame in &self.frames {
+            for v in frame.locals.iter().chain(frame.stack.iter()) {
+                if let Value::Ref(Some(r)) = v {
+                    roots.push(*r);
+                }
+            }
+        }
+        roots
+    }
+
+    fn drive_gc_after_alloc(&mut self) {
+        let Some(policy) = self.gc_policy else {
+            return;
+        };
+        self.allocs_since_cycle += 1;
+        if !self.heap.gc.is_marking() && self.allocs_since_cycle >= policy.alloc_trigger {
+            let roots = self.collect_roots();
+            self.heap.gc.begin_marking(&mut self.heap.store, &roots);
+            self.allocs_since_cycle = 0;
+        }
+    }
+
+    fn drive_gc_after_insn(&mut self) {
+        let Some(policy) = self.gc_policy else {
+            return;
+        };
+        if !self.heap.gc.is_marking() {
+            return;
+        }
+        if policy.step_interval == 0 || !self.stats.insns.is_multiple_of(policy.step_interval) {
+            return;
+        }
+        let did = self
+            .heap
+            .gc
+            .mark_step(&mut self.heap.store, policy.step_budget);
+        // No concurrent progress possible: finish the cycle. (For SATB,
+        // did == 0 implies the log is drained; for incremental update the
+        // remaining dirty set is exactly what the remark pause rescans.)
+        if did == 0 {
+            let roots = self.collect_roots();
+            let pause = self.heap.gc.remark(&mut self.heap.store, &roots);
+            self.heap.sweep();
+            self.stats.gc_cycles += 1;
+            self.stats.pauses.push(pause);
+        }
+    }
+
+    /// Runs `method` with `args`, bounded by `fuel` instructions.
+    ///
+    /// Returns the method's return value (`None` for void).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Trap`] on runtime failure, including the
+    /// [`Trap::UnsoundElision`] oracle and [`Trap::OutOfFuel`].
+    pub fn run(
+        &mut self,
+        method: MethodId,
+        args: &[Value],
+        fuel: u64,
+    ) -> Result<Option<Value>, Trap> {
+        let m = self.program.method(method);
+        if args.len() != m.sig.params.len() {
+            return Err(Trap::BadArgCount {
+                method,
+                expected: m.sig.params.len(),
+                got: args.len(),
+            });
+        }
+        let result = self.run_inner(method, args, fuel);
+        // On a trap, abandon the frame stack so the interpreter can be
+        // reused.
+        if result.is_err() {
+            self.frames.clear();
+        }
+        result
+    }
+
+    fn push_frame(&mut self, method: MethodId, args: &[Value]) {
+        let m = self.program.method(method);
+        let mut locals = vec![Value::Int(0); m.num_locals as usize];
+        locals[..args.len()].copy_from_slice(args);
+        self.frames.push(Frame {
+            method,
+            block: BlockId(0),
+            ip: 0,
+            locals,
+            stack: Vec::new(),
+            owned: Vec::new(),
+        });
+    }
+
+    fn run_inner(
+        &mut self,
+        method: MethodId,
+        args: &[Value],
+        mut fuel: u64,
+    ) -> Result<Option<Value>, Trap> {
+        let base_depth = self.frames.len();
+        self.push_frame(method, args);
+        loop {
+            if fuel == 0 {
+                return Err(Trap::OutOfFuel);
+            }
+            fuel -= 1;
+            self.stats.insns += 1;
+
+            let frame = self.frames.last().expect("frame stack non-empty");
+            let mid = frame.method;
+            let block = self.program.method(mid).block(frame.block);
+            let at = InsnAddr::new(frame.block, frame.ip);
+
+            if frame.ip < block.insns.len() {
+                let insn = block.insns[frame.ip];
+                self.stats.cycles += cost::insn_cost(&insn);
+                self.exec_insn(insn, mid, at)?;
+                // `exec_insn` may have pushed a callee frame; ip of the
+                // current frame was already advanced inside.
+            } else {
+                self.stats.cycles += cost::term_cost();
+                if let Some(ret) = self.exec_terminator(block.term, mid, at)? {
+                    if self.frames.len() == base_depth {
+                        return Ok(ret);
+                    }
+                    if let Some(v) = ret {
+                        self.frames
+                            .last_mut()
+                            .expect("caller frame")
+                            .stack
+                            .push(v);
+                    }
+                }
+            }
+            self.drive_gc_after_insn();
+        }
+    }
+
+    fn frame_mut(&mut self) -> &mut Frame {
+        self.frames.last_mut().expect("frame stack non-empty")
+    }
+
+    fn pop_any(&mut self, mid: MethodId, at: InsnAddr) -> Result<Value, Trap> {
+        self.frame_mut().stack.pop().ok_or(Trap::TypeMismatch {
+            method: mid,
+            at,
+            expected: "non-empty stack",
+        })
+    }
+
+    fn pop_int(&mut self, mid: MethodId, at: InsnAddr) -> Result<i64, Trap> {
+        match self.pop_any(mid, at)? {
+            Value::Int(i) => Ok(i),
+            Value::Ref(_) => Err(Trap::TypeMismatch {
+                method: mid,
+                at,
+                expected: "int",
+            }),
+        }
+    }
+
+    fn pop_ref(&mut self, mid: MethodId, at: InsnAddr) -> Result<Option<GcRef>, Trap> {
+        match self.pop_any(mid, at)? {
+            Value::Ref(r) => Ok(r),
+            Value::Int(_) => Err(Trap::TypeMismatch {
+                method: mid,
+                at,
+                expected: "reference",
+            }),
+        }
+    }
+
+    fn pop_nonnull(&mut self, mid: MethodId, at: InsnAddr) -> Result<GcRef, Trap> {
+        self.pop_ref(mid, at)?
+            .ok_or(Trap::NullReceiver { method: mid, at })
+    }
+
+    fn push(&mut self, v: Value) {
+        self.frame_mut().stack.push(v);
+    }
+
+    /// Applies the configured write barrier (or its elision) for a store
+    /// into `receiver` whose pre-value is `old`. Under an SATB heap the
+    /// barrier logs the pre-value; under an incremental-update heap it
+    /// dirties the receiver (card marking) — elision never applies
+    /// there, since IU must re-examine every modified location.
+    fn apply_barrier(
+        &mut self,
+        mid: MethodId,
+        at: InsnAddr,
+        kind: StoreKind,
+        receiver: GcRef,
+        old: Option<GcRef>,
+        new: Option<GcRef>,
+    ) -> Result<(), Trap> {
+        let pre_null = old.is_none();
+        self.stats.barrier.record(mid, at, kind, pre_null);
+        if self.heap.gc.style() == MarkStyle::IncrementalUpdate {
+            // Card-marking barrier: cheap and unconditional.
+            self.stats.barrier_cycles += 2;
+            self.stats.cycles += 2;
+            if self.config.mode != BarrierMode::None {
+                self.heap.gc.dirty(receiver);
+            }
+            return Ok(());
+        }
+        if self.config.elide {
+            if let Some(kind) = self.config.elided.kind(mid, at) {
+                // Soundness oracle: validate the static proof dynamically.
+                let ok = match kind {
+                    ElisionKind::PreNull => pre_null,
+                    ElisionKind::NullOrSame => pre_null || old == new,
+                };
+                if !ok {
+                    return Err(Trap::UnsoundElision { method: mid, at });
+                }
+                self.stats.elided_executions += 1;
+                return Ok(());
+            }
+        }
+        self.satb_log_barrier(old);
+        Ok(())
+    }
+
+    /// The mode-dependent SATB logging path (no elision, no recording).
+    fn satb_log_barrier(&mut self, old: Option<GcRef>) {
+        let pre_null = old.is_none();
+        match self.config.mode {
+            BarrierMode::None => {}
+            BarrierMode::Checked => {
+                let marking = self.heap.gc.is_marking();
+                let c = cost::checked_barrier_cost(marking, pre_null);
+                self.stats.barrier_cycles += c;
+                self.stats.cycles += c;
+                if marking {
+                    if let Some(o) = old {
+                        self.heap.gc.satb_log(o);
+                    }
+                }
+            }
+            BarrierMode::AlwaysLog => {
+                let c = cost::always_log_barrier_cost(pre_null);
+                self.stats.barrier_cycles += c;
+                self.stats.cycles += c;
+                if let Some(o) = old {
+                    self.heap.gc.satb_log(o);
+                }
+            }
+        }
+    }
+
+    fn field_offset_checked(
+        &self,
+        obj: GcRef,
+        field: FieldId,
+        mid: MethodId,
+        at: InsnAddr,
+    ) -> Result<usize, Trap> {
+        let fd = self.program.field(field);
+        let tag = self.heap.store.get(obj)?.class_tag;
+        if tag != fd.class.0 {
+            return Err(Trap::TypeMismatch {
+                method: mid,
+                at,
+                expected: "receiver of the field's declaring class",
+            });
+        }
+        Ok(fd.offset)
+    }
+
+    fn exec_insn(&mut self, insn: Insn, mid: MethodId, at: InsnAddr) -> Result<(), Trap> {
+        // Advance ip first; Invoke pushes the callee frame after this.
+        self.frame_mut().ip += 1;
+        match insn {
+            Insn::Const(v) => self.push(Value::Int(v)),
+            Insn::ConstNull => self.push(Value::NULL),
+            Insn::Load(l) => {
+                let v = self.frame_mut().locals[l.index()];
+                self.push(v);
+            }
+            Insn::Store(l) => {
+                let v = self.pop_any(mid, at)?;
+                self.frame_mut().locals[l.index()] = v;
+            }
+            Insn::IInc(l, d) => {
+                let slot = &mut self.frame_mut().locals[l.index()];
+                match slot {
+                    Value::Int(i) => *i = i.wrapping_add(d),
+                    Value::Ref(_) => {
+                        return Err(Trap::TypeMismatch {
+                            method: mid,
+                            at,
+                            expected: "int local",
+                        })
+                    }
+                }
+            }
+            Insn::Dup => {
+                let v = *self.frame_mut().stack.last().ok_or(Trap::TypeMismatch {
+                    method: mid,
+                    at,
+                    expected: "non-empty stack",
+                })?;
+                self.push(v);
+            }
+            Insn::DupX1 => {
+                let b = self.pop_any(mid, at)?;
+                let a = self.pop_any(mid, at)?;
+                self.push(b);
+                self.push(a);
+                self.push(b);
+            }
+            Insn::Pop => {
+                self.pop_any(mid, at)?;
+            }
+            Insn::Swap => {
+                let b = self.pop_any(mid, at)?;
+                let a = self.pop_any(mid, at)?;
+                self.push(b);
+                self.push(a);
+            }
+            Insn::Add | Insn::Sub | Insn::Mul | Insn::And | Insn::Or | Insn::Xor
+            | Insn::Shl | Insn::Shr => {
+                let b = self.pop_int(mid, at)?;
+                let a = self.pop_int(mid, at)?;
+                let r = match insn {
+                    Insn::Add => a.wrapping_add(b),
+                    Insn::Sub => a.wrapping_sub(b),
+                    Insn::Mul => a.wrapping_mul(b),
+                    Insn::And => a & b,
+                    Insn::Or => a | b,
+                    Insn::Xor => a ^ b,
+                    Insn::Shl => a.wrapping_shl(b as u32 & 63),
+                    _ => a.wrapping_shr(b as u32 & 63),
+                };
+                self.push(Value::Int(r));
+            }
+            Insn::Div | Insn::Rem => {
+                let b = self.pop_int(mid, at)?;
+                let a = self.pop_int(mid, at)?;
+                if b == 0 {
+                    return Err(Trap::DivisionByZero { method: mid, at });
+                }
+                let r = if matches!(insn, Insn::Div) {
+                    a.wrapping_div(b)
+                } else {
+                    a.wrapping_rem(b)
+                };
+                self.push(Value::Int(r));
+            }
+            Insn::Neg => {
+                let a = self.pop_int(mid, at)?;
+                self.push(Value::Int(a.wrapping_neg()));
+            }
+            Insn::GetField(f) => {
+                let obj = self.pop_nonnull(mid, at)?;
+                let off = self.field_offset_checked(obj, f, mid, at)?;
+                let v = self.heap.get_field(obj, off)?;
+                self.push(v);
+            }
+            Insn::PutField(f) => {
+                let val = self.pop_any(mid, at)?;
+                let obj = self.pop_nonnull(mid, at)?;
+                let off = self.field_offset_checked(obj, f, mid, at)?;
+                let fd = self.program.field(f);
+                if fd.ty.is_ref_like() {
+                    let Value::Ref(_) = val else {
+                        return Err(Trap::TypeMismatch {
+                            method: mid,
+                            at,
+                            expected: "reference value for reference field",
+                        });
+                    };
+                    let old = self.heap.get_field(obj, off)?;
+                    let old_ref = match old {
+                        Value::Ref(r) => r,
+                        Value::Int(_) => None,
+                    };
+                    let new_ref = match val {
+                        Value::Ref(r) => r,
+                        Value::Int(_) => None,
+                    };
+                    self.apply_barrier(mid, at, StoreKind::Field, obj, old_ref, new_ref)?;
+                } else {
+                    let Value::Int(_) = val else {
+                        return Err(Trap::TypeMismatch {
+                            method: mid,
+                            at,
+                            expected: "int value for int field",
+                        });
+                    };
+                }
+                self.heap.set_field(obj, off, val)?;
+            }
+            Insn::GetStatic(s) => {
+                let v = self.heap.get_static(s.index())?;
+                self.push(v);
+            }
+            Insn::PutStatic(s) => {
+                let val = self.pop_any(mid, at)?;
+                // Static reference stores also execute SATB barriers in
+                // the real system, but the analyses never eliminate them
+                // (the overwritten static is rarely provably null), so we
+                // do not instrument them as elision candidates.
+                if self.program.static_(s).ty.is_ref_like() {
+                    if let Ok(Value::Ref(Some(old))) = self.heap.get_static(s.index()) {
+                        if self.heap.gc.is_marking() {
+                            self.heap.gc.satb_log(old);
+                        }
+                    }
+                }
+                self.heap.set_static(s.index(), val)?;
+            }
+            Insn::AaLoad => {
+                let idx = self.pop_int(mid, at)?;
+                let arr = self.pop_nonnull(mid, at)?;
+                let v = self.heap.get_elem(arr, idx)?;
+                self.push(Value::Ref(v));
+            }
+            Insn::AaStore => {
+                let val = self.pop_ref(mid, at)?;
+                let idx = self.pop_int(mid, at)?;
+                let arr = self.pop_nonnull(mid, at)?;
+                // Bounds check before the barrier (a trapping store logs
+                // nothing — the §3.6 overflow argument depends on this).
+                let old = self.heap.get_elem(arr, idx)?;
+                // §4.3 rearrangement protocol (SATB only): member stores
+                // skip logging and validate against the marker via the
+                // array's tracing state.
+                let role = if self.heap.gc.style() == MarkStyle::Satb {
+                    self.config.rearrange.role(mid, at)
+                } else {
+                    None
+                };
+                match role {
+                    Some(RearrangeRole::First) => {
+                        self.stats.barrier.record(mid, at, StoreKind::Array, old.is_none());
+                        self.satb_log_barrier(old);
+                    }
+                    Some(RearrangeRole::Member) => {
+                        self.stats.barrier.record(mid, at, StoreKind::Array, old.is_none());
+                        self.stats.rearrange_skipped += 1;
+                        // Tracing-state check (2 cycles, like a card mark).
+                        self.stats.barrier_cycles += 2;
+                        self.stats.cycles += 2;
+                        if self.heap.gc.is_marking()
+                            && self.heap.gc.trace_state(&self.heap.store, arr)
+                                != wbe_heap::TraceState::Untraced
+                        {
+                            self.heap.gc.push_retrace(arr);
+                            self.stats.retraces_scheduled += 1;
+                        }
+                    }
+                    None => {
+                        self.apply_barrier(mid, at, StoreKind::Array, arr, old, val)?;
+                    }
+                }
+                self.heap.set_elem(arr, idx, val)?;
+            }
+            Insn::IaLoad => {
+                let idx = self.pop_int(mid, at)?;
+                let arr = self.pop_nonnull(mid, at)?;
+                let v = self.heap.get_int_elem(arr, idx)?;
+                self.push(Value::Int(v));
+            }
+            Insn::IaStore => {
+                let val = self.pop_int(mid, at)?;
+                let idx = self.pop_int(mid, at)?;
+                let arr = self.pop_nonnull(mid, at)?;
+                self.heap.set_int_elem(arr, idx, val)?;
+            }
+            Insn::ArrayLength => {
+                let arr = self.pop_nonnull(mid, at)?;
+                let len = self.heap.array_len(arr)?;
+                self.push(Value::Int(len));
+            }
+            Insn::New { class, site } => {
+                let shapes = self.class_shapes[class.index()].clone();
+                let r = self.heap.alloc_object(class.0, &shapes)?;
+                if self.stack_sites.contains(&site) {
+                    self.frame_mut().owned.push(r);
+                    self.stats.stack_allocated += 1;
+                }
+                self.push(Value::from(r));
+                self.drive_gc_after_alloc();
+            }
+            Insn::NewRefArray { class, .. } => {
+                let len = self.pop_int(mid, at)?;
+                let r = self.heap.alloc_ref_array(class.0, len)?;
+                self.push(Value::from(r));
+                self.drive_gc_after_alloc();
+            }
+            Insn::NewIntArray { .. } => {
+                let len = self.pop_int(mid, at)?;
+                let r = self.heap.alloc_int_array(len)?;
+                self.push(Value::from(r));
+                self.drive_gc_after_alloc();
+            }
+            Insn::Invoke(callee) => {
+                let nparams = self.program.method(callee).sig.params.len();
+                let frame = self.frame_mut();
+                if frame.stack.len() < nparams {
+                    return Err(Trap::TypeMismatch {
+                        method: mid,
+                        at,
+                        expected: "enough stack operands for call",
+                    });
+                }
+                let args: Vec<Value> = frame.stack.split_off(frame.stack.len() - nparams);
+                self.push_frame(callee, &args);
+            }
+        }
+        Ok(())
+    }
+
+    /// Executes a terminator. Returns `Some(ret)` when a frame was
+    /// popped (a return), `None` otherwise.
+    #[allow(clippy::type_complexity)]
+    fn exec_terminator(
+        &mut self,
+        term: Terminator,
+        mid: MethodId,
+        at: InsnAddr,
+    ) -> Result<Option<Option<Value>>, Trap> {
+        match term {
+            Terminator::Goto(t) => {
+                let f = self.frame_mut();
+                f.block = t;
+                f.ip = 0;
+                Ok(None)
+            }
+            Terminator::If { cond, then_, else_ } => {
+                let taken = match cond {
+                    Cond::ICmp(op) => {
+                        let b = self.pop_int(mid, at)?;
+                        let a = self.pop_int(mid, at)?;
+                        op.eval(a, b)
+                    }
+                    Cond::IZero(op) => {
+                        let a = self.pop_int(mid, at)?;
+                        op.eval(a, 0)
+                    }
+                    Cond::IsNull => self.pop_ref(mid, at)?.is_none(),
+                    Cond::NonNull => self.pop_ref(mid, at)?.is_some(),
+                    Cond::RefEq | Cond::RefNe => {
+                        let b = self.pop_ref(mid, at)?;
+                        let a = self.pop_ref(mid, at)?;
+                        if matches!(cond, Cond::RefEq) {
+                            a == b
+                        } else {
+                            a != b
+                        }
+                    }
+                };
+                let f = self.frame_mut();
+                f.block = if taken { then_ } else { else_ };
+                f.ip = 0;
+                Ok(None)
+            }
+            Terminator::Return => {
+                let frame = self.frames.pop().expect("frame stack non-empty");
+                self.free_frame_arena(frame);
+                Ok(Some(None))
+            }
+            Terminator::ReturnValue => {
+                let v = self.pop_any(mid, at)?;
+                let frame = self.frames.pop().expect("frame stack non-empty");
+                self.free_frame_arena(frame);
+                Ok(Some(Some(v)))
+            }
+        }
+    }
+}
+
+impl<'p> Interp<'p> {
+    /// Frees a popped frame's arena objects.
+    fn free_frame_arena(&mut self, frame: Frame) {
+        for r in frame.owned {
+            self.heap.store.remove(r);
+            self.stats.stack_freed += 1;
+        }
+    }
+}
+
+fn shape_of(ty: Ty) -> FieldShape {
+    if ty.is_ref_like() {
+        FieldShape::Ref
+    } else {
+        FieldShape::Int
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::barrier::ElidedBarriers;
+    use wbe_ir::builder::ProgramBuilder;
+    use wbe_ir::CmpOp;
+
+    fn checked() -> BarrierConfig {
+        BarrierConfig::new(BarrierMode::Checked)
+    }
+
+    #[test]
+    fn arithmetic_and_return() {
+        let mut pb = ProgramBuilder::new();
+        let m = pb.method("calc", vec![Ty::Int, Ty::Int], Some(Ty::Int), 0, |mb| {
+            let a = mb.local(0);
+            let b = mb.local(1);
+            // (a + b) * 2 - 1
+            mb.load(a).load(b).add().iconst(2).mul().iconst(1).sub().return_value();
+        });
+        let p = pb.finish();
+        let mut i = Interp::new(&p, checked());
+        let r = i.run(m, &[Value::Int(3), Value::Int(4)], 100).unwrap();
+        assert_eq!(r, Some(Value::Int(13)));
+    }
+
+    #[test]
+    fn loop_with_iinc_and_branches() {
+        let mut pb = ProgramBuilder::new();
+        // sum 0..n
+        let m = pb.method("sum", vec![Ty::Int], Some(Ty::Int), 2, |mb| {
+            let n = mb.local(0);
+            let i = mb.local(1);
+            let acc = mb.local(2);
+            let head = mb.new_block();
+            let body = mb.new_block();
+            let exit = mb.new_block();
+            mb.iconst(0).store(i).iconst(0).store(acc).goto_(head);
+            mb.switch_to(head).load(i).load(n).if_icmp(CmpOp::Lt, body, exit);
+            mb.switch_to(body)
+                .load(acc)
+                .load(i)
+                .add()
+                .store(acc)
+                .iinc(i, 1)
+                .goto_(head);
+            mb.switch_to(exit).load(acc).return_value();
+        });
+        let p = pb.finish();
+        p.validate().unwrap();
+        let mut interp = Interp::new(&p, checked());
+        let r = interp.run(m, &[Value::Int(10)], 10_000).unwrap();
+        assert_eq!(r, Some(Value::Int(45)));
+    }
+
+    #[test]
+    fn expand_example_runs_and_counts_array_barriers() {
+        // The paper's §3.1 expand(): copy ta into a doubled array.
+        let mut pb = ProgramBuilder::new();
+        let t = pb.class("T");
+        let expand = pb.method(
+            "expand",
+            vec![Ty::RefArray(t)],
+            Some(Ty::RefArray(t)),
+            2,
+            |mb| {
+                let ta = mb.local(0);
+                let new_ta = mb.local(1);
+                let i = mb.local(2);
+                let head = mb.new_block();
+                let body = mb.new_block();
+                let exit = mb.new_block();
+                mb.load(ta).arraylength().iconst(2).mul().new_ref_array(t).store(new_ta);
+                mb.iconst(0).store(i).goto_(head);
+                mb.switch_to(head);
+                mb.load(i).load(ta).arraylength().if_icmp(CmpOp::Lt, body, exit);
+                mb.switch_to(body);
+                mb.load(new_ta).load(i).load(ta).load(i).aaload().aastore();
+                mb.iinc(i, 1).goto_(head);
+                mb.switch_to(exit);
+                mb.load(new_ta).return_value();
+            },
+        );
+        // driver: make a 5-array of fresh objects, call expand.
+        let driver = pb.method("driver", vec![], Some(Ty::RefArray(t)), 2, |mb| {
+            let arr = mb.local(0);
+            let i = mb.local(1);
+            let head = mb.new_block();
+            let body = mb.new_block();
+            let exit = mb.new_block();
+            mb.iconst(5).new_ref_array(t).store(arr);
+            mb.iconst(0).store(i).goto_(head);
+            mb.switch_to(head);
+            mb.load(i).iconst(5).if_icmp(CmpOp::Lt, body, exit);
+            mb.switch_to(body);
+            mb.load(arr).load(i).new_object(t).aastore().iinc(i, 1).goto_(head);
+            mb.switch_to(exit);
+            mb.load(arr).invoke(expand).return_value();
+        });
+        let p = pb.finish();
+        p.validate().unwrap();
+        let mut interp = Interp::new(&p, checked());
+        let r = interp.run(driver, &[], 100_000).unwrap().unwrap();
+        let Value::Ref(Some(out)) = r else { panic!() };
+        assert_eq!(interp.heap.array_len(out).unwrap(), 10);
+        // 5 initializing stores in driver + 5 in expand, all pre-null.
+        let summary = interp.stats.barrier.summarize(&ElidedBarriers::new());
+        assert_eq!(summary.array_total, 10);
+        assert_eq!(summary.array_potential_pre_null, 10);
+        assert_eq!(summary.field_total, 0);
+    }
+
+    #[test]
+    fn constructor_pattern_and_field_barriers() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("Node");
+        let next = pb.field(c, "next", Ty::Ref(c));
+        let val = pb.field(c, "val", Ty::Int);
+        let ctor = pb.declare_constructor(c, vec![Ty::Int]);
+        pb.define_method(ctor, 0, |mb| {
+            let this = mb.local(0);
+            let v = mb.local(1);
+            mb.load(this).load(v).putfield(val);
+            mb.load(this).const_null().putfield(next);
+            mb.return_();
+        });
+        let m = pb.method("make", vec![], Some(Ty::Ref(c)), 0, |mb| {
+            mb.new_object(c).dup().iconst(42).invoke(ctor).return_value();
+        });
+        let p = pb.finish();
+        p.validate().unwrap();
+        let mut interp = Interp::new(&p, checked());
+        let r = interp.run(m, &[], 1_000).unwrap().unwrap();
+        let Value::Ref(Some(node)) = r else { panic!() };
+        assert_eq!(interp.heap.get_field(node, 1).unwrap(), Value::Int(42));
+        // One ref-field store (next), pre-null. The int store is not a
+        // barrier site.
+        let s = interp.stats.barrier.summarize(&ElidedBarriers::new());
+        assert_eq!(s.field_total, 1);
+        assert_eq!(s.field_potential_pre_null, 1);
+    }
+
+    #[test]
+    fn null_receiver_traps() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("C");
+        let f = pb.field(c, "f", Ty::Int);
+        let m = pb.method("npe", vec![], Some(Ty::Int), 0, |mb| {
+            mb.const_null().getfield(f).return_value();
+        });
+        let p = pb.finish();
+        let mut interp = Interp::new(&p, checked());
+        assert!(matches!(
+            interp.run(m, &[], 100),
+            Err(Trap::NullReceiver { .. })
+        ));
+    }
+
+    #[test]
+    fn division_by_zero_traps() {
+        let mut pb = ProgramBuilder::new();
+        let m = pb.method("dz", vec![], Some(Ty::Int), 0, |mb| {
+            mb.iconst(1).iconst(0).div().return_value();
+        });
+        let p = pb.finish();
+        let mut interp = Interp::new(&p, checked());
+        assert!(matches!(
+            interp.run(m, &[], 100),
+            Err(Trap::DivisionByZero { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_bounds_traps() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("C");
+        let m = pb.method("oob", vec![], None, 1, |mb| {
+            let a = mb.local(0);
+            mb.iconst(2).new_ref_array(c).store(a);
+            mb.load(a).iconst(5).const_null().aastore();
+            mb.return_();
+        });
+        let p = pb.finish();
+        let mut interp = Interp::new(&p, checked());
+        assert!(matches!(
+            interp.run(m, &[], 100),
+            Err(Trap::Heap(HeapError::IndexOutOfBounds { .. }))
+        ));
+        // The trapping store must not have been recorded as a barrier.
+        assert_eq!(interp.stats.barrier.site_count(), 0);
+    }
+
+    #[test]
+    fn out_of_fuel_traps() {
+        let mut pb = ProgramBuilder::new();
+        let m = pb.method("spin", vec![], None, 0, |mb| {
+            let b = mb.new_block();
+            mb.goto_(b);
+            mb.switch_to(b).goto_(b);
+        });
+        let p = pb.finish();
+        let mut interp = Interp::new(&p, checked());
+        assert_eq!(interp.run(m, &[], 50), Err(Trap::OutOfFuel));
+    }
+
+    #[test]
+    fn bad_arg_count_rejected() {
+        let mut pb = ProgramBuilder::new();
+        let m = pb.method("one", vec![Ty::Int], None, 0, |mb| {
+            mb.return_();
+        });
+        let p = pb.finish();
+        let mut interp = Interp::new(&p, checked());
+        assert!(matches!(
+            interp.run(m, &[], 10),
+            Err(Trap::BadArgCount { .. })
+        ));
+    }
+
+    #[test]
+    fn unsound_elision_is_caught() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("C");
+        let f = pb.field(c, "f", Ty::Ref(c));
+        let m = pb.method("overwrite", vec![], None, 1, |mb| {
+            let o = mb.local(0);
+            mb.new_object(c).store(o);
+            mb.load(o).load(o).putfield(f); // f = o (non-null later)
+            mb.load(o).const_null().putfield(f); // overwrites non-null!
+            mb.return_();
+        });
+        let p = pb.finish();
+        // Maliciously elide the second store.
+        let mut elided = ElidedBarriers::new();
+        elided.insert(m, InsnAddr::new(BlockId(0), 7));
+        let cfg = BarrierConfig::with_elision(BarrierMode::Checked, elided);
+        let mut interp = Interp::new(&p, cfg);
+        assert!(matches!(
+            interp.run(m, &[], 100),
+            Err(Trap::UnsoundElision { .. })
+        ));
+    }
+
+    #[test]
+    fn barrier_modes_charge_different_cycles() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("C");
+        let f = pb.field(c, "f", Ty::Ref(c));
+        let m = pb.method("store_loop", vec![Ty::Int], None, 2, |mb| {
+            let n = mb.local(0);
+            let o = mb.local(1);
+            let i = mb.local(2);
+            let head = mb.new_block();
+            let body = mb.new_block();
+            let exit = mb.new_block();
+            mb.new_object(c).store(o).iconst(0).store(i).goto_(head);
+            mb.switch_to(head).load(i).load(n).if_icmp(CmpOp::Lt, body, exit);
+            mb.switch_to(body)
+                .load(o)
+                .load(o)
+                .putfield(f)
+                .iinc(i, 1)
+                .goto_(head);
+            mb.switch_to(exit).return_();
+        });
+        let p = pb.finish();
+        let run_mode = |mode: BarrierMode| {
+            let mut interp = Interp::new(&p, BarrierConfig::new(mode));
+            interp.run(m, &[Value::Int(50)], 100_000).unwrap();
+            (interp.stats.cycles, interp.stats.barrier_cycles)
+        };
+        let (none_c, none_b) = run_mode(BarrierMode::None);
+        let (chk_c, chk_b) = run_mode(BarrierMode::Checked);
+        let (log_c, log_b) = run_mode(BarrierMode::AlwaysLog);
+        assert_eq!(none_b, 0);
+        assert!(chk_b > 0 && log_b > chk_b, "chk={chk_b} log={log_b}");
+        assert!(none_c < chk_c && chk_c < log_c);
+    }
+
+    #[test]
+    fn gc_policy_completes_cycles_without_losing_objects() {
+        // Build a linked list of n nodes, then walk it; run with an
+        // aggressive GC policy so several cycles complete mid-run.
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("Node");
+        let next = pb.field(c, "next", Ty::Ref(c));
+        let m = pb.method("build_walk", vec![Ty::Int], Some(Ty::Int), 3, |mb| {
+            let n = mb.local(0);
+            let head_l = mb.local(1);
+            let i = mb.local(2);
+            let cur = mb.local(3);
+            let bhead = mb.new_block();
+            let bbody = mb.new_block();
+            let bwalk = mb.new_block();
+            let bwbody = mb.new_block();
+            let bexit = mb.new_block();
+            // head = new Node; i = 1
+            mb.new_object(c).store(head_l).iconst(1).store(i).goto_(bhead);
+            // while i < n: t = new Node; t.next = head; head = t
+            mb.switch_to(bhead).load(i).load(n).if_icmp(CmpOp::Lt, bbody, bwalk);
+            mb.switch_to(bbody)
+                .new_object(c)
+                .dup()
+                .load(head_l)
+                .putfield(next)
+                .store(head_l)
+                .iinc(i, 1)
+                .goto_(bhead);
+            // walk: count nodes
+            mb.switch_to(bwalk)
+                .iconst(0)
+                .store(i)
+                .load(head_l)
+                .store(cur)
+                .goto_(bwbody);
+            mb.switch_to(bwbody).load(cur).if_nonnull(bexit, bexit); // placeholder replaced below
+            mb.switch_to(bexit).load(i).return_value();
+        });
+        // Rewrite bwbody properly: if cur != null { i++; cur = cur.next; loop }
+        let p = {
+            let mut p = pb.finish();
+            use wbe_ir::{Block, Insn, Terminator};
+            let mth = p.method_mut(m);
+            // B4 (bwbody): load cur; if nonnull -> B6 else B5(exit)
+            let b6 = BlockId(6);
+            mth.blocks[4] = Block::new(
+                vec![Insn::Load(wbe_ir::LocalId(3))],
+                Terminator::If {
+                    cond: Cond::NonNull,
+                    then_: b6,
+                    else_: BlockId(5),
+                },
+            );
+            mth.blocks.push(Block::new(
+                vec![
+                    Insn::IInc(wbe_ir::LocalId(2), 1),
+                    Insn::Load(wbe_ir::LocalId(3)),
+                    Insn::GetField(next),
+                    Insn::Store(wbe_ir::LocalId(3)),
+                ],
+                Terminator::Goto(BlockId(4)),
+            ));
+            mth.refresh_size();
+            p.validate().unwrap();
+            p
+        };
+        let mut interp = Interp::new(&p, checked());
+        interp.set_gc_policy(GcPolicy {
+            alloc_trigger: 20,
+            step_interval: 8,
+            step_budget: 4,
+        });
+        let r = interp.run(m, &[Value::Int(200)], 1_000_000).unwrap();
+        assert_eq!(r, Some(Value::Int(200)), "all 200 nodes survive GC");
+        assert!(interp.stats.gc_cycles > 0, "GC actually ran");
+    }
+
+    #[test]
+    fn recursion_via_frames_not_rust_stack() {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.declare_method("down", vec![Ty::Int], Some(Ty::Int));
+        pb.define_method(f, 0, |mb| {
+            let n = mb.local(0);
+            let base = mb.new_block();
+            let rec = mb.new_block();
+            mb.load(n).if_zero(CmpOp::Le, base, rec);
+            mb.switch_to(base).iconst(0).return_value();
+            mb.switch_to(rec).load(n).iconst(1).sub().invoke(f).return_value();
+        });
+        let p = pb.finish();
+        let mut interp = Interp::new(&p, checked());
+        // Deep enough to smash a native stack if we recursed natively.
+        let r = interp.run(f, &[Value::Int(200_000)], 10_000_000).unwrap();
+        assert_eq!(r, Some(Value::Int(0)));
+    }
+
+    #[test]
+    fn swap_and_dup_x1() {
+        let mut pb = ProgramBuilder::new();
+        let m = pb.method("shuffle", vec![], Some(Ty::Int), 0, |mb| {
+            // push 1,2 ; swap -> 2,1 ; sub -> 2-1=1
+            mb.iconst(1).iconst(2).swap().sub().return_value();
+        });
+        let p = pb.finish();
+        let mut interp = Interp::new(&p, checked());
+        assert_eq!(interp.run(m, &[], 100).unwrap(), Some(Value::Int(1)));
+
+        let mut pb = ProgramBuilder::new();
+        let m = pb.method("dupx1", vec![], Some(Ty::Int), 0, |mb| {
+            // 5, 3 --dup_x1--> 3, 5, 3 ; sub -> 3, 2 ; add -> 5
+            mb.iconst(5).iconst(3).dup_x1().sub().add().return_value();
+        });
+        let p = pb.finish();
+        let mut interp = Interp::new(&p, checked());
+        assert_eq!(interp.run(m, &[], 100).unwrap(), Some(Value::Int(5)));
+    }
+
+    #[test]
+    fn statics_and_escape_behavior() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("C");
+        let root = pb.static_field("root", Ty::Ref(c));
+        let m = pb.method("publish", vec![], Some(Ty::Ref(c)), 0, |mb| {
+            mb.new_object(c).putstatic(root).getstatic(root).return_value();
+        });
+        let p = pb.finish();
+        let mut interp = Interp::new(&p, checked());
+        let r = interp.run(m, &[], 100).unwrap().unwrap();
+        assert!(matches!(r, Value::Ref(Some(_))));
+        assert_eq!(interp.heap.static_roots().len(), 1);
+    }
+
+    #[test]
+    fn class_mismatch_putfield_traps() {
+        let mut pb = ProgramBuilder::new();
+        let c1 = pb.class("A");
+        let c2 = pb.class("B");
+        let f2 = pb.field(c2, "x", Ty::Int);
+        let m = pb.method("bad", vec![], None, 0, |mb| {
+            mb.new_object(c1).iconst(1).putfield(f2).return_();
+        });
+        let p = pb.finish();
+        let mut interp = Interp::new(&p, checked());
+        assert!(matches!(
+            interp.run(m, &[], 100),
+            Err(Trap::TypeMismatch { .. })
+        ));
+    }
+}

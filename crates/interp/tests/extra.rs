@@ -1,0 +1,143 @@
+//! Additional interpreter behaviors: stats accumulation, barrier-mode
+//! bookkeeping, and incremental-update interactions.
+
+use wbe_heap::gc::MarkStyle;
+use wbe_interp::{BarrierConfig, BarrierMode, ElidedBarriers, GcPolicy, Interp, Value};
+use wbe_ir::builder::ProgramBuilder;
+use wbe_ir::{BlockId, CmpOp, InsnAddr, Ty};
+
+fn store_program() -> (wbe_ir::Program, wbe_ir::MethodId) {
+    let mut pb = ProgramBuilder::new();
+    let c = pb.class("C");
+    let f = pb.field(c, "f", Ty::Ref(c));
+    let g = pb.static_field("g", Ty::Ref(c));
+    let m = pb.method("stores", vec![], None, 2, |mb| {
+        let o = mb.local(0);
+        let q = mb.local(1);
+        mb.new_object(c).store(o);
+        mb.new_object(c).store(q);
+        mb.load(o).load(q).putfield(f); // pre-null
+        mb.load(o).load(o).putfield(f); // overwrite
+        mb.load(o).putstatic(g); // static store
+        mb.load(q).putstatic(g); // static overwrite
+        mb.return_();
+    });
+    (pb.finish(), m)
+}
+
+#[test]
+fn stats_accumulate_across_runs() {
+    let (p, m) = store_program();
+    let mut interp = Interp::new(&p, BarrierConfig::new(BarrierMode::Checked));
+    interp.run(m, &[], 1_000).unwrap();
+    let after_one = interp.stats.insns;
+    interp.run(m, &[], 1_000).unwrap();
+    assert_eq!(interp.stats.insns, after_one * 2);
+    let s = interp.stats.barrier.summarize(&ElidedBarriers::new());
+    assert_eq!(s.field_total, 4, "two stores per run, two runs");
+}
+
+#[test]
+fn always_log_counts_logs_even_when_idle() {
+    let (p, m) = store_program();
+    let mut interp = Interp::new(&p, BarrierConfig::new(BarrierMode::AlwaysLog));
+    interp.run(m, &[], 1_000).unwrap();
+    // The second field store overwrites a non-null value: logged (and
+    // dropped, since marking is idle). Static stores log only while
+    // marking — so exactly 1 log from the overwriting field store.
+    assert_eq!(interp.heap.gc.stats.satb_logs, 1);
+    assert!(interp.stats.barrier_cycles > 0);
+}
+
+#[test]
+fn checked_mode_logs_nothing_when_idle() {
+    let (p, m) = store_program();
+    let mut interp = Interp::new(&p, BarrierConfig::new(BarrierMode::Checked));
+    interp.run(m, &[], 1_000).unwrap();
+    assert_eq!(interp.heap.gc.stats.satb_logs, 0);
+}
+
+#[test]
+fn incremental_update_ignores_elision_sets() {
+    // Under an IU heap the card-mark barrier always runs; a (bogus)
+    // elision entry must not trigger the pre-null oracle.
+    let (p, m) = store_program();
+    let mut elided = ElidedBarriers::new();
+    for i in 0..16 {
+        elided.insert(m, InsnAddr::new(BlockId(0), i));
+    }
+    let cfg = BarrierConfig::with_elision(BarrierMode::Checked, elided);
+    let mut interp = Interp::with_style(&p, cfg, MarkStyle::IncrementalUpdate);
+    interp.run(m, &[], 1_000).unwrap();
+    assert_eq!(interp.stats.elided_executions, 0);
+    assert!(interp.heap.gc.stats.dirty_marks > 0);
+}
+
+#[test]
+fn gc_policy_default_is_reasonable() {
+    let policy = GcPolicy::default();
+    assert!(policy.alloc_trigger > 0);
+    assert!(policy.step_budget > 0);
+}
+
+#[test]
+fn static_overwrite_is_logged_during_marking() {
+    let mut pb = ProgramBuilder::new();
+    let c = pb.class("C");
+    let g = pb.static_field("g", Ty::Ref(c));
+    let m = pb.method("swap_static", vec![], None, 0, |mb| {
+        mb.new_object(c).putstatic(g);
+        mb.new_object(c).putstatic(g); // overwrites a non-null static
+        mb.return_();
+    });
+    let p = pb.finish();
+    let mut interp = Interp::new(&p, BarrierConfig::new(BarrierMode::Checked));
+    // Force marking on before running.
+    let h = &mut interp.heap;
+    h.gc.begin_marking(&mut h.store, &[]);
+    interp.run(m, &[], 1_000).unwrap();
+    assert!(interp.heap.gc.stats.satb_logs >= 1);
+    // The overwritten first object is snapshot-protected.
+    let roots = interp.heap.static_roots();
+    let ih = &mut interp.heap;
+    let pause = ih.gc.remark(&mut ih.store, &roots);
+    assert!(pause.log_drained >= 1);
+}
+
+#[test]
+fn run_after_trap_is_clean() {
+    let mut pb = ProgramBuilder::new();
+    let c = pb.class("C");
+    let f = pb.field(c, "f", Ty::Int);
+    let bad = pb.method("bad", vec![], None, 0, |mb| {
+        mb.const_null().iconst(1).putfield(f).return_();
+    });
+    let ok = pb.method("ok", vec![], Some(Ty::Int), 0, |mb| {
+        mb.iconst(42).return_value();
+    });
+    let p = pb.finish();
+    let mut interp = Interp::new(&p, BarrierConfig::new(BarrierMode::Checked));
+    assert!(interp.run(bad, &[], 100).is_err());
+    // The frame stack was abandoned; a fresh run works.
+    assert_eq!(interp.run(ok, &[], 100).unwrap(), Some(Value::Int(42)));
+}
+
+#[test]
+fn fuel_is_per_run_not_global() {
+    let mut pb = ProgramBuilder::new();
+    let m = pb.method("spin_some", vec![Ty::Int], None, 0, |mb| {
+        let n = mb.local(0);
+        let head = mb.new_block();
+        let body = mb.new_block();
+        let exit = mb.new_block();
+        mb.goto_(head);
+        mb.switch_to(head).load(n).if_zero(CmpOp::Gt, body, exit);
+        mb.switch_to(body).iinc(n, -1).goto_(head);
+        mb.switch_to(exit).return_();
+    });
+    let p = pb.finish();
+    let mut interp = Interp::new(&p, BarrierConfig::new(BarrierMode::Checked));
+    interp.run(m, &[Value::Int(100)], 600).unwrap();
+    // A second run gets its own fuel budget.
+    interp.run(m, &[Value::Int(100)], 600).unwrap();
+}

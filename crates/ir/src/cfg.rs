@@ -1,0 +1,139 @@
+//! Control-flow-graph utilities over method bodies.
+
+use crate::ids::BlockId;
+use crate::method::Method;
+
+/// Predecessor lists for every block of `method`, indexed by block.
+///
+/// Each list is in deterministic (block, edge) order and may contain a
+/// predecessor twice if both edges of an `If` target the same block.
+pub fn predecessors(method: &Method) -> Vec<Vec<BlockId>> {
+    let mut preds = vec![Vec::new(); method.blocks.len()];
+    for (bid, block) in method.iter_blocks() {
+        for succ in block.term.successors() {
+            preds[succ.index()].push(bid);
+        }
+    }
+    preds
+}
+
+/// Blocks reachable from the entry, in reverse postorder.
+///
+/// Reverse postorder visits a block before its successors on forward
+/// edges, which makes the analysis worklist converge in few passes.
+pub fn reverse_postorder(method: &Method) -> Vec<BlockId> {
+    let n = method.blocks.len();
+    let mut state = vec![0u8; n]; // 0 = unvisited, 1 = on stack, 2 = done
+    let mut postorder = Vec::with_capacity(n);
+    // Iterative DFS storing (block, next successor index).
+    let mut stack: Vec<(BlockId, Vec<BlockId>, usize)> = Vec::new();
+    let entry = method.entry();
+    state[entry.index()] = 1;
+    stack.push((entry, method.block(entry).term.successors().collect(), 0));
+    while let Some((bid, succs, idx)) = stack.last_mut() {
+        if let Some(&succ) = succs.get(*idx) {
+            *idx += 1;
+            if state[succ.index()] == 0 {
+                state[succ.index()] = 1;
+                stack.push((succ, method.block(succ).term.successors().collect(), 0));
+            }
+        } else {
+            state[bid.index()] = 2;
+            postorder.push(*bid);
+            stack.pop();
+        }
+    }
+    postorder.reverse();
+    postorder
+}
+
+/// Blocks unreachable from the entry.
+pub fn unreachable_blocks(method: &Method) -> Vec<BlockId> {
+    let reachable: std::collections::BTreeSet<_> =
+        reverse_postorder(method).into_iter().collect();
+    (0..method.blocks.len())
+        .map(BlockId::from_index)
+        .filter(|b| !reachable.contains(b))
+        .collect()
+}
+
+/// True if any block's terminator can branch back to a block at the same
+/// or an earlier reverse-postorder position (a quick loop detector used
+/// for diagnostics only — the analyses never need loop structure, per the
+/// paper).
+pub fn has_back_edge(method: &Method) -> bool {
+    let rpo = reverse_postorder(method);
+    let mut pos = vec![usize::MAX; method.blocks.len()];
+    for (i, b) in rpo.iter().enumerate() {
+        pos[b.index()] = i;
+    }
+    for &b in &rpo {
+        for succ in method.block(b).term.successors() {
+            if pos[succ.index()] <= pos[b.index()] {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::insn::CmpOp;
+    use crate::program::Ty;
+
+    fn looped() -> crate::program::Program {
+        let mut pb = ProgramBuilder::new();
+        pb.method("loop", vec![Ty::Int], None, 0, |mb| {
+            let n = mb.local(0);
+            let head = mb.new_block();
+            let body = mb.new_block();
+            let exit = mb.new_block();
+            mb.goto_(head);
+            mb.switch_to(head).load(n).if_zero(CmpOp::Gt, body, exit);
+            mb.switch_to(body).iinc(n, -1).goto_(head);
+            mb.switch_to(exit).return_();
+        });
+        pb.finish()
+    }
+
+    #[test]
+    fn rpo_visits_entry_first_and_all_blocks() {
+        let p = looped();
+        let rpo = reverse_postorder(&p.methods[0]);
+        assert_eq!(rpo[0], BlockId(0));
+        assert_eq!(rpo.len(), 4);
+    }
+
+    #[test]
+    fn predecessors_of_loop_head() {
+        let p = looped();
+        let preds = predecessors(&p.methods[0]);
+        // head (B1) has preds entry (B0) and body (B2).
+        assert_eq!(preds[1], vec![BlockId(0), BlockId(2)]);
+    }
+
+    #[test]
+    fn back_edge_detected() {
+        let p = looped();
+        assert!(has_back_edge(&p.methods[0]));
+        let mut pb = ProgramBuilder::new();
+        pb.method("straight", vec![], None, 0, |mb| {
+            mb.return_();
+        });
+        let p2 = pb.finish();
+        assert!(!has_back_edge(&p2.methods[0]));
+    }
+
+    #[test]
+    fn unreachable_blocks_found() {
+        let mut p = looped();
+        p.methods[0].blocks.push(crate::method::Block::new(
+            vec![],
+            crate::insn::Terminator::Return,
+        ));
+        assert_eq!(unreachable_blocks(&p.methods[0]), vec![BlockId(4)]);
+    }
+}

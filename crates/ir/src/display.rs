@@ -1,0 +1,237 @@
+//! Human-readable printing of methods and programs.
+//!
+//! The output is a compact assembly-like listing used in diagnostics,
+//! tests, and the harness's `--dump-ir` mode:
+//!
+//! ```text
+//! method m0 expand(a0: T[]) -> T[] locals=3
+//!   B0:
+//!     load l0
+//!     arraylength
+//!     ...
+//!     goto B1
+//! ```
+
+use std::fmt;
+
+use crate::insn::{CmpOp, Cond, Insn, Terminator};
+use crate::method::Method;
+use crate::program::{Program, Ty};
+
+/// Wraps a method together with its program for display.
+pub struct MethodDisplay<'a> {
+    program: &'a Program,
+    method: &'a Method,
+}
+
+/// Returns a displayable wrapper for `method`.
+pub fn method_display<'a>(program: &'a Program, method: &'a Method) -> MethodDisplay<'a> {
+    MethodDisplay { program, method }
+}
+
+fn ty_str(program: &Program, ty: Ty) -> String {
+    match ty {
+        Ty::Int => "int".to_string(),
+        Ty::Ref(c) => program.class(c).name.clone(),
+        Ty::RefArray(c) => format!("{}[]", program.class(c).name),
+        Ty::IntArray => "int[]".to_string(),
+    }
+}
+
+fn cmp_str(op: CmpOp) -> &'static str {
+    match op {
+        CmpOp::Eq => "eq",
+        CmpOp::Ne => "ne",
+        CmpOp::Lt => "lt",
+        CmpOp::Le => "le",
+        CmpOp::Gt => "gt",
+        CmpOp::Ge => "ge",
+    }
+}
+
+fn insn_str(program: &Program, insn: &Insn) -> String {
+    match *insn {
+        Insn::Const(v) => format!("const {v}"),
+        Insn::ConstNull => "const_null".into(),
+        Insn::Load(l) => format!("load {l}"),
+        Insn::Store(l) => format!("store {l}"),
+        Insn::IInc(l, d) => format!("iinc {l} {d:+}"),
+        Insn::Dup => "dup".into(),
+        Insn::DupX1 => "dup_x1".into(),
+        Insn::Pop => "pop".into(),
+        Insn::Swap => "swap".into(),
+        Insn::Add => "add".into(),
+        Insn::Sub => "sub".into(),
+        Insn::Mul => "mul".into(),
+        Insn::Div => "div".into(),
+        Insn::Rem => "rem".into(),
+        Insn::Neg => "neg".into(),
+        Insn::And => "and".into(),
+        Insn::Or => "or".into(),
+        Insn::Xor => "xor".into(),
+        Insn::Shl => "shl".into(),
+        Insn::Shr => "shr".into(),
+        Insn::GetField(f) => {
+            let fd = program.field(f);
+            format!("getfield {}.{}", program.class(fd.class).name, fd.name)
+        }
+        Insn::PutField(f) => {
+            let fd = program.field(f);
+            format!("putfield {}.{}", program.class(fd.class).name, fd.name)
+        }
+        Insn::GetStatic(s) => format!("getstatic {}", program.static_(s).name),
+        Insn::PutStatic(s) => format!("putstatic {}", program.static_(s).name),
+        Insn::AaLoad => "aaload".into(),
+        Insn::AaStore => "aastore".into(),
+        Insn::IaLoad => "iaload".into(),
+        Insn::IaStore => "iastore".into(),
+        Insn::ArrayLength => "arraylength".into(),
+        Insn::New { class, site } => {
+            format!("new {} @{site}", program.class(class).name)
+        }
+        Insn::NewRefArray { class, site } => {
+            format!("newarray {}[] @{site}", program.class(class).name)
+        }
+        Insn::NewIntArray { site } => format!("newarray int[] @{site}"),
+        Insn::Invoke(m) => format!("invoke {}", program.method(m).name),
+    }
+}
+
+fn term_str(term: &Terminator) -> String {
+    match *term {
+        Terminator::Goto(b) => format!("goto {b}"),
+        Terminator::If { cond, then_, else_ } => {
+            let c = match cond {
+                Cond::ICmp(op) => format!("icmp_{}", cmp_str(op)),
+                Cond::IZero(op) => format!("i{}z", cmp_str(op)),
+                Cond::IsNull => "null".into(),
+                Cond::NonNull => "nonnull".into(),
+                Cond::RefEq => "acmp_eq".into(),
+                Cond::RefNe => "acmp_ne".into(),
+            };
+            format!("if_{c} {then_} else {else_}")
+        }
+        Terminator::Return => "return".into(),
+        Terminator::ReturnValue => "return_value".into(),
+    }
+}
+
+impl fmt::Display for MethodDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let m = self.method;
+        let params: Vec<String> = m
+            .sig
+            .params
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| format!("a{i}: {}", ty_str(self.program, t)))
+            .collect();
+        let ret = m
+            .sig
+            .ret
+            .map(|t| format!(" -> {}", ty_str(self.program, t)))
+            .unwrap_or_default();
+        writeln!(
+            f,
+            "method {} {}({}){} locals={}{}",
+            m.id,
+            m.name,
+            params.join(", "),
+            ret,
+            m.num_locals,
+            if m.is_constructor { " ctor" } else { "" }
+        )?;
+        for (bid, block) in m.iter_blocks() {
+            writeln!(f, "  {bid}:")?;
+            for insn in &block.insns {
+                writeln!(f, "    {}", insn_str(self.program, insn))?;
+            }
+            writeln!(f, "    {}", term_str(&block.term))?;
+        }
+        Ok(())
+    }
+}
+
+/// Wraps a program for display: every class, static, and method.
+pub struct ProgramDisplay<'a>(&'a Program);
+
+/// Returns a displayable wrapper for `program`.
+pub fn program_display(program: &Program) -> ProgramDisplay<'_> {
+    ProgramDisplay(program)
+}
+
+impl fmt::Display for ProgramDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let p = self.0;
+        for class in &p.classes {
+            writeln!(f, "class {} {} {{", class.id, class.name)?;
+            for &fid in &class.fields {
+                let fd = p.field(fid);
+                writeln!(f, "  {}: {}", fd.name, ty_str(p, fd.ty))?;
+            }
+            writeln!(f, "}}")?;
+        }
+        for s in &p.statics {
+            writeln!(f, "static {} {}: {}", s.id, s.name, ty_str(p, s.ty))?;
+        }
+        for m in &p.methods {
+            write!(f, "{}", method_display(p, m))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::program::Ty;
+
+    #[test]
+    fn method_listing_contains_names_and_blocks() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("Node");
+        let next = pb.field(c, "next", Ty::Ref(c));
+        pb.method("link", vec![Ty::Ref(c)], None, 0, |mb| {
+            mb.load(mb.local(0))
+                .const_null()
+                .putfield(next)
+                .return_();
+        });
+        let p = pb.finish();
+        let s = method_display(&p, &p.methods[0]).to_string();
+        assert!(s.contains("method m0 link(a0: Node) locals=1"), "{s}");
+        assert!(s.contains("putfield Node.next"), "{s}");
+        assert!(s.contains("B0:"), "{s}");
+        assert!(s.contains("return"), "{s}");
+    }
+
+    #[test]
+    fn program_listing_contains_classes_and_statics() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("Point");
+        pb.field(c, "x", Ty::Int);
+        pb.static_field("root", Ty::Ref(c));
+        pb.method("noop", vec![], None, 0, |mb| {
+            mb.return_();
+        });
+        let p = pb.finish();
+        let s = program_display(&p).to_string();
+        assert!(s.contains("class C0 Point"), "{s}");
+        assert!(s.contains("x: int"), "{s}");
+        assert!(s.contains("static g0 root: Point"), "{s}");
+        assert!(s.contains("method m0 noop"), "{s}");
+    }
+
+    #[test]
+    fn allocation_sites_are_printed() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("C");
+        pb.method("alloc", vec![], None, 0, |mb| {
+            mb.iconst(4).new_ref_array(c).pop().return_();
+        });
+        let p = pb.finish();
+        let s = method_display(&p, &p.methods[0]).to_string();
+        assert!(s.contains("newarray C[] @site0"), "{s}");
+    }
+}

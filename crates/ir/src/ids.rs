@@ -1,0 +1,131 @@
+//! Strongly-typed identifiers for IR entities.
+//!
+//! Every program entity (class, field, static, method, basic block, local
+//! variable slot, allocation site) is referred to by a compact index
+//! newtype. Indices are dense: they index directly into the owning
+//! [`Program`](crate::Program) or [`Method`](crate::Method) tables.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident, $repr:ty, $prefix:expr) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub $repr);
+
+        impl $name {
+            /// Returns the raw index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Creates an id from a raw index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index` does not fit the id's representation.
+            #[inline]
+            pub fn from_index(index: usize) -> Self {
+                assert!(
+                    <$repr>::try_from(index).is_ok(),
+                    concat!(stringify!($name), " index out of range")
+                );
+                $name(index as $repr)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies a class declaration in a [`Program`](crate::Program).
+    ClassId,
+    u32,
+    "C"
+);
+id_type!(
+    /// Identifies an instance field declaration in a [`Program`](crate::Program).
+    FieldId,
+    u32,
+    "f"
+);
+id_type!(
+    /// Identifies a static (global) field in a [`Program`](crate::Program).
+    StaticId,
+    u32,
+    "g"
+);
+id_type!(
+    /// Identifies a method in a [`Program`](crate::Program).
+    MethodId,
+    u32,
+    "m"
+);
+id_type!(
+    /// Identifies a basic block within a [`Method`](crate::Method).
+    BlockId,
+    u32,
+    "B"
+);
+id_type!(
+    /// Identifies an allocation site.
+    ///
+    /// Site ids are unique across a whole [`Program`](crate::Program);
+    /// the inliner allocates fresh ids when it clones callee bodies so
+    /// that the analysis sees distinct sites per inlined copy.
+    SiteId,
+    u32,
+    "site"
+);
+id_type!(
+    /// Identifies a local variable slot within a method frame.
+    ///
+    /// Slots `0..sig.params.len()` hold the arguments on entry (slot 0 is
+    /// `this` for constructors and instance methods).
+    LocalId,
+    u16,
+    "l"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trip() {
+        let id = BlockId::from_index(7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(id, BlockId(7));
+    }
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(SiteId(3).to_string(), "site3");
+        assert_eq!(format!("{:?}", LocalId(2)), "l2");
+        assert_eq!(ClassId(0).to_string(), "C0");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_index_out_of_range_panics() {
+        let _ = LocalId::from_index(1 << 20);
+    }
+
+    #[test]
+    fn ordering_follows_indices() {
+        assert!(FieldId(1) < FieldId(2));
+        assert_eq!(MethodId::default(), MethodId(0));
+    }
+}

@@ -1,0 +1,774 @@
+//! Parsing the textual IR format emitted by [`crate::display`].
+//!
+//! The printer and this parser round-trip: for any program `p`,
+//! `parse_program(&program_display(p).to_string())` reconstructs a
+//! structurally identical program (entity ids are positional in both
+//! directions). The format lets programs live in `.wbe` files for the
+//! CLI tool, golden tests, and bug reports.
+//!
+//! ```text
+//! class C0 Node {
+//!   next: Node
+//!   weight: int
+//! }
+//! static g0 root: Node
+//! method m0 link(a0: Node, a1: Node) locals=2
+//!   B0:
+//!     load l0
+//!     load l1
+//!     putfield Node.next
+//!     return
+//! ```
+//!
+//! One caveat: the `owner` of non-constructor instance methods is not
+//! printed, so it is not reconstructed (constructors recover theirs
+//! from the first parameter type, which is all the analyses need).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::ids::{BlockId, ClassId, FieldId, LocalId, MethodId, SiteId, StaticId};
+use crate::insn::{CmpOp, Cond, Insn, Terminator};
+use crate::method::{Block, Method, MethodSig};
+use crate::program::{Class, FieldDecl, Program, StaticDecl, Ty};
+
+/// A parse failure, with a 1-based line number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the failure.
+    pub line: usize,
+    /// Explanation.
+    pub reason: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    lines: Vec<(usize, &'a str)>, // (1-based line no, trimmed content)
+    pos: usize,
+    program: Program,
+    class_ids: HashMap<String, ClassId>,
+    field_ids: HashMap<(ClassId, String), FieldId>,
+    static_ids: HashMap<String, StaticId>,
+    method_ids: HashMap<String, MethodId>,
+    max_site: Option<u32>,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, reason: impl Into<String>) -> ParseError {
+        // `pos` points one past the line being processed.
+        let idx = self
+            .pos
+            .saturating_sub(1)
+            .min(self.lines.len().saturating_sub(1));
+        let line = self.lines.get(idx).map(|(n, _)| *n).unwrap_or(0);
+        ParseError {
+            line,
+            reason: reason.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<&'a str> {
+        self.lines.get(self.pos).map(|(_, s)| *s)
+    }
+
+    fn next_line(&mut self) -> Option<&'a str> {
+        let l = self.peek()?;
+        self.pos += 1;
+        Some(l)
+    }
+
+    fn parse_ty(&self, s: &str) -> Result<Ty, ParseError> {
+        let s = s.trim();
+        if s == "int" {
+            return Ok(Ty::Int);
+        }
+        if s == "int[]" {
+            return Ok(Ty::IntArray);
+        }
+        if let Some(base) = s.strip_suffix("[]") {
+            let c = self
+                .class_ids
+                .get(base)
+                .ok_or_else(|| self.err(format!("unknown class '{base}'")))?;
+            return Ok(Ty::RefArray(*c));
+        }
+        let c = self
+            .class_ids
+            .get(s)
+            .ok_or_else(|| self.err(format!("unknown class '{s}'")))?;
+        Ok(Ty::Ref(*c))
+    }
+
+    fn parse_local(&self, s: &str) -> Result<LocalId, ParseError> {
+        s.strip_prefix('l')
+            .and_then(|n| n.parse::<u16>().ok())
+            .map(LocalId)
+            .ok_or_else(|| self.err(format!("expected local like 'l0', found '{s}'")))
+    }
+
+    fn parse_block_ref(&self, s: &str) -> Result<BlockId, ParseError> {
+        s.strip_prefix('B')
+            .and_then(|n| n.parse::<u32>().ok())
+            .map(BlockId)
+            .ok_or_else(|| self.err(format!("expected block like 'B0', found '{s}'")))
+    }
+
+    fn parse_site(&mut self, s: &str) -> Result<SiteId, ParseError> {
+        let n = s
+            .strip_prefix("@site")
+            .and_then(|n| n.parse::<u32>().ok())
+            .ok_or_else(|| self.err(format!("expected '@siteN', found '{s}'")))?;
+        self.max_site = Some(self.max_site.map_or(n, |m| m.max(n)));
+        Ok(SiteId(n))
+    }
+
+    fn parse_field_ref(&self, s: &str) -> Result<FieldId, ParseError> {
+        let (cls, fld) = s
+            .split_once('.')
+            .ok_or_else(|| self.err(format!("expected 'Class.field', found '{s}'")))?;
+        let c = self
+            .class_ids
+            .get(cls)
+            .ok_or_else(|| self.err(format!("unknown class '{cls}'")))?;
+        self.field_ids
+            .get(&(*c, fld.to_string()))
+            .copied()
+            .ok_or_else(|| self.err(format!("unknown field '{s}'")))
+    }
+
+    fn parse_cmp(&self, s: &str) -> Result<CmpOp, ParseError> {
+        Ok(match s {
+            "eq" => CmpOp::Eq,
+            "ne" => CmpOp::Ne,
+            "lt" => CmpOp::Lt,
+            "le" => CmpOp::Le,
+            "gt" => CmpOp::Gt,
+            "ge" => CmpOp::Ge,
+            _ => return Err(self.err(format!("unknown comparison '{s}'"))),
+        })
+    }
+
+    /// First pass over declarations: classes/fields/statics and method
+    /// headers (bodies are parsed in the second pass so forward
+    /// references resolve).
+    fn scan_declarations(&mut self) -> Result<(), ParseError> {
+        let mut pos = 0;
+        while pos < self.lines.len() {
+            self.pos = pos + 1;
+            let (_, line) = self.lines[pos];
+            let mut words = line.split_whitespace();
+            match words.next() {
+                Some("class") => {
+                    let _id = words.next();
+                    let name = words
+                        .next()
+                        .ok_or_else(|| self.err("class needs a name"))?
+                        .to_string();
+                    let cid = ClassId::from_index(self.program.classes.len());
+                    if self.class_ids.insert(name.clone(), cid).is_some() {
+                        return Err(self.err(format!("duplicate class '{name}'")));
+                    }
+                    self.program.classes.push(Class {
+                        id: cid,
+                        name,
+                        fields: Vec::new(),
+                    });
+                    pos += 1;
+                    // Field lines until the closing brace.
+                    while pos < self.lines.len() {
+                        let (_, fl) = self.lines[pos];
+                        if fl.starts_with('}') {
+                            pos += 1;
+                            break;
+                        }
+                        let (fname, _fty) = fl
+                            .split_once(':')
+                            .ok_or_else(|| self.err("field needs 'name: type'"))?;
+                        let fid = FieldId::from_index(self.program.fields.len());
+                        let offset = self.program.classes[cid.index()].fields.len();
+                        self.program.fields.push(FieldDecl {
+                            id: fid,
+                            class: cid,
+                            name: fname.trim().to_string(),
+                            ty: Ty::Int, // patched in resolve_field_types
+                            offset,
+                        });
+                        self.program.classes[cid.index()].fields.push(fid);
+                        self.field_ids
+                            .insert((cid, fname.trim().to_string()), fid);
+                        pos += 1;
+                    }
+                }
+                Some("static") => {
+                    let _id = words.next();
+                    let rest = line
+                        .splitn(3, ' ')
+                        .nth(2)
+                        .ok_or_else(|| self.err("static needs 'name: type'"))?;
+                    let (name, _ty) = rest
+                        .split_once(':')
+                        .ok_or_else(|| self.err("static needs 'name: type'"))?;
+                    let sid = StaticId::from_index(self.program.statics.len());
+                    self.static_ids.insert(name.trim().to_string(), sid);
+                    self.program.statics.push(StaticDecl {
+                        id: sid,
+                        name: name.trim().to_string(),
+                        ty: Ty::Int, // patched later
+                    });
+                    pos += 1;
+                }
+                Some("method") => {
+                    let _id = words.next();
+                    let name = line
+                        .split_whitespace()
+                        .nth(2)
+                        .and_then(|n| n.split('(').next())
+                        .ok_or_else(|| self.err("method needs a name"))?
+                        .to_string();
+                    let mid = MethodId::from_index(self.program.methods.len());
+                    if self.method_ids.insert(name.clone(), mid).is_some() {
+                        return Err(self.err(format!(
+                            "duplicate method name '{name}' (the text format needs unique names)"
+                        )));
+                    }
+                    self.program.methods.push(Method {
+                        id: mid,
+                        name,
+                        sig: MethodSig::default(),
+                        owner: None,
+                        is_constructor: false,
+                        num_locals: 0,
+                        blocks: Vec::new(),
+                        size: 0,
+                    });
+                    pos += 1;
+                }
+                _ => pos += 1,
+            }
+        }
+        Ok(())
+    }
+
+    /// Second sweep: field and static types (classes all known now).
+    fn resolve_types(&mut self) -> Result<(), ParseError> {
+        let mut pos = 0;
+        let mut fidx = 0usize;
+        let mut sidx = 0usize;
+        while pos < self.lines.len() {
+            self.pos = pos + 1;
+            let (_, line) = self.lines[pos];
+            if line.starts_with("class ") {
+                pos += 1;
+                while pos < self.lines.len() {
+                    let (_, fl) = self.lines[pos];
+                    if fl.starts_with('}') {
+                        pos += 1;
+                        break;
+                    }
+                    let (_, fty) = fl.split_once(':').expect("checked in pass 1");
+                    let ty = self.parse_ty(fty)?;
+                    self.program.fields[fidx].ty = ty;
+                    fidx += 1;
+                    pos += 1;
+                }
+            } else if line.starts_with("static ") {
+                let rest = line.splitn(3, ' ').nth(2).expect("checked in pass 1");
+                let (_, sty) = rest.split_once(':').expect("checked in pass 1");
+                let ty = self.parse_ty(sty)?;
+                self.program.statics[sidx].ty = ty;
+                sidx += 1;
+                pos += 1;
+            } else {
+                pos += 1;
+            }
+        }
+        Ok(())
+    }
+
+    fn parse_method_header(&mut self, line: &str, mid: MethodId) -> Result<(), ParseError> {
+        // method mN name(a0: T, a1: U) [-> R] locals=K [ctor]
+        let after = line
+            .strip_prefix("method ")
+            .ok_or_else(|| self.err("expected 'method'"))?;
+        let open = after
+            .find('(')
+            .ok_or_else(|| self.err("method needs '('"))?;
+        let close = after
+            .rfind(')')
+            .ok_or_else(|| self.err("method needs ')'"))?;
+        let params_src = &after[open + 1..close];
+        let tail = after[close + 1..].trim();
+
+        let mut params = Vec::new();
+        if !params_src.trim().is_empty() {
+            for p in params_src.split(',') {
+                let (_, ty) = p
+                    .split_once(':')
+                    .ok_or_else(|| self.err("parameter needs 'aN: type'"))?;
+                params.push(self.parse_ty(ty)?);
+            }
+        }
+        let (ret, tail) = if let Some(rest) = tail.strip_prefix("->") {
+            let (ty_str, rest2) = rest
+                .trim_start()
+                .split_once(" locals=")
+                .ok_or_else(|| self.err("method needs 'locals=N'"))?;
+            (Some(self.parse_ty(ty_str)?), format!("locals={rest2}"))
+        } else {
+            (None, tail.to_string())
+        };
+        let tail = tail
+            .strip_prefix("locals=")
+            .ok_or_else(|| self.err("method needs 'locals=N'"))?;
+        let mut tail_words = tail.split_whitespace();
+        let num_locals: u16 = tail_words
+            .next()
+            .and_then(|n| n.parse().ok())
+            .ok_or_else(|| self.err("bad locals count"))?;
+        let is_ctor = tail_words.next() == Some("ctor");
+        let owner = if is_ctor {
+            match params.first() {
+                Some(Ty::Ref(c)) => Some(*c),
+                _ => return Err(self.err("constructor's first parameter must be its class")),
+            }
+        } else {
+            None
+        };
+        let m = &mut self.program.methods[mid.index()];
+        m.sig = MethodSig::new(params, ret);
+        m.num_locals = num_locals;
+        m.is_constructor = is_ctor;
+        m.owner = owner;
+        Ok(())
+    }
+
+    fn parse_insn(&mut self, line: &str) -> Result<Option<Insn>, ParseError> {
+        let mut w = line.split_whitespace();
+        let op = w.next().ok_or_else(|| self.err("empty instruction"))?;
+        let arg = |p: &Self, w: &mut std::str::SplitWhitespace<'_>| -> Result<String, ParseError> {
+            w.next()
+                .map(str::to_string)
+                .ok_or_else(|| p.err(format!("'{op}' needs an operand")))
+        };
+        let insn = match op {
+            "const" => Insn::Const(
+                arg(self, &mut w)?
+                    .parse()
+                    .map_err(|_| self.err("bad integer constant"))?,
+            ),
+            "const_null" => Insn::ConstNull,
+            "load" => Insn::Load(self.parse_local(&arg(self, &mut w)?)?),
+            "store" => Insn::Store(self.parse_local(&arg(self, &mut w)?)?),
+            "iinc" => {
+                let l = self.parse_local(&arg(self, &mut w)?)?;
+                let d: i64 = arg(self, &mut w)?
+                    .parse()
+                    .map_err(|_| self.err("bad iinc delta"))?;
+                Insn::IInc(l, d)
+            }
+            "dup" => Insn::Dup,
+            "dup_x1" => Insn::DupX1,
+            "pop" => Insn::Pop,
+            "swap" => Insn::Swap,
+            "add" => Insn::Add,
+            "sub" => Insn::Sub,
+            "mul" => Insn::Mul,
+            "div" => Insn::Div,
+            "rem" => Insn::Rem,
+            "neg" => Insn::Neg,
+            "and" => Insn::And,
+            "or" => Insn::Or,
+            "xor" => Insn::Xor,
+            "shl" => Insn::Shl,
+            "shr" => Insn::Shr,
+            "getfield" => Insn::GetField(self.parse_field_ref(&arg(self, &mut w)?)?),
+            "putfield" => Insn::PutField(self.parse_field_ref(&arg(self, &mut w)?)?),
+            "getstatic" => {
+                let n = arg(self, &mut w)?;
+                Insn::GetStatic(
+                    *self
+                        .static_ids
+                        .get(&n)
+                        .ok_or_else(|| self.err(format!("unknown static '{n}'")))?,
+                )
+            }
+            "putstatic" => {
+                let n = arg(self, &mut w)?;
+                Insn::PutStatic(
+                    *self
+                        .static_ids
+                        .get(&n)
+                        .ok_or_else(|| self.err(format!("unknown static '{n}'")))?,
+                )
+            }
+            "aaload" => Insn::AaLoad,
+            "aastore" => Insn::AaStore,
+            "iaload" => Insn::IaLoad,
+            "iastore" => Insn::IaStore,
+            "arraylength" => Insn::ArrayLength,
+            "new" => {
+                let cls = arg(self, &mut w)?;
+                let c = *self
+                    .class_ids
+                    .get(&cls)
+                    .ok_or_else(|| self.err(format!("unknown class '{cls}'")))?;
+                let site = self.parse_site(&arg(self, &mut w)?)?;
+                Insn::New { class: c, site }
+            }
+            "newarray" => {
+                let elem = arg(self, &mut w)?;
+                let site_tok = arg(self, &mut w)?;
+                let site = self.parse_site(&site_tok)?;
+                if elem == "int[]" {
+                    Insn::NewIntArray { site }
+                } else {
+                    let base = elem
+                        .strip_suffix("[]")
+                        .ok_or_else(|| self.err("newarray needs 'T[]'"))?;
+                    let c = *self
+                        .class_ids
+                        .get(base)
+                        .ok_or_else(|| self.err(format!("unknown class '{base}'")))?;
+                    Insn::NewRefArray { class: c, site }
+                }
+            }
+            "invoke" => {
+                let n = arg(self, &mut w)?;
+                Insn::Invoke(
+                    *self
+                        .method_ids
+                        .get(&n)
+                        .ok_or_else(|| self.err(format!("unknown method '{n}'")))?,
+                )
+            }
+            _ => return Ok(None), // not an instruction: caller tries terminator
+        };
+        Ok(Some(insn))
+    }
+
+    fn parse_terminator(&self, line: &str) -> Result<Option<Terminator>, ParseError> {
+        let mut w = line.split_whitespace();
+        let op = w.next().ok_or_else(|| self.err("empty terminator"))?;
+        let t = match op {
+            "goto" => Terminator::Goto(self.parse_block_ref(
+                w.next().ok_or_else(|| self.err("goto needs a target"))?,
+            )?),
+            "return" => Terminator::Return,
+            "return_value" => Terminator::ReturnValue,
+            _ if op.starts_with("if_") => {
+                let cond_str = &op[3..];
+                let cond = if let Some(c) = cond_str.strip_prefix("icmp_") {
+                    Cond::ICmp(self.parse_cmp(c)?)
+                } else if cond_str == "null" {
+                    Cond::IsNull
+                } else if cond_str == "nonnull" {
+                    Cond::NonNull
+                } else if cond_str == "acmp_eq" {
+                    Cond::RefEq
+                } else if cond_str == "acmp_ne" {
+                    Cond::RefNe
+                } else if let Some(c) = cond_str
+                    .strip_prefix('i')
+                    .and_then(|c| c.strip_suffix('z'))
+                {
+                    Cond::IZero(self.parse_cmp(c)?)
+                } else {
+                    return Err(self.err(format!("unknown condition '{cond_str}'")));
+                };
+                let then_ = self.parse_block_ref(
+                    w.next().ok_or_else(|| self.err("if needs a then-target"))?,
+                )?;
+                let kw = w.next();
+                if kw != Some("else") {
+                    return Err(self.err("if needs 'else'"));
+                }
+                let else_ = self.parse_block_ref(
+                    w.next().ok_or_else(|| self.err("if needs an else-target"))?,
+                )?;
+                Terminator::If { cond, then_, else_ }
+            }
+            _ => return Ok(None),
+        };
+        Ok(Some(t))
+    }
+
+    fn parse_bodies(&mut self) -> Result<(), ParseError> {
+        self.pos = 0;
+        let mut current_method: Option<MethodId> = None;
+        let mut blocks: Vec<Block> = Vec::new();
+        let mut insns: Vec<Insn> = Vec::new();
+        let mut in_block = false;
+
+        macro_rules! finish_method {
+            ($self:ident) => {
+                if let Some(mid) = current_method.take() {
+                    if in_block {
+                        return Err($self.err("block without terminator at method end"));
+                    }
+                    let m = &mut $self.program.methods[mid.index()];
+                    m.blocks = std::mem::take(&mut blocks);
+                    m.refresh_size();
+                }
+            };
+        }
+
+        while let Some(line) = self.next_line() {
+            if line.starts_with("class ") || line.starts_with("static ") {
+                finish_method!(self);
+                // Skip class bodies.
+                if line.starts_with("class ") {
+                    while let Some(l) = self.peek() {
+                        let done = l.starts_with('}');
+                        self.pos += 1;
+                        if done {
+                            break;
+                        }
+                    }
+                }
+                continue;
+            }
+            if line.starts_with("method ") {
+                finish_method!(self);
+                let name = line
+                    .split_whitespace()
+                    .nth(2)
+                    .and_then(|n| n.split('(').next())
+                    .ok_or_else(|| self.err("method needs a name"))?;
+                let mid = *self
+                    .method_ids
+                    .get(name)
+                    .ok_or_else(|| self.err(format!("unknown method '{name}'")))?;
+                self.parse_method_header(line, mid)?;
+                current_method = Some(mid);
+                continue;
+            }
+            if line.ends_with(':') && line.starts_with('B') {
+                if in_block {
+                    return Err(self.err("previous block has no terminator"));
+                }
+                let label = self.parse_block_ref(&line[..line.len() - 1])?;
+                if label.index() != blocks.len() {
+                    return Err(self.err(format!(
+                        "blocks must appear in order: expected B{}, found {label}",
+                        blocks.len()
+                    )));
+                }
+                in_block = true;
+                continue;
+            }
+            if current_method.is_none() || !in_block {
+                if line.is_empty() {
+                    continue;
+                }
+                return Err(self.err(format!("unexpected line '{line}'")));
+            }
+            // Instruction or terminator inside the current block.
+            if let Some(t) = self.parse_terminator(line)? {
+                blocks.push(Block::new(std::mem::take(&mut insns), t));
+                in_block = false;
+            } else if let Some(i) = self.parse_insn(line)? {
+                insns.push(i);
+            } else {
+                return Err(self.err(format!("unknown instruction '{line}'")));
+            }
+        }
+        finish_method!(self);
+        Ok(())
+    }
+}
+
+/// Parses a whole program from the textual format.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with a line number on malformed input,
+/// unknown names, or out-of-order declarations.
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    let lines: Vec<(usize, &str)> = src
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with("//") && !l.starts_with('#'))
+        .collect();
+    let mut parser = Parser {
+        lines,
+        pos: 0,
+        program: Program::new(),
+        class_ids: HashMap::new(),
+        field_ids: HashMap::new(),
+        static_ids: HashMap::new(),
+        method_ids: HashMap::new(),
+        max_site: None,
+    };
+    parser.scan_declarations()?;
+    parser.resolve_types()?;
+    parser.parse_bodies()?;
+    parser.program.next_site = parser.max_site.map_or(0, |m| m + 1);
+    Ok(parser.program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::display::program_display;
+
+    fn round_trip(p: &Program) -> Program {
+        let text = program_display(p).to_string();
+        parse_program(&text).unwrap_or_else(|e| panic!("parse failed: {e}\n{text}"))
+    }
+
+    #[test]
+    fn simple_round_trip_is_structural_identity() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("Node");
+        let next = pb.field(c, "next", Ty::Ref(c));
+        pb.field(c, "weight", Ty::Int);
+        pb.static_field("root", Ty::Ref(c));
+        pb.static_field("count", Ty::Int);
+        pb.method("link", vec![Ty::Ref(c), Ty::Ref(c)], None, 0, |mb| {
+            let a = mb.local(0);
+            let b = mb.local(1);
+            mb.load(a).load(b).putfield(next).return_();
+        });
+        let p = pb.finish();
+        let q = round_trip(&p);
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn full_instruction_coverage_round_trip() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("T");
+        let fr = pb.field(c, "r", Ty::Ref(c));
+        let g = pb.static_field("g", Ty::Ref(c));
+        let callee = pb.method("callee", vec![Ty::Int], Some(Ty::Int), 0, |mb| {
+            let x = mb.local(0);
+            mb.load(x).return_value();
+        });
+        pb.method("everything", vec![Ty::Int], Some(Ty::Int), 4, |mb| {
+            let n = mb.local(0);
+            let o = mb.local(1);
+            let arr = mb.local(2);
+            let ia = mb.local(3);
+            let t = mb.local(4);
+            let b1 = mb.new_block();
+            let b2 = mb.new_block();
+            let b3 = mb.new_block();
+            // arithmetic and stack ops
+            mb.iconst(3).iconst(4).add().iconst(2).sub().iconst(5).mul();
+            mb.iconst(3).div().iconst(2).rem().neg();
+            mb.iconst(1).and().iconst(2).or().iconst(3).xor();
+            mb.iconst(1).shl().iconst(1).shr();
+            mb.dup().pop().iconst(9).swap().dup_x1().pop().pop().store(t);
+            // heap ops
+            mb.new_object(c).store(o);
+            mb.load(o).load(o).getfield(fr).putfield(fr);
+            mb.load(o).putstatic(g);
+            mb.getstatic(g).pop();
+            mb.iconst(4).new_ref_array(c).store(arr);
+            mb.load(arr).iconst(0).const_null().aastore();
+            mb.load(arr).iconst(0).aaload().pop();
+            mb.iconst(4).new_int_array().store(ia);
+            mb.load(ia).iconst(0).iconst(7).iastore();
+            mb.load(ia).iconst(0).iaload().pop();
+            mb.load(arr).arraylength().pop();
+            mb.iinc(t, -3);
+            // calls and branches
+            mb.load(n).invoke(callee).store(t);
+            mb.load(t).if_zero(CmpOp::Ge, b1, b2);
+            mb.switch_to(b1).load(o).if_null(b2, b3);
+            mb.switch_to(b2).iconst(0).return_value();
+            mb.switch_to(b3)
+                .load(o)
+                .getstatic(g)
+                .if_acmp_eq(b2, b2);
+        });
+        let p = pb.finish();
+        p.validate().unwrap();
+        let q = round_trip(&p);
+        assert_eq!(p, q);
+        // And the re-printed text is identical.
+        assert_eq!(
+            program_display(&p).to_string(),
+            program_display(&q).to_string()
+        );
+    }
+
+    #[test]
+    fn constructors_recover_owner_and_flag() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("Point");
+        let fx = pb.field(c, "x", Ty::Int);
+        let ctor = pb.declare_constructor(c, vec![Ty::Int]);
+        pb.define_method(ctor, 0, |mb| {
+            let this = mb.local(0);
+            let v = mb.local(1);
+            mb.load(this).load(v).putfield(fx).return_();
+        });
+        let p = pb.finish();
+        let q = round_trip(&p);
+        assert_eq!(p, q);
+        assert!(q.method(ctor).is_constructor);
+        assert_eq!(q.method(ctor).owner, Some(c));
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let bad = "method m0 f() locals=0\n  B0:\n    frobnicate\n    return\n";
+        let e = parse_program(bad).unwrap_err();
+        assert_eq!(e.line, 3, "{e}");
+        assert!(e.reason.contains("frobnicate"), "{e}");
+    }
+
+    #[test]
+    fn unknown_names_are_rejected() {
+        let bad = "method m0 f() locals=0\n  B0:\n    getstatic nope\n    return\n";
+        assert!(parse_program(bad).is_err());
+        let bad = "method m0 f() locals=0\n  B0:\n    invoke ghost\n    return\n";
+        assert!(parse_program(bad).is_err());
+        let bad = "method m0 f(a0: Ghost) locals=1\n  B0:\n    return\n";
+        assert!(parse_program(bad).is_err());
+    }
+
+    #[test]
+    fn out_of_order_blocks_rejected() {
+        let bad = "method m0 f() locals=0\n  B1:\n    return\n";
+        let e = parse_program(bad).unwrap_err();
+        assert!(e.reason.contains("order"), "{e}");
+    }
+
+    #[test]
+    fn missing_terminator_rejected() {
+        let bad = "method m0 f() locals=0\n  B0:\n    const 1\n";
+        let e = parse_program(bad).unwrap_err();
+        assert!(e.reason.contains("terminator"), "{e}");
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let src = "\n// a comment\nmethod m0 f() locals=0\n\n  B0:\n    # another\n    return\n";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.methods.len(), 1);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn next_site_restored_from_max() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("C");
+        pb.method("alloc", vec![], None, 0, |mb| {
+            mb.new_object(c).pop().new_object(c).pop().return_();
+        });
+        let p = pb.finish();
+        let q = round_trip(&p);
+        assert_eq!(q.next_site, p.next_site);
+    }
+}

@@ -1,0 +1,306 @@
+//! The compilation pipeline: inline → analyze → annotate.
+//!
+//! This is the shape of the paper's JIT integration: inlining first
+//! (§2.4, §4.4), then the elision analyses, producing a program plus the
+//! set of store sites that need no SATB barrier. The three optimization
+//! modes of Figures 2–3 are expressed as [`OptMode`]:
+//! **B** (baseline, no analysis), **F** (field analysis only), and
+//! **A** (field + array analyses).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::Duration;
+
+use wbe_analysis::{analyze_program, nullsame, AnalysisConfig, ProgramAnalysis};
+use wbe_ir::{InsnAddr, MethodId, Program};
+
+use crate::codesize;
+use crate::inline::{inline_program, InlineConfig, InlineStats};
+
+/// Optimization mode (the B/F/A series of Figures 2 and 3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OptMode {
+    /// No barrier-elision analysis.
+    Baseline,
+    /// Field analysis only (§2).
+    FieldOnly,
+    /// Field and array analyses (§2 + §3).
+    Full,
+}
+
+impl OptMode {
+    /// All three modes, in presentation order.
+    pub const ALL: [OptMode; 3] = [OptMode::Baseline, OptMode::FieldOnly, OptMode::Full];
+
+    /// The figure label used by the paper ("B", "F", "A").
+    pub fn label(self) -> &'static str {
+        match self {
+            OptMode::Baseline => "B",
+            OptMode::FieldOnly => "F",
+            OptMode::Full => "A",
+        }
+    }
+
+    /// The analysis configuration for this mode, if any analysis runs.
+    pub fn analysis_config(self) -> Option<AnalysisConfig> {
+        match self {
+            OptMode::Baseline => None,
+            OptMode::FieldOnly => Some(AnalysisConfig::field_only()),
+            OptMode::Full => Some(AnalysisConfig::full()),
+        }
+    }
+}
+
+/// Pipeline parameters.
+#[derive(Clone, Debug)]
+pub struct PipelineConfig {
+    /// Inline limit (paper's Figure 2 x-axis). 100 is the level used
+    /// for the headline Table 1 results.
+    pub inline: InlineConfig,
+    /// Optimization mode.
+    pub mode: OptMode,
+    /// Overrides the mode's analysis configuration (for ablations).
+    pub analysis_override: Option<AnalysisConfig>,
+    /// Also run the §4.3 null-or-same analysis (off by default: it is
+    /// the paper's future-work extension, not part of Tables 1-2).
+    pub null_or_same: bool,
+    /// Run constant/branch folding and dead-block removal after
+    /// inlining, before the analyses (off by default so experiment
+    /// instruction counts stay directly comparable to the source).
+    pub fold: bool,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            inline: InlineConfig::with_limit(100),
+            mode: OptMode::Full,
+            analysis_override: None,
+            null_or_same: false,
+            fold: false,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// Standard config for a mode at an inline limit.
+    pub fn new(mode: OptMode, inline_limit: usize) -> Self {
+        PipelineConfig {
+            inline: InlineConfig::with_limit(inline_limit),
+            mode,
+            analysis_override: None,
+            null_or_same: false,
+            fold: false,
+        }
+    }
+
+    /// Enables post-inline folding.
+    pub fn with_fold(mut self) -> Self {
+        self.fold = true;
+        self
+    }
+
+    /// Enables the §4.3 null-or-same extension.
+    pub fn with_null_or_same(mut self) -> Self {
+        self.null_or_same = true;
+        self
+    }
+}
+
+/// A compiled program: the inlined code plus elision results and costs.
+#[derive(Debug)]
+pub struct Compiled {
+    /// The program after inlining.
+    pub program: Program,
+    /// Inlining statistics.
+    pub inline_stats: InlineStats,
+    /// Time spent inlining.
+    pub inline_time: Duration,
+    /// Analysis results (`None` in baseline mode).
+    pub analysis: Option<ProgramAnalysis>,
+    /// §4.3 null-or-same sites per method (empty unless enabled).
+    pub null_or_same: BTreeMap<MethodId, BTreeSet<InsnAddr>>,
+}
+
+impl Compiled {
+    /// Elided sites for one method (empty in baseline mode).
+    pub fn elided_of(&self, mid: MethodId) -> BTreeSet<InsnAddr> {
+        self.analysis
+            .as_ref()
+            .and_then(|a| a.methods.get(&mid))
+            .map(|m| m.elided.clone())
+            .unwrap_or_default()
+    }
+
+    /// All `(method, site)` pairs elided by the pre-null analyses.
+    pub fn elided_sites(&self) -> Vec<(MethodId, InsnAddr)> {
+        self.analysis
+            .as_ref()
+            .map(|a| a.iter_elided().collect())
+            .unwrap_or_default()
+    }
+
+    /// All `(method, site)` pairs elidable by the §4.3 null-or-same
+    /// analysis (empty unless enabled in the config).
+    pub fn null_or_same_sites(&self) -> Vec<(MethodId, InsnAddr)> {
+        self.null_or_same
+            .iter()
+            .flat_map(|(&m, s)| s.iter().map(move |&a| (m, a)))
+            .collect()
+    }
+
+    /// Analysis wall-clock time (zero in baseline mode) — Figure 2's
+    /// compile-time series.
+    pub fn analysis_time(&self) -> Duration {
+        self.analysis
+            .as_ref()
+            .map(|a| a.elapsed)
+            .unwrap_or_default()
+    }
+
+    /// Modeled compiled code size in bytes (Figure 3).
+    pub fn code_size(&self) -> usize {
+        codesize::program_code_size(&self.program, |mid| self.elided_of(mid))
+    }
+
+    /// Static count of barrier sites in the compiled program.
+    pub fn barrier_sites(&self) -> usize {
+        self.program
+            .iter_methods()
+            .flat_map(|(_, m)| m.iter_insns())
+            .filter(|(_, _, i)| match i {
+                wbe_ir::Insn::PutField(f) => self.program.field(*f).ty.is_ref_like(),
+                wbe_ir::Insn::AaStore => true,
+                _ => false,
+            })
+            .count()
+    }
+}
+
+/// Runs the pipeline on `program`.
+pub fn compile(program: &Program, config: &PipelineConfig) -> Compiled {
+    let t0 = std::time::Instant::now();
+    let (mut inlined, inline_stats) = inline_program(program, config.inline);
+    if config.fold {
+        crate::fold::fold_program(&mut inlined);
+    }
+    let inlined = inlined;
+    let inline_time = t0.elapsed();
+    debug_assert!(inlined.validate().is_ok(), "inliner broke the program");
+    debug_assert!(
+        wbe_ir::type_check_program(&inlined).is_ok(),
+        "inliner broke typing: {:?}",
+        wbe_ir::type_check_program(&inlined)
+    );
+    let analysis_config = config
+        .analysis_override
+        .or_else(|| config.mode.analysis_config());
+    let analysis = analysis_config.map(|c| analyze_program(&inlined, &c));
+    let null_or_same = if config.null_or_same {
+        nullsame::analyze_program(&inlined)
+    } else {
+        BTreeMap::new()
+    };
+    Compiled {
+        program: inlined,
+        inline_stats,
+        inline_time,
+        analysis,
+        null_or_same,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wbe_ir::builder::ProgramBuilder;
+    use wbe_ir::Ty;
+
+    fn sample() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("C");
+        let f = pb.field(c, "f", Ty::Ref(c));
+        let ctor = pb.declare_constructor(c, vec![Ty::Ref(c)]);
+        pb.define_method(ctor, 0, |mb| {
+            let this = mb.local(0);
+            let v = mb.local(1);
+            mb.load(this).load(v).putfield(f).return_();
+        });
+        pb.method("main", vec![Ty::Ref(c)], None, 0, |mb| {
+            let arg = mb.local(0);
+            mb.new_object(c).dup().load(arg).invoke(ctor).pop().return_();
+        });
+        pb.finish()
+    }
+
+    #[test]
+    fn modes_order_elision_counts() {
+        let p = sample();
+        let b = compile(&p, &PipelineConfig::new(OptMode::Baseline, 100));
+        let f = compile(&p, &PipelineConfig::new(OptMode::FieldOnly, 100));
+        let a = compile(&p, &PipelineConfig::new(OptMode::Full, 100));
+        assert!(b.analysis.is_none());
+        assert_eq!(b.elided_sites().len(), 0);
+        assert!(f.elided_sites().len() <= a.elided_sites().len());
+        assert!(!a.elided_sites().is_empty());
+    }
+
+    #[test]
+    fn code_size_shrinks_with_elision() {
+        let p = sample();
+        let b = compile(&p, &PipelineConfig::new(OptMode::Baseline, 100));
+        let a = compile(&p, &PipelineConfig::new(OptMode::Full, 100));
+        assert!(a.code_size() < b.code_size());
+    }
+
+    #[test]
+    fn inline_limit_gates_elision() {
+        let p = sample();
+        let no_inline = compile(&p, &PipelineConfig::new(OptMode::Full, 0));
+        let inline = compile(&p, &PipelineConfig::new(OptMode::Full, 100));
+        assert_eq!(no_inline.elided_sites().len() , 1, "ctor body store only");
+        // With inlining, main's inlined store is also elided (2 total:
+        // one in the dead original ctor, one in main).
+        assert!(inline.elided_sites().len() >= 2);
+        assert!(inline.inline_stats.inlined_calls >= 1);
+    }
+
+    #[test]
+    fn labels_and_configs() {
+        assert_eq!(OptMode::Baseline.label(), "B");
+        assert_eq!(OptMode::FieldOnly.label(), "F");
+        assert_eq!(OptMode::Full.label(), "A");
+        assert!(OptMode::Baseline.analysis_config().is_none());
+        assert!(!OptMode::FieldOnly
+            .analysis_config()
+            .unwrap()
+            .array_analysis);
+        assert!(OptMode::Full.analysis_config().unwrap().array_analysis);
+    }
+
+    #[test]
+    fn null_or_same_extension_is_opt_in() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("C");
+        let f = pb.field(c, "f", Ty::Ref(c));
+        pb.method("refresh", vec![Ty::Ref(c)], None, 0, |mb| {
+            let o = mb.local(0);
+            mb.load(o).load(o).getfield(f).putfield(f).return_();
+        });
+        let p = pb.finish();
+        let base = compile(&p, &PipelineConfig::new(OptMode::Full, 100));
+        assert!(base.null_or_same_sites().is_empty());
+        assert!(base.elided_sites().is_empty(), "refresh is not pre-null");
+        let cfg = PipelineConfig::new(OptMode::Full, 100).with_null_or_same();
+        let ext = compile(&p, &cfg);
+        assert_eq!(ext.null_or_same_sites().len(), 1);
+    }
+
+    #[test]
+    fn barrier_site_count() {
+        let p = sample();
+        let c = compile(&p, &PipelineConfig::new(OptMode::Baseline, 0));
+        assert_eq!(c.barrier_sites(), 1);
+        let c = compile(&p, &PipelineConfig::new(OptMode::Baseline, 100));
+        assert_eq!(c.barrier_sites(), 2, "inlined copy adds a site");
+    }
+}

@@ -1,0 +1,624 @@
+//! §4.3 **array rearrangement** recognition.
+//!
+//! The paper observes that hot store sites in `db` and `jbb` sit in
+//! loops that *rearrange* object arrays — swaps, and "delete one element
+//! by moving all higher elements down by one index". Such a group of
+//! stores, taken atomically, only overwrites a handful of references:
+//! everything else is a permutation, so per-store SATB logging is
+//! redundant. The proposed optimistic protocol: log the genuinely
+//! overwritten value once, execute the remaining stores without logging,
+//! and consult the array's tracing state — if the concurrent marker may
+//! have scanned the array mid-rearrangement, push the whole array onto a
+//! retrace list that the collector re-scans with the world stopped.
+//!
+//! This module is the *compiler side*: it recognizes shift-down groups
+//! (`a[j+k] = a[j+k+1]` for consecutive `k`) in straight-line code. The
+//! runtime side (tracing-state check + retrace list) lives in
+//! `wbe-heap`/`wbe-interp`.
+
+use std::collections::HashMap;
+
+use wbe_ir::{Insn, InsnAddr, LocalId, Method, MethodId, Program, StaticId};
+
+/// How the rearranged array is named in the pattern.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ArraySrc {
+    /// Loaded from a local.
+    Local(LocalId),
+    /// Loaded from a static.
+    Static(StaticId),
+}
+
+/// Role of a store inside a recognized group.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ShiftRole {
+    /// The first store: its overwritten value is the one reference the
+    /// whole group deletes, so it keeps a (single) SATB log.
+    First,
+    /// A subsequent store: its overwritten value still exists at a lower
+    /// index, so logging is skipped; the tracing state is checked
+    /// instead.
+    Member,
+}
+
+/// One recognized shift-down group.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShiftGroup {
+    /// The stores, in order; `stores[0]` has [`ShiftRole::First`].
+    pub stores: Vec<InsnAddr>,
+}
+
+/// Per-program map of every store that belongs to a shift group.
+#[derive(Clone, Debug, Default)]
+pub struct RearrangePlan {
+    roles: HashMap<(MethodId, InsnAddr), ShiftRole>,
+    groups: usize,
+}
+
+impl RearrangePlan {
+    /// The role of a store site, if it belongs to a group.
+    pub fn role(&self, method: MethodId, addr: InsnAddr) -> Option<ShiftRole> {
+        self.roles.get(&(method, addr)).copied()
+    }
+
+    /// Number of recognized groups.
+    pub fn group_count(&self) -> usize {
+        self.groups
+    }
+
+    /// Number of member stores whose logging is skipped.
+    pub fn member_count(&self) -> usize {
+        self.roles
+            .values()
+            .filter(|r| **r == ShiftRole::Member)
+            .count()
+    }
+
+    /// Iterates all `(method, addr, role)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = (MethodId, InsnAddr, ShiftRole)> + '_ {
+        self.roles.iter().map(|(&(m, a), &r)| (m, a, r))
+    }
+}
+
+/// One parsed member: `arr[idx_base + k] = arr[idx_base + k + 1]`.
+#[derive(Debug, PartialEq, Eq)]
+struct Member {
+    arr: ArraySrc,
+    base: LocalId,
+    k: i64,
+    store_at: usize, // index of the AaStore within the block
+}
+
+/// Tries to parse one shift-member instruction window starting at `i`:
+///
+/// ```text
+/// <arr> Load(base) Const(k) Add <arr> Load(base) Const(k+1) Add AaLoad AaStore
+/// ```
+fn parse_member(insns: &[Insn], i: usize) -> Option<Member> {
+    let arr_src = |insn: &Insn| -> Option<ArraySrc> {
+        match insn {
+            Insn::Load(l) => Some(ArraySrc::Local(*l)),
+            Insn::GetStatic(g) => Some(ArraySrc::Static(*g)),
+            _ => None,
+        }
+    };
+    let w = insns.get(i..i + 10)?;
+    let arr = arr_src(&w[0])?;
+    let Insn::Load(base) = w[1] else { return None };
+    let Insn::Const(k) = w[2] else { return None };
+    if w[3] != Insn::Add {
+        return None;
+    }
+    if arr_src(&w[4])? != arr {
+        return None;
+    }
+    let Insn::Load(base2) = w[5] else { return None };
+    if base2 != base {
+        return None;
+    }
+    let Insn::Const(k1) = w[6] else { return None };
+    if w[7] != Insn::Add || k1 != k + 1 {
+        return None;
+    }
+    if w[8] != Insn::AaLoad || w[9] != Insn::AaStore {
+        return None;
+    }
+    Some(Member {
+        arr,
+        base,
+        k,
+        store_at: i + 9,
+    })
+}
+
+/// True for instructions allowed inside an index expression: pure,
+/// int-valued, no heap or call effects.
+fn is_pure_int(insn: &Insn) -> bool {
+    matches!(
+        insn,
+        Insn::Load(_)
+            | Insn::Const(_)
+            | Insn::Add
+            | Insn::Sub
+            | Insn::Mul
+            | Insn::And
+            | Insn::Or
+            | Insn::Xor
+            | Insn::Shl
+            | Insn::Shr
+            | Insn::Neg
+    )
+}
+
+/// Scans a pure index expression starting at `i`, ending right before
+/// the instruction `stop` first appears. Returns `(next, slice)`.
+fn parse_idx_expr(insns: &[Insn], i: usize, stop: impl Fn(&Insn) -> bool) -> Option<(usize, Vec<Insn>)> {
+    let mut j = i;
+    while j < insns.len() {
+        if stop(&insns[j]) {
+            if j == i {
+                return None; // empty index expression
+            }
+            return Some((j, insns[i..j].to_vec()));
+        }
+        if !is_pure_int(&insns[j]) {
+            return None;
+        }
+        j += 1;
+    }
+    None
+}
+
+/// One parsed §4.3 swap triple:
+///
+/// ```text
+/// t = arr[IDX1];            (arr IDX1 aaload store-t)
+/// arr[IDX1] = arr[IDX2];    (arr IDX1 arr IDX2 aaload aastore)
+/// arr[IDX2] = t;            (arr IDX2 load-t aastore)
+/// ```
+///
+/// Both stores are pure permutation moves: every pre-swap element is
+/// still in the array (or in the live temporary) afterwards, so neither
+/// needs an SATB log — the paper's "we could eliminate both barriers in
+/// the swap idiom". Interference with the marker is caught by the
+/// tracing-state check at each member store.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SwapGroup {
+    /// The two member stores (`arr[IDX1] = arr[IDX2]`, `arr[IDX2] = t`).
+    pub stores: [InsnAddr; 2],
+}
+
+/// Tries to parse a swap triple starting at instruction `i` of a block
+/// body. Returns `(store_b, store_c, next)` instruction indices.
+fn parse_swap_at(insns: &[Insn], i: usize) -> Option<(usize, usize, usize)> {
+    let arr_src = |insn: &Insn| -> Option<ArraySrc> {
+        match insn {
+            Insn::Load(l) => Some(ArraySrc::Local(*l)),
+            Insn::GetStatic(g) => Some(ArraySrc::Static(*g)),
+            _ => None,
+        }
+    };
+    // [A] arr IDX1 aaload store t
+    let arr = arr_src(insns.get(i)?)?;
+    let (k, idx1) = parse_idx_expr(insns, i + 1, |x| *x == Insn::AaLoad)?;
+    let Insn::Store(t) = *insns.get(k + 1)? else {
+        return None;
+    };
+    // The index must not involve the temporary (it would go stale) and,
+    // for a local-array source, the temporary must not alias the array.
+    if idx1.contains(&Insn::Load(t)) || arr == ArraySrc::Local(t) {
+        return None;
+    }
+    // [B] arr IDX1 arr IDX2 aaload aastore
+    let b0 = k + 2;
+    if arr_src(insns.get(b0)?)? != arr {
+        return None;
+    }
+    let idx1_end = b0 + 1 + idx1.len();
+    if insns.get(b0 + 1..idx1_end)? != idx1.as_slice() {
+        return None;
+    }
+    if arr_src(insns.get(idx1_end)?)? != arr {
+        return None;
+    }
+    let (k2, idx2) = parse_idx_expr(insns, idx1_end + 1, |x| *x == Insn::AaLoad)?;
+    if idx2.contains(&Insn::Load(t)) {
+        return None;
+    }
+    if *insns.get(k2 + 1)? != Insn::AaStore {
+        return None;
+    }
+    let store_b = k2 + 1;
+    // [C] arr IDX2 load-t aastore
+    let c0 = store_b + 1;
+    if arr_src(insns.get(c0)?)? != arr {
+        return None;
+    }
+    let idx2_end = c0 + 1 + idx2.len();
+    if insns.get(c0 + 1..idx2_end)? != idx2.as_slice() {
+        return None;
+    }
+    if *insns.get(idx2_end)? != Insn::Load(t) {
+        return None;
+    }
+    if *insns.get(idx2_end + 1)? != Insn::AaStore {
+        return None;
+    }
+    let store_c = idx2_end + 1;
+    Some((store_b, store_c, store_c + 1))
+}
+
+/// Recognizes swap triples in one method.
+pub fn find_swap_groups(method: &Method) -> Vec<(wbe_ir::BlockId, SwapGroup)> {
+    let mut out = Vec::new();
+    for (bid, block) in method.iter_blocks() {
+        let insns = &block.insns;
+        let mut i = 0;
+        while i < insns.len() {
+            if let Some((b, c, next)) = parse_swap_at(insns, i) {
+                out.push((
+                    bid,
+                    SwapGroup {
+                        stores: [InsnAddr::new(bid, b), InsnAddr::new(bid, c)],
+                    },
+                ));
+                i = next;
+            } else {
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Recognizes shift groups in one method.
+pub fn find_shift_groups(method: &Method) -> Vec<ShiftGroup> {
+    let mut groups = Vec::new();
+    for (bid, block) in method.iter_blocks() {
+        let insns = &block.insns;
+        let mut i = 0;
+        while i < insns.len() {
+            let Some(first) = parse_member(insns, i) else {
+                i += 1;
+                continue;
+            };
+            // Extend the group with consecutive members (same array,
+            // same base local, k increasing by one).
+            let mut members = vec![first];
+            let mut j = i + 10;
+            while let Some(next) = parse_member(insns, j) {
+                let last = members.last().expect("non-empty");
+                if next.arr == last.arr && next.base == last.base && next.k == last.k + 1 {
+                    members.push(next);
+                    j += 10;
+                } else {
+                    break;
+                }
+            }
+            if members.len() >= 2 {
+                groups.push(ShiftGroup {
+                    stores: members
+                        .iter()
+                        .map(|m| InsnAddr::new(bid, m.store_at))
+                        .collect(),
+                });
+                i = j;
+            } else {
+                i += 1;
+            }
+        }
+    }
+    groups
+}
+
+/// Recognizes shift and swap groups across the whole program.
+pub fn plan_program(program: &Program) -> RearrangePlan {
+    let mut plan = RearrangePlan::default();
+    for (mid, method) in program.iter_methods() {
+        for group in find_shift_groups(method) {
+            plan.groups += 1;
+            for (i, &addr) in group.stores.iter().enumerate() {
+                let role = if i == 0 {
+                    ShiftRole::First
+                } else {
+                    ShiftRole::Member
+                };
+                plan.roles.insert((mid, addr), role);
+            }
+        }
+        for (_, group) in find_swap_groups(method) {
+            plan.groups += 1;
+            // Swaps are pure permutations: both stores are members (the
+            // saved temporary keeps the only transiently-unlinked value
+            // alive, and it is a GC root).
+            for &addr in &group.stores {
+                plan.roles.insert((mid, addr), ShiftRole::Member);
+            }
+        }
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wbe_ir::builder::ProgramBuilder;
+    use wbe_ir::Ty;
+
+    /// Emits `arr[j+k] = arr[j+k+1]` in the jbb shift-down shape.
+    fn emit_shift(
+        mb: &mut wbe_ir::builder::MethodBuilder<'_>,
+        arr: wbe_ir::StaticId,
+        j: LocalId,
+        k: i64,
+    ) {
+        mb.getstatic(arr)
+            .load(j)
+            .iconst(k)
+            .add()
+            .getstatic(arr)
+            .load(j)
+            .iconst(k + 1)
+            .add()
+            .aaload()
+            .aastore();
+    }
+
+    #[test]
+    fn recognizes_jbb_style_shift_group() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("C");
+        let arr = pb.static_field("orders", Ty::RefArray(c));
+        let m = pb.method("shift", vec![Ty::Int], None, 0, |mb| {
+            let j = mb.local(0);
+            for k in 0..3 {
+                emit_shift(mb, arr, j, k);
+            }
+            mb.return_();
+        });
+        let p = pb.finish();
+        p.validate().unwrap();
+        let plan = plan_program(&p);
+        assert_eq!(plan.group_count(), 1);
+        assert_eq!(plan.member_count(), 2);
+        let groups = find_shift_groups(p.method(m));
+        assert_eq!(groups[0].stores.len(), 3);
+    }
+
+    #[test]
+    fn single_store_is_not_a_group() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("C");
+        let arr = pb.static_field("a", Ty::RefArray(c));
+        pb.method("one", vec![Ty::Int], None, 0, |mb| {
+            let j = mb.local(0);
+            emit_shift(mb, arr, j, 0);
+            mb.return_();
+        });
+        let p = pb.finish();
+        assert_eq!(plan_program(&p).group_count(), 0);
+    }
+
+    #[test]
+    fn non_consecutive_offsets_break_the_group() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("C");
+        let arr = pb.static_field("a", Ty::RefArray(c));
+        pb.method("skip", vec![Ty::Int], None, 0, |mb| {
+            let j = mb.local(0);
+            emit_shift(mb, arr, j, 0);
+            emit_shift(mb, arr, j, 5); // gap: not a shift-down
+            mb.return_();
+        });
+        let p = pb.finish();
+        assert_eq!(plan_program(&p).group_count(), 0);
+    }
+
+    #[test]
+    fn different_arrays_break_the_group() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("C");
+        let a1 = pb.static_field("a1", Ty::RefArray(c));
+        let a2 = pb.static_field("a2", Ty::RefArray(c));
+        pb.method("two_arrays", vec![Ty::Int], None, 0, |mb| {
+            let j = mb.local(0);
+            emit_shift(mb, a1, j, 0);
+            emit_shift(mb, a2, j, 1);
+            mb.return_();
+        });
+        let p = pb.finish();
+        assert_eq!(plan_program(&p).group_count(), 0);
+    }
+
+    #[test]
+    fn local_array_source_works_too() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("C");
+        pb.method("local_arr", vec![Ty::RefArray(c), Ty::Int], None, 0, |mb| {
+            let arr = mb.local(0);
+            let j = mb.local(1);
+            for k in 0..2 {
+                mb.load(arr)
+                    .load(j)
+                    .iconst(k)
+                    .add()
+                    .load(arr)
+                    .load(j)
+                    .iconst(k + 1)
+                    .add()
+                    .aaload()
+                    .aastore();
+            }
+            mb.return_();
+        });
+        let p = pb.finish();
+        let plan = plan_program(&p);
+        assert_eq!(plan.group_count(), 1);
+        assert_eq!(plan.member_count(), 1);
+    }
+
+    #[test]
+    fn jbb_workload_pattern_is_found() {
+        // The actual jbb workload's shift-down loop must be recognized.
+        // (Guards against the workload and the recognizer drifting.)
+        let w = wbe_workloads_build_jbb();
+        let plan = plan_program(&w);
+        assert!(plan.group_count() >= 1, "jbb shift-down not recognized");
+        assert!(plan.member_count() >= 2);
+    }
+
+    // Minimal local re-creation of jbb's shift pattern to avoid a dev
+    // dependency cycle (wbe-workloads dev-depends on wbe-opt).
+    fn wbe_workloads_build_jbb() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let order = pb.class("Order");
+        let orders_s = pb.static_field("orders", Ty::RefArray(order));
+        pb.method("shift3", vec![Ty::Int], None, 0, |mb| {
+            let j = mb.local(0);
+            for k in 0..3i64 {
+                mb.getstatic(orders_s)
+                    .load(j)
+                    .iconst(k)
+                    .add()
+                    .getstatic(orders_s)
+                    .load(j)
+                    .iconst(k + 1)
+                    .add()
+                    .aaload()
+                    .aastore();
+            }
+            mb.return_();
+        });
+        pb.finish()
+    }
+}
+
+#[cfg(test)]
+mod swap_tests {
+    use super::*;
+    use wbe_ir::builder::ProgramBuilder;
+    use wbe_ir::Ty;
+
+    /// Emits the db swap idiom: t = a[j]; a[j] = a[j^17]; a[j^17] = t.
+    fn emit_swap(
+        mb: &mut wbe_ir::builder::MethodBuilder<'_>,
+        arr: wbe_ir::StaticId,
+        j: LocalId,
+        t: LocalId,
+    ) {
+        mb.getstatic(arr).load(j).aaload().store(t);
+        mb.getstatic(arr)
+            .load(j)
+            .getstatic(arr)
+            .load(j)
+            .iconst(17)
+            .xor()
+            .aaload()
+            .aastore();
+        mb.getstatic(arr).load(j).iconst(17).xor().load(t).aastore();
+    }
+
+    #[test]
+    fn db_swap_idiom_recognized_as_two_members() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("C");
+        let arr = pb.static_field("table", Ty::RefArray(c));
+        let m = pb.method("swap", vec![Ty::Int], None, 1, |mb| {
+            let j = mb.local(0);
+            let t = mb.local(1);
+            emit_swap(mb, arr, j, t);
+            mb.return_();
+        });
+        let p = pb.finish();
+        p.validate().unwrap();
+        let swaps = find_swap_groups(p.method(m));
+        assert_eq!(swaps.len(), 1, "{swaps:?}");
+        let plan = plan_program(&p);
+        assert_eq!(plan.group_count(), 1);
+        assert_eq!(plan.member_count(), 2, "both swap stores are members");
+        // No First role anywhere: a swap deletes nothing.
+        assert!(plan.iter().all(|(_, _, r)| r == ShiftRole::Member));
+    }
+
+    #[test]
+    fn db_workload_swaps_are_recognized() {
+        let w = wbe_workloads_like_db();
+        let plan = plan_program(&w);
+        assert_eq!(plan.group_count(), 3, "three swaps per iteration");
+        assert_eq!(plan.member_count(), 6);
+    }
+
+    // The db workload's exact loop-body swap shape (three unrolled
+    // swaps with different shift amounts).
+    fn wbe_workloads_like_db() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("Entry");
+        let table = pb.static_field("table", Ty::RefArray(c));
+        pb.method("sort_step", vec![Ty::Int], None, 2, |mb| {
+            let seed = mb.local(0);
+            let j = mb.local(1);
+            let t = mb.local(2);
+            for shift in [0i64, 5, 10] {
+                mb.load(seed).iconst(shift).shr().iconst(31).and().store(j);
+                emit_swap(mb, table, j, t);
+            }
+            mb.return_();
+        });
+        pb.finish()
+    }
+
+    #[test]
+    fn temp_in_index_is_rejected() {
+        // t = a[t']; using the temp inside an index must not match.
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("C");
+        let arr = pb.static_field("a", Ty::RefArray(c));
+        let m = pb.method("weird", vec![Ty::Int], None, 1, |mb| {
+            let j = mb.local(0);
+            let t = mb.local(1);
+            // Parses as [A] with t in IDX2's position usage below.
+            mb.getstatic(arr).load(j).aaload().store(t);
+            mb.getstatic(arr)
+                .load(j)
+                .getstatic(arr)
+                .load(j)
+                .iconst(1)
+                .add()
+                .aaload()
+                .aastore();
+            // [C] with a different idx2 — breaks the triple.
+            mb.getstatic(arr).load(j).iconst(2).add().load(t).aastore();
+            mb.return_();
+        });
+        let p = pb.finish();
+        assert!(find_swap_groups(p.method(m)).is_empty());
+    }
+
+    #[test]
+    fn interleaved_code_breaks_the_triple() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("C");
+        let f = pb.field(c, "x", Ty::Int);
+        let arr = pb.static_field("a", Ty::RefArray(c));
+        let m = pb.method("split", vec![Ty::Int, Ty::Ref(c)], None, 1, |mb| {
+            let j = mb.local(0);
+            let o = mb.local(1);
+            let t = mb.local(2);
+            mb.getstatic(arr).load(j).aaload().store(t);
+            // Unrelated store in the middle.
+            mb.load(o).iconst(1).putfield(f);
+            mb.getstatic(arr)
+                .load(j)
+                .getstatic(arr)
+                .load(j)
+                .iconst(17)
+                .xor()
+                .aaload()
+                .aastore();
+            mb.getstatic(arr).load(j).iconst(17).xor().load(t).aastore();
+            mb.return_();
+        });
+        let p = pb.finish();
+        assert!(find_swap_groups(p.method(m)).is_empty());
+    }
+}

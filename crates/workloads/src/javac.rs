@@ -1,0 +1,174 @@
+//! `javac`-like workload: AST construction plus symbol-table mutation.
+//!
+//! A compiler allocates tree nodes (initializing stores) but also
+//! updates an escaped symbol table and tree heavily. Table 1 profile:
+//! ~92/8 field/array split, 33.9% of field stores eliminated, 20.5% of
+//! array stores eliminated, 38.5% potentially pre-null.
+//!
+//! Per iteration: 2 initializing field stores on a fresh `Node`
+//! (constructor + post-constructor), 4 overwriting field stores on
+//! escaped objects (tree root rewiring + 3 symbol redefinitions).
+//! Every 8th iteration runs the array kernel: 1 fill of a fresh
+//! children array (eliminated), 2 append-only stores, 2 ring stores.
+
+use wbe_ir::builder::ProgramBuilder;
+use wbe_ir::{CmpOp, Ty};
+
+use crate::helpers::{counted_loop, emit_library, lcg_step, Bound};
+use crate::Workload;
+
+/// Builds the workload.
+pub fn build() -> Workload {
+    let mut pb = ProgramBuilder::new();
+    let node = pb.class("Node");
+    let left = pb.field(node, "left", Ty::Ref(node));
+    let right = pb.field(node, "right", Ty::Ref(node));
+    let npads: Vec<_> = (0..12)
+        .map(|k| pb.field(node, format!("pad{k}"), Ty::Int))
+        .collect();
+    let sym = pb.class("Sym");
+    let def = pb.field(sym, "def", Ty::Ref(node));
+    let root_s = pb.static_field("root", Ty::Ref(node));
+    let symtab = pb.static_field("symtab", Ty::RefArray(sym));
+    let pool = pb.static_field("node_pool", Ty::RefArray(node));
+    let kidlog = pb.static_field("kid_log", Ty::RefArray(node));
+    let kidx = pb.static_field("kid_idx", Ty::Int);
+
+    // Node::<init>(this, l) — ctor size ~45 (inlined at limit 50+).
+    let nctor = pb.declare_constructor(node, vec![Ty::Ref(node)]);
+    pb.define_method(nctor, 0, |mb| {
+        let this = mb.local(0);
+        let l = mb.local(1);
+        mb.load(this).load(l).putfield(left);
+        for (k, &pf) in npads.iter().enumerate() {
+            mb.load(this).iconst(k as i64).putfield(pf);
+        }
+        mb.return_();
+    });
+
+    let library = emit_library(&mut pb, "javac", 3);
+
+    let setup = pb.method("javac_setup", vec![Ty::Int], None, 1, |mb| {
+        let iters = mb.local(0);
+        let i = mb.local(1);
+        mb.load(iters).invoke(library).pop();
+        mb.new_object(node).dup().const_null().invoke(nctor).putstatic(root_s);
+        mb.iconst(64).new_ref_array(sym).putstatic(symtab);
+        mb.iconst(128).new_ref_array(node).putstatic(pool);
+        mb.load(iters).iconst(4).add().new_ref_array(node).putstatic(kidlog);
+        mb.iconst(0).putstatic(kidx);
+        counted_loop(mb, i, Bound::Const(64), |mb| {
+            mb.getstatic(symtab).load(i).new_object(sym).aastore();
+        });
+        mb.return_();
+    });
+
+    let main = pb.method("javac_main", vec![Ty::Int], None, 7, |mb| {
+        let iters = mb.local(0);
+        let i = mb.local(1);
+        let prev = mb.local(2);
+        let n = mb.local(3);
+        let seed = mb.local(4);
+        let arr = mb.local(5);
+        let sl = mb.local(6);
+        let dl = mb.local(7);
+        mb.load(iters).invoke(setup);
+        mb.const_null().store(prev);
+        mb.iconst(0xACE).store(seed);
+        counted_loop(mb, i, Bound::Local(iters), |mb| {
+            // n = new Node(prev); n.right = prev;   (2 initializing)
+            mb.new_object(node).dup().load(prev).invoke(nctor).store(n);
+            mb.load(n).load(prev).putfield(right);
+            // root.left = n;                        (escaped overwrite)
+            mb.getstatic(root_s).load(n).putfield(left);
+            // 2 plain symbol redefinitions...
+            for shift in [0i64, 6] {
+                lcg_step(mb, seed);
+                mb.getstatic(symtab)
+                    .load(seed)
+                    .iconst(shift)
+                    .shr()
+                    .iconst(63)
+                    .and()
+                    .aaload()
+                    .load(n)
+                    .putfield(def);
+            }
+            // ...and one Hashtable-style null-or-same redefinition
+            // (§4.3): d = s.def; if (d == null) d = n; s.def = d;
+            lcg_step(mb, seed);
+            mb.getstatic(symtab)
+                .load(seed)
+                .iconst(12)
+                .shr()
+                .iconst(63)
+                .and()
+                .aaload()
+                .store(sl);
+            mb.load(sl).getfield(def).store(dl);
+            let set_b = mb.new_block();
+            let join_b = mb.new_block();
+            mb.load(dl).if_null(set_b, join_b);
+            mb.switch_to(set_b).load(n).store(dl).goto_(join_b);
+            mb.switch_to(join_b).load(sl).load(dl).putfield(def);
+            // Array kernel every 8th iteration.
+            let arrblock = mb.new_block();
+            let cont = mb.new_block();
+            mb.load(i).iconst(7).and().if_zero(CmpOp::Eq, arrblock, cont);
+            mb.switch_to(arrblock);
+            // Fresh children array: one eliminated store.
+            mb.iconst(4).new_ref_array(node).store(arr);
+            mb.load(arr).iconst(0).load(n).aastore();
+            // Two appends.
+            for _ in 0..2 {
+                mb.getstatic(kidlog).getstatic(kidx).load(n).aastore();
+                mb.getstatic(kidx).iconst(1).add().putstatic(kidx);
+            }
+            // Two ring overwrites.
+            mb.getstatic(pool).load(i).iconst(127).and().load(n).aastore();
+            mb.getstatic(pool)
+                .load(i)
+                .iconst(19)
+                .add()
+                .iconst(127)
+                .and()
+                .load(n)
+                .aastore();
+            mb.goto_(cont);
+            mb.switch_to(cont);
+            // prev = n;
+            mb.load(n).store(prev);
+        });
+        mb.return_();
+    });
+
+    let program = pb.finish();
+    debug_assert!(program.validate().is_ok());
+    Workload {
+        name: "javac",
+        program,
+        entry: main,
+        default_iters: 3_000,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wbe_interp::{BarrierConfig, BarrierMode, ElidedBarriers, Interp, Value};
+
+    #[test]
+    fn runs_and_is_field_dominated() {
+        let w = build();
+        let mut interp = Interp::new(&w.program, BarrierConfig::new(BarrierMode::Checked));
+        interp
+            .run(w.entry, &[Value::Int(256)], w.fuel_for(256))
+            .expect("javac runs clean");
+        let s = interp.stats.barrier.summarize(&ElidedBarriers::new());
+        // 6 field stores per iter (+1 from the root ctor in setup);
+        // 5 array stores per 8 iters (+64 symtab fills in setup).
+        assert_eq!(s.field_total, 6 * 256 + 1);
+        assert_eq!(s.array_total, 64 + 5 * 32);
+        assert!(s.pct_field() > 85.0, "{}", s.pct_field());
+    }
+}

@@ -1,0 +1,102 @@
+//! Stack allocation demo: the §6 escape-analysis client in action.
+//!
+//! A hot helper allocates a scratch object per call; the analysis
+//! proves it never outlives its frame, so the interpreter serves it
+//! from a frame arena — eliminating heap growth and GC pressure.
+//!
+//! Run with: `cargo run --example stack_allocation`
+
+use wbe_repro::analysis::stackalloc;
+use wbe_repro::interp::{BarrierConfig, BarrierMode, GcPolicy, Interp, Value};
+use wbe_repro::ir::builder::ProgramBuilder;
+use wbe_repro::ir::{CmpOp, Ty};
+
+fn main() {
+    let mut pb = ProgramBuilder::new();
+    let vec2 = pb.class("Vec2");
+    let fx = pb.field(vec2, "x", Ty::Int);
+    let fy = pb.field(vec2, "y", Ty::Int);
+    let out = pb.class("Result");
+    let fsum = pb.field(out, "sum", Ty::Int);
+    let sink = pb.static_field("sink", Ty::Ref(out));
+
+    // dot(a, b): allocates a scratch Vec2, never escapes.
+    let dot = pb.method("dot", vec![Ty::Int, Ty::Int], Some(Ty::Int), 1, |mb| {
+        let a = mb.local(0);
+        let b = mb.local(1);
+        let v = mb.local(2);
+        mb.new_object(vec2).store(v);
+        mb.load(v).load(a).putfield(fx);
+        mb.load(v).load(b).putfield(fy);
+        mb.load(v).getfield(fx).load(v).getfield(fy).mul().return_value();
+    });
+    // publish(s): allocates a Result and publishes it — NOT arena-able.
+    let publish = pb.method("publish", vec![Ty::Int], None, 0, |mb| {
+        let s = mb.local(0);
+        mb.new_object(out).dup().load(s).putfield(fsum).putstatic(sink);
+        mb.return_();
+    });
+    let main_m = pb.method("main", vec![Ty::Int], None, 2, |mb| {
+        let n = mb.local(0);
+        let i = mb.local(1);
+        let acc = mb.local(2);
+        let head = mb.new_block();
+        let body = mb.new_block();
+        let exit = mb.new_block();
+        mb.iconst(0).store(i).iconst(0).store(acc).goto_(head);
+        mb.switch_to(head).load(i).load(n).if_icmp(CmpOp::Lt, body, exit);
+        mb.switch_to(body)
+            .load(acc)
+            .load(i)
+            .iconst(3)
+            .invoke(dot)
+            .add()
+            .store(acc)
+            .iinc(i, 1)
+            .goto_(head);
+        mb.switch_to(exit).load(acc).invoke(publish).return_();
+    });
+    let program = pb.finish();
+    program.validate().unwrap();
+
+    // Run the escape analysis per method and collect arena sites.
+    let mut sites = std::collections::BTreeSet::new();
+    for (_, m) in program.iter_methods() {
+        let res = stackalloc::analyze_method(&program, m);
+        println!(
+            "{}: {}/{} allocation sites stack-allocatable",
+            m.name,
+            res.stack_allocatable.len(),
+            res.total_sites
+        );
+        sites.extend(res.stack_allocatable);
+    }
+
+    let run = |arena: bool| {
+        let mut interp = Interp::new(&program, BarrierConfig::new(BarrierMode::Checked));
+        if arena {
+            interp.set_stack_sites(sites.iter().copied());
+        }
+        interp.set_gc_policy(GcPolicy {
+            alloc_trigger: 200,
+            step_interval: 32,
+            step_budget: 4,
+        });
+        interp.run(main_m, &[Value::Int(5_000)], 10_000_000).unwrap();
+        (
+            interp.stats.stack_allocated,
+            interp.stats.gc_cycles,
+            interp.heap.store.capacity(),
+        )
+    };
+
+    let (_, gc_heap, slots_heap) = run(false);
+    let (arena_allocs, gc_arena, slots_arena) = run(true);
+    println!("\nheap-only run:   {gc_heap} GC cycles, {slots_heap} heap slots touched");
+    println!(
+        "frame-arena run: {gc_arena} GC cycles, {slots_arena} heap slots touched \
+         ({arena_allocs} scratch objects arena-freed)"
+    );
+    assert!(slots_arena < slots_heap / 100, "arena keeps the heap tiny");
+    assert!(gc_arena <= gc_heap);
+}

@@ -1,0 +1,28 @@
+//! Facade crate for the CGO 2005 write-barrier-removal reproduction.
+//!
+//! Re-exports every workspace crate under one roof so examples and
+//! integration tests can `use wbe_repro::...`. See the README for the
+//! architecture overview and `DESIGN.md` for the system inventory.
+//!
+//! # Example: the whole pipeline in ten lines
+//!
+//! ```
+//! use wbe_repro::{workloads, opt, interp};
+//! use wbe_repro::interp::{BarrierConfig, BarrierMode, Interp, Value};
+//!
+//! let w = workloads::by_name("jess").unwrap();
+//! let compiled = opt::compile(&w.program, &opt::PipelineConfig::new(opt::OptMode::Full, 100));
+//! let elided: interp::ElidedBarriers = compiled.elided_sites().into_iter().collect();
+//! let mut vm = Interp::new(&compiled.program, BarrierConfig::with_elision(BarrierMode::Checked, elided));
+//! vm.run(w.entry, &[Value::Int(100)], 1_000_000)?;
+//! assert!(vm.stats.elided_executions > 0);
+//! # Ok::<(), interp::Trap>(())
+//! ```
+
+pub use wbe_analysis as analysis;
+pub use wbe_harness as harness;
+pub use wbe_heap as heap;
+pub use wbe_interp as interp;
+pub use wbe_ir as ir;
+pub use wbe_opt as opt;
+pub use wbe_workloads as workloads;

@@ -1,0 +1,162 @@
+//! End-to-end integration: every workload through the full pipeline
+//! (inline → analyze → elide → execute) with the soundness oracle and
+//! policy-driven garbage collection, under both marker styles.
+
+use wbe_repro::harness::runner::{compile_workload_with, run_workload};
+use wbe_repro::heap::gc::MarkStyle;
+use wbe_repro::interp::{BarrierConfig, BarrierMode, GcPolicy, Interp, Value};
+use wbe_repro::opt::{OptMode, PipelineConfig};
+use wbe_repro::workloads::standard_suite;
+
+/// The whole suite runs clean with elision armed and SATB GC active.
+#[test]
+fn suite_with_elision_and_satb_gc() {
+    for w in standard_suite() {
+        let iters = (w.default_iters / 10).max(64);
+        let run = run_workload(
+            &w,
+            OptMode::Full,
+            100,
+            iters,
+            BarrierMode::Checked,
+            MarkStyle::Satb,
+            Some(GcPolicy {
+                alloc_trigger: 50,
+                step_interval: 32,
+                step_budget: 8,
+            }),
+        );
+        assert!(run.summary.total() > 0, "{}", w.name);
+        assert!(
+            run.stats.gc_cycles > 0,
+            "{}: GC should cycle at this scale",
+            w.name
+        );
+        // Elided executions actually happened (the fast path is real).
+        assert!(run.stats.elided_executions > 0, "{}", w.name);
+    }
+}
+
+/// The same runs complete under the incremental-update marker (whose
+/// barrier is card-marking; elision does not apply, but execution and
+/// collection must stay correct).
+#[test]
+fn suite_with_incremental_update_gc() {
+    for w in standard_suite() {
+        let iters = (w.default_iters / 20).max(32);
+        let run = run_workload(
+            &w,
+            OptMode::Baseline,
+            100,
+            iters,
+            BarrierMode::Checked,
+            MarkStyle::IncrementalUpdate,
+            Some(GcPolicy {
+                alloc_trigger: 50,
+                step_interval: 32,
+                step_budget: 8,
+            }),
+        );
+        assert!(run.stats.gc_cycles > 0, "{}", w.name);
+    }
+}
+
+/// Elision must never change program results: run jess twice (all
+/// barriers vs elided barriers) and compare heap-observable outcomes.
+#[test]
+fn elision_is_semantically_transparent() {
+    let w = wbe_repro::workloads::by_name("jess").unwrap();
+    let iters = 200;
+
+    let run_with = |elide: bool| {
+        let cfg = PipelineConfig::new(OptMode::Full, 100);
+        let (compiled, elided) = compile_workload_with(&w, &cfg);
+        let bc = if elide {
+            BarrierConfig::with_elision(BarrierMode::Checked, elided)
+        } else {
+            BarrierConfig::new(BarrierMode::Checked)
+        };
+        let mut interp = Interp::new(&compiled.program, bc);
+        interp
+            .run(w.entry, &[Value::Int(iters)], w.fuel_for(iters))
+            .unwrap();
+        (
+            interp.heap.stats.allocations,
+            interp.heap.store.live_count(),
+            interp.stats.insns,
+        )
+    };
+    assert_eq!(run_with(false), run_with(true));
+}
+
+/// The combined pre-null + null-or-same set stays sound across the
+/// suite (the oracle validates each elided execution's proof).
+#[test]
+fn combined_elisions_pass_the_oracle() {
+    for w in standard_suite() {
+        let iters = (w.default_iters / 10).max(32);
+        let cfg = PipelineConfig::new(OptMode::Full, 100).with_null_or_same();
+        let (compiled, elided) = compile_workload_with(&w, &cfg);
+        let bc = BarrierConfig::with_elision(BarrierMode::Checked, elided);
+        let mut interp = Interp::new(&compiled.program, bc);
+        interp.set_gc_policy(GcPolicy::default());
+        interp
+            .run(w.entry, &[Value::Int(iters)], w.fuel_for(iters))
+            .unwrap_or_else(|t| panic!("{}: {t}", w.name));
+    }
+}
+
+/// Method ids survive inlining, so the workload entry point is stable.
+#[test]
+fn entry_points_stable_across_pipeline() {
+    for w in standard_suite() {
+        let (compiled, _) = compile_workload_with(&w, &PipelineConfig::new(OptMode::Full, 100));
+        let name_before = w.program.method(w.entry).name.clone();
+        let name_after = compiled.program.method(w.entry).name.clone();
+        assert_eq!(name_before, name_after);
+        compiled.program.validate().unwrap();
+    }
+}
+
+/// Every workload is verifier-clean (ids, stack heights, and types),
+/// before and after inlining.
+#[test]
+fn workloads_pass_the_full_verifier() {
+    for w in standard_suite() {
+        w.program.validate().unwrap();
+        wbe_repro::ir::type_check_program(&w.program)
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let (compiled, _) =
+            compile_workload_with(&w, &PipelineConfig::new(OptMode::Full, 100));
+        wbe_repro::ir::type_check_program(&compiled.program)
+            .unwrap_or_else(|e| panic!("{} (inlined): {e}", w.name));
+    }
+}
+
+/// The paper's own correctness check (§4.2): "our analysis should only
+/// eliminate barriers at potentially pre-null store sites!" — every
+/// statically elided site must be dynamically always-pre-null.
+#[test]
+fn elided_sites_are_potentially_pre_null() {
+    for w in standard_suite() {
+        let iters = (w.default_iters / 10).max(64);
+        let run = run_workload(
+            &w,
+            OptMode::Full,
+            100,
+            iters,
+            BarrierMode::Checked,
+            MarkStyle::Satb,
+            None,
+        );
+        for ((mid, addr, _), site) in run.stats.barrier.iter() {
+            if run.elided.contains(*mid, *addr) {
+                assert!(
+                    site.potentially_pre_null(),
+                    "{}: elided site {mid}@{addr} saw a non-null pre-value",
+                    w.name
+                );
+            }
+        }
+    }
+}
