@@ -203,8 +203,17 @@ mod tests {
             let exit = mb.new_block();
             mb.load(n).new_ref_array(c).store(a);
             mb.iconst(0).store(i).goto_(head);
-            mb.switch_to(head).load(i).load(n).if_icmp(CmpOp::Lt, body, exit);
-            mb.switch_to(body).load(a).load(i).const_null().aastore().iinc(i, 1).goto_(head);
+            mb.switch_to(head)
+                .load(i)
+                .load(n)
+                .if_icmp(CmpOp::Lt, body, exit);
+            mb.switch_to(body)
+                .load(a)
+                .load(i)
+                .const_null()
+                .aastore()
+                .iinc(i, 1)
+                .goto_(head);
             mb.switch_to(exit).return_();
         });
         let p = pb.finish();

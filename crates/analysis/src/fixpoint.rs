@@ -77,15 +77,15 @@ impl ProgramAnalysis {
 
 /// Runs the analyses on every method of `program`.
 pub fn analyze_program(program: &Program, config: &AnalysisConfig) -> ProgramAnalysis {
+    let _span = wbe_telemetry::span!("analysis.program");
     let start = Instant::now();
     let mut methods = BTreeMap::new();
     for (mid, method) in program.iter_methods() {
         methods.insert(mid, analyze_method(program, method, config));
     }
-    ProgramAnalysis {
-        methods,
-        elapsed: start.elapsed(),
-    }
+    let elapsed = start.elapsed();
+    wbe_telemetry::histogram("analysis.wall.us").record_duration(elapsed);
+    ProgramAnalysis { methods, elapsed }
 }
 
 /// Runs the analyses on one method.
@@ -100,6 +100,7 @@ pub fn analyze_method(
     method: &Method,
     config: &AnalysisConfig,
 ) -> MethodAnalysis {
+    let _span = wbe_telemetry::span!("analysis.fixpoint", "{}", method.name);
     let mut ctx = MethodCtx::new(program, method, config);
 
     let (entry_states, iterations) = if config.flow_sensitive_escape {
@@ -143,6 +144,10 @@ pub fn analyze_method(
             }
         }
     }
+    wbe_telemetry::counter("analysis.methods_analyzed").inc();
+    wbe_telemetry::counter("analysis.barrier_sites").add(result.barrier_sites as u64);
+    wbe_telemetry::counter("analysis.elided_sites").add(result.elided.len() as u64);
+    wbe_telemetry::histogram("analysis.fixpoint.iterations").record(result.iterations as u64);
     result
 }
 
@@ -162,9 +167,7 @@ pub fn entry_states(
 /// into the entry NL. Returns per-block entry states, the union of NL
 /// over every program point (for the classic-escape ablation), and the
 /// iteration count.
-pub(crate) fn run_fixpoint(
-    ctx: &MethodCtx<'_>,
-) -> (Vec<Option<AbsState>>, BTreeSet<Ref>, usize) {
+pub(crate) fn run_fixpoint(ctx: &MethodCtx<'_>) -> (Vec<Option<AbsState>>, BTreeSet<Ref>, usize) {
     let method = ctx.method;
     let nblocks = method.blocks.len();
     let rpo = cfg::reverse_postorder(method);
@@ -189,6 +192,8 @@ pub(crate) fn run_fixpoint(
     let mut worklist: BTreeSet<usize> = [0].into_iter().collect();
     let mut nl_anywhere: BTreeSet<Ref> = BTreeSet::new();
     let mut iterations = 0usize;
+    let mut state_merges = 0u64;
+    let mut widenings = 0u64;
     let max_iterations = (nblocks + 1) * (ctx.method.size + 8) * 4 + 10_000;
 
     while let Some(&pos) = worklist.iter().next() {
@@ -227,6 +232,8 @@ pub(crate) fn run_fixpoint(
                 Some(existing) => {
                     merge_counts[succ.index()] += 1;
                     let widen = merge_counts[succ.index()] >= ctx.widen_after;
+                    state_merges += 1;
+                    widenings += widen as u64;
                     existing.merge_from(&st, ctx, &mut alloc, widen)
                 }
             };
@@ -235,6 +242,9 @@ pub(crate) fn run_fixpoint(
             }
         }
     }
+    wbe_telemetry::counter("analysis.fixpoint.blocks_processed").add(iterations as u64);
+    wbe_telemetry::counter("analysis.state_merges").add(state_merges);
+    wbe_telemetry::counter("analysis.widenings").add(widenings);
     (entry_states, nl_anywhere, iterations)
 }
 
@@ -263,10 +273,18 @@ mod tests {
                 let head = mb.new_block();
                 let body = mb.new_block();
                 let exit = mb.new_block();
-                mb.load(ta).arraylength().iconst(2).mul().new_ref_array(t).store(new_ta);
+                mb.load(ta)
+                    .arraylength()
+                    .iconst(2)
+                    .mul()
+                    .new_ref_array(t)
+                    .store(new_ta);
                 mb.iconst(0).store(i).goto_(head);
                 mb.switch_to(head);
-                mb.load(i).load(ta).arraylength().if_icmp(CmpOp::Lt, body, exit);
+                mb.load(i)
+                    .load(ta)
+                    .arraylength()
+                    .if_icmp(CmpOp::Lt, body, exit);
                 mb.switch_to(body);
                 mb.load(new_ta).load(i).load(ta).load(i).aaload().aastore();
                 mb.iinc(i, 1).goto_(head);
@@ -544,7 +562,12 @@ mod tests {
             let ib = mb.new_block();
             let oe = mb.new_block();
             let ie = mb.new_block();
-            mb.iconst(0).store(i).load(n).new_ref_array(c).store(arr).goto_(oh);
+            mb.iconst(0)
+                .store(i)
+                .load(n)
+                .new_ref_array(c)
+                .store(arr)
+                .goto_(oh);
             mb.switch_to(oh).load(i).load(n).if_icmp(CmpOp::Lt, ob, oe);
             mb.switch_to(ob).iconst(0).store(j).goto_(ih);
             mb.switch_to(ih).load(j).load(i).if_icmp(CmpOp::Lt, ib, ie);

@@ -94,8 +94,7 @@ impl Framework {
             // implementation detail that can deepen without API change).
             info.null_or_same = nullsame::analyze_method(program, method);
             info.bounds_safe = bounds::analyze_method(program, method).safe;
-            info.stack_allocatable =
-                stackalloc::analyze_method(program, method).stack_allocatable;
+            info.stack_allocatable = stackalloc::analyze_method(program, method).stack_allocatable;
             methods.insert(mid, info);
         }
         Framework {
@@ -177,10 +176,7 @@ mod tests {
         assert!(!info.bounds_safe.is_empty(), "bounds client: {info:?}");
         // arr escapes nothing but receives a store of o (o is tainted);
         // the scratch t and arr itself stay frame-local.
-        assert!(
-            !info.stack_allocatable.is_empty(),
-            "stack client: {info:?}"
-        );
+        assert!(!info.stack_allocatable.is_empty(), "stack client: {info:?}");
         assert_eq!(info.alloc_sites, 3);
         assert!(info.barrier_sites >= 3);
         assert!(!fw.all_elided().is_empty());

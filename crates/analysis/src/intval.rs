@@ -104,11 +104,7 @@ impl IntVal {
         self.b
     }
 
-    fn checked_map2(
-        &self,
-        other: &IntVal,
-        f: impl Fn(i64, i64) -> Option<i64>,
-    ) -> Option<IntVal> {
+    fn checked_map2(&self, other: &IntVal, f: impl Fn(i64, i64) -> Option<i64>) -> Option<IntVal> {
         // Combine variable terms (missing side contributes coefficient 0).
         let var = match (self.var, other.var) {
             (None, None) => None,
@@ -349,12 +345,10 @@ pub fn merge_intvals(i1: &IntLat, i2: &IntLat, ctx: &mut MergeCtx<'_>) -> IntLat
                 // stride; reuse it with a constant offset d' = i1 - μ₁(v).
                 let mu1v = mu_a.get(&v).expect("U and μ₁ stay in sync");
                 match v1.sub(mu1v) {
-                    Some(off) if off.var_term().is_none() => {
-                        match IntVal::variable(v).add(&off) {
-                            Some(out) => IntLat::Val(out),
-                            None => IntLat::Top,
-                        }
-                    }
+                    Some(off) if off.var_term().is_none() => match IntVal::variable(v).add(&off) {
+                        Some(out) => IntLat::Val(out),
+                        None => IntLat::Top,
+                    },
                     _ => IntLat::Top,
                 }
             }
@@ -541,7 +535,11 @@ mod tests {
         let v = VarId(0);
         // 3v + 2 with v := w + 1  →  3w + 5
         let w = VarId(1);
-        let e = IntVal::variable(v).mul_literal(3).unwrap().add_literal(2).unwrap();
+        let e = IntVal::variable(v)
+            .mul_literal(3)
+            .unwrap()
+            .add_literal(2)
+            .unwrap();
         let s = IntVal::variable(w).add_literal(1).unwrap();
         let out = e.subst_var(v, &s).unwrap();
         assert_eq!(out.var_term().unwrap(), (3, w));
@@ -553,9 +551,6 @@ mod tests {
         let x = IntLat::Val(IntVal::variable(VarId(0)));
         let y = IntLat::Val(IntVal::variable(VarId(1)));
         assert_eq!(x.lift2(&y, |a, b| a.add(b)), IntLat::Top);
-        assert_eq!(
-            c(2).lift2(&c(3), |a, b| a.add(b)),
-            c(5)
-        );
+        assert_eq!(c(2).lift2(&c(3), |a, b| a.add(b)), c(5));
     }
 }

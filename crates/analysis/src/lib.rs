@@ -62,20 +62,20 @@ pub mod config;
 pub mod dump;
 pub mod fixpoint;
 pub mod framework;
-pub mod stackalloc;
 pub mod intval;
 pub mod nullsame;
 pub mod range;
 pub mod refs;
+pub mod stackalloc;
 pub mod state;
 pub mod transfer;
 
 pub use bounds::BoundsAnalysis;
 pub use config::AnalysisConfig;
-pub use stackalloc::StackAllocAnalysis;
 pub use fixpoint::{analyze_method, analyze_program, MethodAnalysis, ProgramAnalysis};
 pub use framework::{Framework, MethodInfo};
 pub use intval::{IntLat, IntVal, UnkId, VarId};
 pub use range::IntRange;
 pub use refs::{Ref, RefSet};
+pub use stackalloc::StackAllocAnalysis;
 pub use state::{AbsState, AbsValue, FieldKey, MethodCtx};

@@ -474,7 +474,11 @@ mod tests {
                     .aaload()
                     .store(e)
                     .goto_(head);
-                mb.switch_to(exit).load(this).load(e).putfield(entry_f).return_();
+                mb.switch_to(exit)
+                    .load(this)
+                    .load(e)
+                    .putfield(entry_f)
+                    .return_();
             },
         );
         let p = pb.finish();
@@ -565,7 +569,11 @@ mod tests {
         let cur = pb.field(c, "cur", Ty::Ref(c));
         let g = pb.static_field("state", Ty::Ref(c));
         let m = pb.method("touch", vec![], None, 0, |mb| {
-            mb.getstatic(g).getstatic(g).getfield(cur).putfield(cur).return_();
+            mb.getstatic(g)
+                .getstatic(g)
+                .getfield(cur)
+                .putfield(cur)
+                .return_();
         });
         let p = pb.finish();
         assert_eq!(analyze_method(&p, p.method(m)).len(), 1);

@@ -123,14 +123,12 @@ impl IntRange {
         };
         match (self, other) {
             (Empty, _) | (_, Empty) => Empty,
-            (Full(l1, h1), Full(l2, h2)) => {
-                match (m(l1, l2, ctx), m(h1, h2, ctx)) {
-                    (Some(l), Some(h)) => Full(l, h),
-                    (Some(l), None) => From(l),
-                    (None, Some(h)) => Upto(h),
-                    (None, None) => Empty,
-                }
-            }
+            (Full(l1, h1), Full(l2, h2)) => match (m(l1, l2, ctx), m(h1, h2, ctx)) {
+                (Some(l), Some(h)) => Full(l, h),
+                (Some(l), None) => From(l),
+                (None, Some(h)) => Upto(h),
+                (None, None) => Empty,
+            },
             (Full(l1, _), From(l2)) | (From(l2), Full(l1, _)) | (From(l1), From(l2)) => {
                 match m(l1, l2, ctx) {
                     Some(l) => From(l),

@@ -74,9 +74,7 @@ pub fn singleton(s: &RefSet) -> Option<Ref> {
 /// Substitutes `from → to` in a ref set (used when an allocation retires
 /// the previous `SiteA` into `SiteB`).
 pub fn subst(s: &RefSet, from: Ref, to: Ref) -> RefSet {
-    s.iter()
-        .map(|&r| if r == from { to } else { r })
-        .collect()
+    s.iter().map(|&r| if r == from { to } else { r }).collect()
 }
 
 #[cfg(test)]

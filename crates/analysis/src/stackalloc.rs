@@ -234,7 +234,9 @@ mod tests {
             let body = mb.new_block();
             let exit = mb.new_block();
             mb.goto_(head);
-            mb.switch_to(head).load(n).if_zero(wbe_ir::CmpOp::Gt, body, exit);
+            mb.switch_to(head)
+                .load(n)
+                .if_zero(wbe_ir::CmpOp::Gt, body, exit);
             mb.switch_to(body);
             mb.new_object(c).store(o); // scratch: stack-allocatable
             mb.new_object(c).store(q).load(q).putstatic(g); // published

@@ -65,9 +65,7 @@ impl AbsValue {
         match (self, other) {
             (AbsValue::Bottom, x) | (x, AbsValue::Bottom) => x.clone(),
             (AbsValue::Any, _) | (_, AbsValue::Any) => AbsValue::Any,
-            (AbsValue::Refs(a), AbsValue::Refs(b)) => {
-                AbsValue::Refs(a.union(b).copied().collect())
-            }
+            (AbsValue::Refs(a), AbsValue::Refs(b)) => AbsValue::Refs(a.union(b).copied().collect()),
             (AbsValue::Int(a), AbsValue::Int(b)) => AbsValue::Int(merge_intvals(a, b, ctx)),
             _ => AbsValue::Any,
         }
@@ -79,9 +77,7 @@ impl AbsValue {
         match (self, other) {
             (AbsValue::Bottom, x) | (x, AbsValue::Bottom) => x.clone(),
             (AbsValue::Any, _) | (_, AbsValue::Any) => AbsValue::Any,
-            (AbsValue::Refs(a), AbsValue::Refs(b)) => {
-                AbsValue::Refs(a.union(b).copied().collect())
-            }
+            (AbsValue::Refs(a), AbsValue::Refs(b)) => AbsValue::Refs(a.union(b).copied().collect()),
             (AbsValue::Int(a), AbsValue::Int(b)) => {
                 if a == b {
                     AbsValue::Int(a.clone())
@@ -273,9 +269,8 @@ impl AbsState {
             let arg = Ref::Arg(i as u16);
             match ty {
                 Ty::Int => {
-                    locals[i] = AbsValue::Int(IntLat::Val(IntVal::unknown(
-                        ctx.arg_value_unknown(i),
-                    )));
+                    locals[i] =
+                        AbsValue::Int(IntLat::Val(IntVal::unknown(ctx.arg_value_unknown(i))));
                 }
                 Ty::Ref(_) => {
                     locals[i] = AbsValue::single(arg);
@@ -287,10 +282,7 @@ impl AbsState {
                     locals[i] = AbsValue::single(arg);
                     nl.insert(arg);
                     if ctx.track_arrays {
-                        len.insert(
-                            arg,
-                            IntLat::Val(IntVal::unknown(ctx.arg_length_unknown(i))),
-                        );
+                        len.insert(arg, IntLat::Val(IntVal::unknown(ctx.arg_length_unknown(i))));
                     }
                 }
             }
@@ -473,7 +465,12 @@ impl AbsState {
         }
 
         // Len: absent = ⊤.
-        let keys: BTreeSet<Ref> = self.len.keys().chain(incoming.len.keys()).copied().collect();
+        let keys: BTreeSet<Ref> = self
+            .len
+            .keys()
+            .chain(incoming.len.keys())
+            .copied()
+            .collect();
         for r in keys {
             let a = self.len_lookup(r);
             let b = incoming.len_lookup(r);

@@ -29,9 +29,7 @@ fn push(st: &mut AbsState, v: AbsValue) {
 fn as_refs(v: &AbsValue, ctx: &MethodCtx<'_>) -> RefSet {
     match v {
         AbsValue::Refs(s) => s.clone(),
-        AbsValue::Int(_) | AbsValue::Any | AbsValue::Bottom => {
-            ctx.universe().into_iter().collect()
-        }
+        AbsValue::Int(_) | AbsValue::Any | AbsValue::Bottom => ctx.universe().into_iter().collect(),
     }
 }
 
@@ -201,8 +199,7 @@ pub fn transfer_insn(st: &mut AbsState, ctx: &MethodCtx<'_>, insn: &Insn) -> Bar
             // receiver is thread-local and its field is known null.
             let judgment = if is_ref {
                 Some(objs.iter().all(|ot| {
-                    !st.nl.contains(ot)
-                        && st.sigma_lookup(ctx, *ot, key) == AbsValue::null()
+                    !st.nl.contains(ot) && st.sigma_lookup(ctx, *ot, key) == AbsValue::null()
                 }))
             } else {
                 None
@@ -274,8 +271,7 @@ pub fn transfer_insn(st: &mut AbsState, ctx: &MethodCtx<'_>, insn: &Insn) -> Bar
             let judgment = if ctx.track_arrays {
                 let idx_val = idx.as_val();
                 Some(arrs.iter().all(|at| {
-                    !st.nl.contains(at)
-                        && idx_val.is_some_and(|iv| st.nr_lookup(*at).contains(iv))
+                    !st.nl.contains(at) && idx_val.is_some_and(|iv| st.nr_lookup(*at).contains(iv))
                 }))
             } else {
                 Some(false)
@@ -285,9 +281,7 @@ pub fn transfer_insn(st: &mut AbsState, ctx: &MethodCtx<'_>, insn: &Insn) -> Bar
             let stored = normalize_store(&val, true, ctx);
             for &at in &arrs {
                 if !st.nl.contains(&at) {
-                    let merged = st
-                        .sigma_raw(ctx, at, FieldKey::Elems)
-                        .merge_plain(&stored);
+                    let merged = st.sigma_raw(ctx, at, FieldKey::Elems).merge_plain(&stored);
                     st.sigma_set(ctx, at, FieldKey::Elems, merged);
                 }
                 if ctx.track_arrays {
@@ -433,7 +427,12 @@ mod tests {
         pb.method("host", vec![Ty::Ref(c), Ty::Int], None, 4, |mb| {
             let s = mb.new_block();
             mb.goto_(s);
-            mb.switch_to(s).new_object(c).pop().new_object(c).pop().return_();
+            mb.switch_to(s)
+                .new_object(c)
+                .pop()
+                .new_object(c)
+                .pop()
+                .return_();
         });
         pb.finish()
     }
@@ -452,8 +451,17 @@ mod tests {
         let ctx = ctx_of(&p);
         let mut st = AbsState::entry(&ctx);
         let site = ctx.sites[0];
-        transfer_insn(&mut st, &ctx, &Insn::New { class: wbe_ir::ClassId(0), site });
-        let AbsValue::Refs(s) = &st.stack[0] else { panic!() };
+        transfer_insn(
+            &mut st,
+            &ctx,
+            &Insn::New {
+                class: wbe_ir::ClassId(0),
+                site,
+            },
+        );
+        let AbsValue::Refs(s) = &st.stack[0] else {
+            panic!()
+        };
         let r = singleton(s).unwrap();
         assert_eq!(r, Ref::SiteA(site));
         assert_eq!(st.sigma_lookup(&ctx, r, f0()), AbsValue::null());
@@ -492,7 +500,14 @@ mod tests {
         let ctx = ctx_of(&p);
         let mut st = AbsState::entry(&ctx);
         let site = ctx.sites[0];
-        transfer_insn(&mut st, &ctx, &Insn::New { class: wbe_ir::ClassId(0), site });
+        transfer_insn(
+            &mut st,
+            &ctx,
+            &Insn::New {
+                class: wbe_ir::ClassId(0),
+                site,
+            },
+        );
         push(&mut st, AbsValue::int(3));
         let j = transfer_insn(&mut st, &ctx, &Insn::PutField(FieldId(1)));
         assert_eq!(j, None);
@@ -537,7 +552,10 @@ mod tests {
         push(&mut st, x);
         transfer_insn(&mut st, &ctx, &Insn::PutStatic(wbe_ir::StaticId(0)));
         assert!(st.nl.contains(&Ref::SiteA(s0)), "x escaped");
-        assert!(st.nl.contains(&Ref::SiteA(s1)), "y reachable from x escaped");
+        assert!(
+            st.nl.contains(&Ref::SiteA(s1)),
+            "y reachable from x escaped"
+        );
         // Stores into x after escape are not elidable (W-after-escape).
         let xv = st.locals[2].clone();
         push(&mut st, xv);
@@ -654,7 +672,10 @@ mod tests {
         let mut st = AbsState::entry(&ctx);
         let s0 = ctx.sites[0];
         let class = wbe_ir::ClassId(0);
-        push(&mut st, AbsValue::Int(IntLat::Val(IntVal::unknown(ctx.arg_value_unknown(1)))));
+        push(
+            &mut st,
+            AbsValue::Int(IntLat::Val(IntVal::unknown(ctx.arg_value_unknown(1)))),
+        );
         transfer_insn(&mut st, &ctx, &Insn::NewRefArray { class, site: s0 });
         transfer_insn(&mut st, &ctx, &Insn::ArrayLength);
         let AbsValue::Int(IntLat::Val(l)) = &st.stack[0] else {
@@ -675,7 +696,9 @@ mod tests {
         transfer_insn(&mut st, &ctx, &Insn::Mul);
         push(&mut st, AbsValue::int(1));
         transfer_insn(&mut st, &ctx, &Insn::Add);
-        let AbsValue::Int(IntLat::Val(v)) = &st.stack[0] else { panic!() };
+        let AbsValue::Int(IntLat::Val(v)) = &st.stack[0] else {
+            panic!()
+        };
         assert_eq!(v.literal_part(), 1);
         // Division destroys the symbolic value.
         push(&mut st, AbsValue::int(2));
@@ -689,7 +712,14 @@ mod tests {
         let ctx = ctx_of(&p);
         let mut st = AbsState::entry(&ctx);
         let s0 = ctx.sites[0];
-        transfer_insn(&mut st, &ctx, &Insn::New { class: wbe_ir::ClassId(0), site: s0 });
+        transfer_insn(
+            &mut st,
+            &ctx,
+            &Insn::New {
+                class: wbe_ir::ClassId(0),
+                site: s0,
+            },
+        );
         transfer_insn(&mut st, &ctx, &Insn::GetField(FieldId(0)));
         assert_eq!(st.stack[0], AbsValue::null());
     }
@@ -711,14 +741,23 @@ mod tests {
         // First store: still elidable (summary starts null).
         push(&mut st, o.clone());
         push(&mut st, AbsValue::single(Ref::Arg(0)));
-        assert_eq!(transfer_insn(&mut st, &ctx, &Insn::PutField(FieldId(0))), Some(true));
+        assert_eq!(
+            transfer_insn(&mut st, &ctx, &Insn::PutField(FieldId(0))),
+            Some(true)
+        );
         // Overwrite with null: weak update keeps the old value in σ.
         push(&mut st, o.clone());
         push(&mut st, AbsValue::null());
-        assert_eq!(transfer_insn(&mut st, &ctx, &Insn::PutField(FieldId(0))), Some(false));
+        assert_eq!(
+            transfer_insn(&mut st, &ctx, &Insn::PutField(FieldId(0))),
+            Some(false)
+        );
         // Unlike the A/B scheme, null-ness is NOT re-established.
         push(&mut st, o);
         push(&mut st, AbsValue::null());
-        assert_eq!(transfer_insn(&mut st, &ctx, &Insn::PutField(FieldId(0))), Some(false));
+        assert_eq!(
+            transfer_insn(&mut st, &ctx, &Insn::PutField(FieldId(0))),
+            Some(false)
+        );
     }
 }

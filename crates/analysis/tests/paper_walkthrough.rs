@@ -32,10 +32,18 @@ fn expand_program() -> (wbe_ir::Program, wbe_ir::MethodId) {
             let head = mb.new_block();
             let body = mb.new_block();
             let exit = mb.new_block();
-            mb.load(ta).arraylength().iconst(2).mul().new_ref_array(t).store(new_ta);
+            mb.load(ta)
+                .arraylength()
+                .iconst(2)
+                .mul()
+                .new_ref_array(t)
+                .store(new_ta);
             mb.iconst(0).store(i).goto_(head);
             mb.switch_to(head);
-            mb.load(i).load(ta).arraylength().if_icmp(CmpOp::Lt, body, exit);
+            mb.load(i)
+                .load(ta)
+                .arraylength()
+                .if_icmp(CmpOp::Lt, body, exit);
             mb.switch_to(body);
             mb.load(new_ta).load(i).load(ta).load(i).aaload().aastore();
             mb.iinc(i, 1).goto_(head);
@@ -86,7 +94,10 @@ fn loop_head_state_matches_the_papers_walkthrough() {
     let IntLat::Val(len) = head.len_lookup(r) else {
         panic!("length lost");
     };
-    assert!(len.var_term().is_none(), "length is loop-invariant: {len:?}");
+    assert!(
+        len.var_term().is_none(),
+        "length is loop-invariant: {len:?}"
+    );
     assert!(format!("{len}").contains("2*c"), "{len}");
 
     // And the judgment, at the fixed point, elides the copy store.

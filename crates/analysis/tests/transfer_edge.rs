@@ -82,7 +82,10 @@ fn chaotic_strides_converge_via_widening() {
         let exit = mb.new_block();
         mb.iconst(16).new_ref_array(c).store(arr);
         mb.iconst(0).store(i).iconst(1).store(k).goto_(head);
-        mb.switch_to(head).load(i).load(n).if_icmp(CmpOp::Lt, body, exit);
+        mb.switch_to(head)
+            .load(i)
+            .load(n)
+            .if_icmp(CmpOp::Lt, body, exit);
         mb.switch_to(body);
         // k doubles each iteration: no linear stride.
         mb.load(k).load(k).add().store(k);
@@ -177,8 +180,16 @@ fn mixed_lengths_kill_length_knowledge() {
         let b = mb.new_block();
         let j = mb.new_block();
         mb.load(cnd).if_zero(CmpOp::Eq, a, b);
-        mb.switch_to(a).iconst(4).new_ref_array(c).store(arr).goto_(j);
-        mb.switch_to(b).iconst(8).new_ref_array(c).store(arr).goto_(j);
+        mb.switch_to(a)
+            .iconst(4)
+            .new_ref_array(c)
+            .store(arr)
+            .goto_(j);
+        mb.switch_to(b)
+            .iconst(8)
+            .new_ref_array(c)
+            .store(arr)
+            .goto_(j);
         mb.switch_to(j);
         // length is merged; a store at length-1 cannot be proven inside
         // either null range (the ranges themselves merged).

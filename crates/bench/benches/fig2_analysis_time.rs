@@ -18,8 +18,7 @@ fn bench_fig2(c: &mut Criterion) {
                 |b, &(limit, mode)| {
                     b.iter(|| {
                         for w in &suite {
-                            let compiled =
-                                compile(&w.program, &PipelineConfig::new(mode, limit));
+                            let compiled = compile(&w.program, &PipelineConfig::new(mode, limit));
                             std::hint::black_box(compiled.elided_sites().len());
                         }
                     })

@@ -1,0 +1,80 @@
+//! Emits the PR's benchmark trajectory file (`BENCH_pr1.json`):
+//! per-workload analysis time and dynamic barrier-elision rate, plus
+//! suite aggregates.
+//!
+//! Usage: `cargo run -p wbe-bench --bin bench_json [-- <out.json>]`
+//! (defaults to `BENCH_pr1.json` in the current directory).
+//!
+//! Analysis time is the minimum of several compile runs (inline limit
+//! 100, mode A); the elision rate is the Table 1 dynamic percentage at
+//! a reduced scale.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use wbe_heap::gc::MarkStyle;
+use wbe_interp::BarrierMode;
+use wbe_opt::{compile, OptMode, PipelineConfig};
+use wbe_workloads::standard_suite;
+
+const REPS: usize = 3;
+const SCALE: f64 = 0.1;
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_pr1.json".into());
+    let suite = standard_suite();
+    let config = PipelineConfig::new(OptMode::Full, 100);
+
+    let mut rows = Vec::new();
+    let mut suite_analysis = Duration::ZERO;
+    let mut suite_total = 0u64;
+    let mut suite_elim = 0u64;
+    for w in &suite {
+        let analysis = (0..REPS)
+            .map(|_| compile(&w.program, &config).analysis_time())
+            .min()
+            .unwrap_or_default();
+        let iters = ((w.default_iters as f64 * SCALE) as i64).max(8);
+        let run = wbe_harness::runner::run_workload(
+            w,
+            OptMode::Full,
+            100,
+            iters,
+            BarrierMode::Checked,
+            MarkStyle::Satb,
+            None,
+        );
+        suite_analysis += analysis;
+        suite_total += run.summary.total();
+        suite_elim += run.summary.eliminated();
+        rows.push((w.name, analysis, run.summary.pct_eliminated()));
+    }
+    let suite_pct = if suite_total == 0 {
+        0.0
+    } else {
+        100.0 * suite_elim as f64 / suite_total as f64
+    };
+
+    let mut json = String::from("{\n  \"bench\": \"pr1\",\n  \"workloads\": [\n");
+    for (i, (name, analysis, pct)) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{name}\", \"analysis_us\": {}, \"pct_barriers_elided\": {pct:.3}}}{}",
+            analysis.as_micros(),
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    let _ = write!(
+        json,
+        "  ],\n  \"suite\": {{\"analysis_us\": {}, \"pct_barriers_elided\": {suite_pct:.3}}}\n}}\n",
+        suite_analysis.as_micros()
+    );
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    print!("{json}");
+    eprintln!("written to {out}");
+}

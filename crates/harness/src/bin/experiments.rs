@@ -1,6 +1,11 @@
 //! Command-line experiment runner.
 //!
-//! Usage: `experiments [table1|fig2|fig3|table2|pause|all] [--scale S]`
+//! Usage: `experiments [table1|fig2|fig3|table2|pause|all] [--scale S]
+//! [--metrics-out m.json] [--trace-out t.ndjson]`
+//!
+//! `--metrics-out` writes the telemetry registry snapshot collected
+//! while the experiments ran; `--trace-out` additionally enables event
+//! tracing and writes the span stream as NDJSON.
 
 use std::env;
 
@@ -8,7 +13,15 @@ fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
     let mut which = "all".to_string();
     let mut scale = 1.0f64;
+    let mut metrics_out: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let mut i = 0;
+    let path_arg = |args: &[String], i: usize, flag: &str| {
+        args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("{flag} needs a path");
+            std::process::exit(2);
+        })
+    };
     while i < args.len() {
         match args[i].as_str() {
             "--scale" => {
@@ -21,12 +34,24 @@ fn main() {
                     });
                 i += 2;
             }
+            "--metrics-out" => {
+                metrics_out = Some(path_arg(&args, i, "--metrics-out"));
+                i += 2;
+            }
+            "--trace-out" => {
+                trace_out = Some(path_arg(&args, i, "--trace-out"));
+                i += 2;
+            }
             other => {
                 which = other.to_string();
                 i += 1;
             }
         }
     }
+    wbe_telemetry::configure(wbe_telemetry::TelemetryConfig {
+        metrics: true,
+        tracing: trace_out.is_some(),
+    });
     let run_one = |name: &str| match name {
         "table1" => {
             println!("== Table 1: dynamic barrier elimination (inline limit 100, mode A) ==");
@@ -76,10 +101,37 @@ fn main() {
         }
     };
     if which == "all" {
-        for name in ["table1", "fig2", "fig3", "table2", "pause", "ext", "rearrange", "static", "clients", "combined"] {
+        for name in [
+            "table1",
+            "fig2",
+            "fig3",
+            "table2",
+            "pause",
+            "ext",
+            "rearrange",
+            "static",
+            "clients",
+            "combined",
+        ] {
             run_one(name);
         }
     } else {
         run_one(&which);
+    }
+    if let Some(path) = &metrics_out {
+        let path = std::path::Path::new(path);
+        if let Err(e) = wbe_telemetry::export::write_metrics_json(path) {
+            eprintln!("cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        println!("metrics written to {}", path.display());
+    }
+    if let Some(path) = &trace_out {
+        let path = std::path::Path::new(path);
+        if let Err(e) = wbe_telemetry::export::write_trace_ndjson(path) {
+            eprintln!("cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        println!("trace written to {}", path.display());
     }
 }

@@ -6,24 +6,38 @@
 //! wbe_tool analyze <file.wbe|workload> [--mode A|F] [--inline N] [--nos]
 //! wbe_tool run     <file.wbe|workload> <method> [int args...] [--elide] [--fuel N]
 //! wbe_tool export  <workload>                      print a workload as .wbe text
+//! wbe_tool report  [workload|file.wbe ...] [--metrics-out m.json]
+//!                  [--trace-out t.ndjson] [--scale S]
 //! ```
 //!
 //! Wherever a file is expected, a built-in workload name (jess, db,
 //! javac, mtrt, jack, jbb) is also accepted.
+//!
+//! `report` exercises the full pipeline (compile → analyze → run with a
+//! deterministic GC policy) over the named workloads — the standard
+//! suite by default — and prints a telemetry report: counters, phase
+//! spans, and the GC pause-time histogram. `--metrics-out` writes the
+//! registry snapshot as JSON; `--trace-out` enables event tracing and
+//! writes the span stream as NDJSON. File sources are compiled and
+//! analyzed but not executed (they have no standard entry point).
 
 use std::process::exit;
 
 use wbe_analysis::nullsame;
-use wbe_interp::{BarrierConfig, BarrierMode, ElidedBarriers, ElisionKind, Interp, Value};
+use wbe_heap::gc::MarkStyle;
+use wbe_interp::{
+    BarrierConfig, BarrierMode, BarrierStats, ElidedBarriers, ElisionKind, GcPolicy, Interp, Value,
+};
 use wbe_ir::display::{method_display, program_display};
 use wbe_ir::{parse_program, Program};
 use wbe_opt::{compile, OptMode, PipelineConfig};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: wbe_tool <verify|dump|analyze|run|export> <file.wbe|workload> [options]\n\
+        "usage: wbe_tool <verify|dump|analyze|run|export|report> [<file.wbe|workload>] [options]\n\
          analyze: [--mode A|F] [--inline N] [--nos]\n\
-         run:     <method> [int args...] [--elide] [--fuel N]"
+         run:     <method> [int args...] [--elide] [--fuel N]\n\
+         report:  [workload|file.wbe ...] [--metrics-out m.json] [--trace-out t.ndjson] [--scale S]"
     );
     exit(2)
 }
@@ -53,8 +67,109 @@ fn check(program: &Program, source: &str) {
     }
 }
 
+/// `wbe_tool report`: run workloads end-to-end under telemetry and
+/// export the collected metrics and (optionally) the trace stream.
+fn report(rest: &[String]) {
+    let mut metrics_out: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut scale = 0.25f64;
+    let mut sources: Vec<String> = Vec::new();
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--metrics-out" => metrics_out = Some(it.next().unwrap_or_else(|| usage()).clone()),
+            "--trace-out" => trace_out = Some(it.next().unwrap_or_else(|| usage()).clone()),
+            "--scale" => {
+                scale = it
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            s if s.starts_with("--") => usage(),
+            s => sources.push(s.to_string()),
+        }
+    }
+    wbe_telemetry::configure(wbe_telemetry::TelemetryConfig {
+        metrics: true,
+        tracing: trace_out.is_some(),
+    });
+
+    // Built-in workloads run end-to-end (instrumenting analysis, interp,
+    // and heap); bare .wbe files are compiled and analyzed only.
+    let mut gc_total = wbe_heap::gc::GcStats::default();
+    let mut barriers = BarrierStats::default();
+    let run_builtin = |w: &wbe_workloads::Workload,
+                       gc_total: &mut wbe_heap::gc::GcStats,
+                       barriers: &mut BarrierStats| {
+        let iters = ((w.default_iters as f64 * scale) as i64).max(8);
+        let policy = GcPolicy {
+            alloc_trigger: 400,
+            step_interval: 32,
+            step_budget: 4,
+        };
+        let run = wbe_harness::runner::run_workload(
+            w,
+            OptMode::Full,
+            100,
+            iters,
+            BarrierMode::Checked,
+            MarkStyle::Satb,
+            Some(policy),
+        );
+        gc_total.merge(&run.gc);
+        barriers.merge(&run.stats.barrier);
+        println!(
+            "{:<8} barriers: {}; gc: {}",
+            run.name, run.stats.barrier, run.gc
+        );
+    };
+    if sources.is_empty() {
+        for w in wbe_workloads::standard_suite() {
+            run_builtin(&w, &mut gc_total, &mut barriers);
+        }
+    } else {
+        for s in &sources {
+            if let Some(w) = wbe_workloads::by_name(s) {
+                run_builtin(&w, &mut gc_total, &mut barriers);
+            } else {
+                let program = load(s);
+                check(&program, s);
+                let compiled = compile(&program, &PipelineConfig::default());
+                println!(
+                    "{s:<8} analyzed: {} elided sites, code size {} bytes",
+                    compiled.elided_sites().len(),
+                    compiled.code_size()
+                );
+            }
+        }
+    }
+    println!("suite    barriers: {barriers}; gc: {gc_total}");
+    println!();
+
+    let snap = wbe_telemetry::registry::global().snapshot();
+    print!("{}", wbe_telemetry::export::metrics_text(&snap));
+    if let Some(path) = &metrics_out {
+        if let Err(e) = wbe_telemetry::export::write_metrics_json(std::path::Path::new(path)) {
+            eprintln!("cannot write {path}: {e}");
+            exit(1);
+        }
+        println!("metrics written to {path}");
+    }
+    if let Some(path) = &trace_out {
+        if let Err(e) = wbe_telemetry::export::write_trace_ndjson(std::path::Path::new(path)) {
+            eprintln!("cannot write {path}: {e}");
+            exit(1);
+        }
+        println!("trace written to {path}");
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("report") {
+        report(&args[1..]);
+        return;
+    }
     let (cmd, source) = match (args.first(), args.get(1)) {
         (Some(c), Some(s)) => (c.as_str(), s.as_str()),
         _ => usage(),
@@ -92,7 +207,10 @@ fn main() {
                         _ => usage(),
                     },
                     "--inline" => {
-                        inline = it.next().and_then(|n| n.parse().ok()).unwrap_or_else(|| usage())
+                        inline = it
+                            .next()
+                            .and_then(|n| n.parse().ok())
+                            .unwrap_or_else(|| usage())
                     }
                     "--nos" => nos = true,
                     "--dump" => dump = true,
@@ -110,11 +228,7 @@ fn main() {
             let mut total = 0usize;
             for (mid, m) in compiled.program.iter_methods() {
                 let elided = compiled.elided_of(mid);
-                let nos_sites = compiled
-                    .null_or_same
-                    .get(&mid)
-                    .cloned()
-                    .unwrap_or_default();
+                let nos_sites = compiled.null_or_same.get(&mid).cloned().unwrap_or_default();
                 if elided.is_empty() && nos_sites.is_empty() {
                     continue;
                 }
@@ -128,13 +242,19 @@ fn main() {
                     total += 1;
                 }
             }
-            println!("{total} barriers removed; code size {} bytes", compiled.code_size());
+            println!(
+                "{total} barriers removed; code size {} bytes",
+                compiled.code_size()
+            );
             if dump {
                 let cfg = mode
                     .analysis_config()
                     .unwrap_or_else(wbe_analysis::AnalysisConfig::full);
                 for (_, m) in compiled.program.iter_methods() {
-                    print!("{}", wbe_analysis::dump::dump_method(&compiled.program, m, &cfg));
+                    print!(
+                        "{}",
+                        wbe_analysis::dump::dump_method(&compiled.program, m, &cfg)
+                    );
                 }
             }
         }
@@ -149,7 +269,10 @@ fn main() {
                 match a.as_str() {
                     "--elide" => elide = true,
                     "--fuel" => {
-                        fuel = it.next().and_then(|n| n.parse().ok()).unwrap_or_else(|| usage())
+                        fuel = it
+                            .next()
+                            .and_then(|n| n.parse().ok())
+                            .unwrap_or_else(|| usage())
                     }
                     n => int_args.push(Value::Int(n.parse().unwrap_or_else(|_| usage()))),
                 }
@@ -160,7 +283,8 @@ fn main() {
             };
             let mid = m.id;
             let bc = if elide {
-                let res = wbe_analysis::analyze_program(&program, &wbe_analysis::AnalysisConfig::full());
+                let res =
+                    wbe_analysis::analyze_program(&program, &wbe_analysis::AnalysisConfig::full());
                 let mut elided: ElidedBarriers = res.iter_elided().collect();
                 for (nm, sites) in nullsame::analyze_program(&program) {
                     for a in sites {

@@ -103,15 +103,24 @@ impl fmt::Display for Fig2 {
                 self.cell(limit, OptMode::Full).pct_elim,
             )?;
         }
-        writeln!(f, "(b) compile time (inline + analysis, ms; log-scaled in the paper)")?;
+        writeln!(
+            f,
+            "(b) compile time (inline + analysis, ms; log-scaled in the paper)"
+        )?;
         writeln!(f, "{:>6} {:>8} {:>8} {:>8}", "limit", "B", "F", "A")?;
         for &limit in &LIMITS {
             writeln!(
                 f,
                 "{:>6} {:>8.2} {:>8.2} {:>8.2}",
                 limit,
-                self.cell(limit, OptMode::Baseline).compile_time.as_secs_f64() * 1e3,
-                self.cell(limit, OptMode::FieldOnly).compile_time.as_secs_f64() * 1e3,
+                self.cell(limit, OptMode::Baseline)
+                    .compile_time
+                    .as_secs_f64()
+                    * 1e3,
+                self.cell(limit, OptMode::FieldOnly)
+                    .compile_time
+                    .as_secs_f64()
+                    * 1e3,
                 self.cell(limit, OptMode::Full).compile_time.as_secs_f64() * 1e3,
             )?;
         }
@@ -131,7 +140,10 @@ mod tests {
             assert_eq!(fig.cell(l, OptMode::Baseline).pct_elim, 0.0);
         }
         // A-mode elision is monotone in the limit and saturates at 100.
-        let a: Vec<f64> = LIMITS.iter().map(|&l| fig.cell(l, OptMode::Full).pct_elim).collect();
+        let a: Vec<f64> = LIMITS
+            .iter()
+            .map(|&l| fig.cell(l, OptMode::Full).pct_elim)
+            .collect();
         for w in a.windows(2) {
             assert!(w[1] >= w[0] - 1e-9, "{a:?}");
         }

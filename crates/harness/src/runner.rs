@@ -19,6 +19,8 @@ pub struct WorkloadRun {
     pub elided: ElidedBarriers,
     /// Interpreter statistics.
     pub stats: RunStats,
+    /// Collector statistics for the run's heap.
+    pub gc: wbe_heap::gc::GcStats,
     /// Dynamic barrier summary against the elision set.
     pub summary: BarrierSummary,
 }
@@ -75,6 +77,7 @@ pub fn run_workload(
     let summary = interp.stats.barrier.summarize(&elided);
     WorkloadRun {
         name: w.name,
+        gc: interp.heap.gc.stats,
         stats: interp.stats,
         compiled,
         elided,

@@ -63,7 +63,11 @@ pub fn run(scale: f64, runs: usize) -> Table2 {
     for (label, mode, elide, gc) in configs {
         let mut tput = 0.0;
         for _ in 0..runs.max(1) {
-            let opt_mode = if elide { OptMode::Full } else { OptMode::Baseline };
+            let opt_mode = if elide {
+                OptMode::Full
+            } else {
+                OptMode::Baseline
+            };
             let policy = gc.then_some(GcPolicy {
                 alloc_trigger: 2_000,
                 step_interval: 64,
@@ -88,9 +92,17 @@ pub fn run(scale: f64, runs: usize) -> Table2 {
 
 impl fmt::Display for Table2 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{:<16} {:>12} {:>10}", "Barrier mode", "Throughput", "Relative")?;
+        writeln!(
+            f,
+            "{:<16} {:>12} {:>10}",
+            "Barrier mode", "Throughput", "Relative"
+        )?;
         for r in &self.rows {
-            writeln!(f, "{:<16} {:>12.0} {:>10.3}", r.mode, r.throughput, r.relative)?;
+            writeln!(
+                f,
+                "{:<16} {:>12.0} {:>10.3}",
+                r.mode, r.throughput, r.relative
+            )?;
         }
         Ok(())
     }
@@ -118,9 +130,18 @@ mod tests {
         // Barriers cost a modest fraction of throughput. (The paper saw
         // 2.5%; our synthetic jbb is more store-dense, so the band is
         // wider — the *ordering* and the recovery shape are the claim.)
-        assert!(log.relative < 0.99 && log.relative > 0.80, "{}", log.relative);
+        assert!(
+            log.relative < 0.99 && log.relative > 0.80,
+            "{}",
+            log.relative
+        );
         // Elision recovers part of the cost but not all of it.
-        assert!(elim.relative > log.relative, "{} vs {}", elim.relative, log.relative);
+        assert!(
+            elim.relative > log.relative,
+            "{} vs {}",
+            elim.relative,
+            log.relative
+        );
         assert!(elim.relative < 1.0);
         // The recovered share of the barrier gap is loosely proportional
         // to the eliminated fraction of barriers (~25% for jbb).

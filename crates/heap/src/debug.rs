@@ -126,7 +126,9 @@ mod tests {
 
     fn setup() -> (Heap, GcRef, GcRef, GcRef) {
         let mut h = Heap::new(MarkStyle::Satb);
-        let a = h.alloc_object(0, &[FieldShape::Ref, FieldShape::Int]).unwrap();
+        let a = h
+            .alloc_object(0, &[FieldShape::Ref, FieldShape::Int])
+            .unwrap();
         let b = h.alloc_object(1, &[FieldShape::Ref]).unwrap();
         let arr = h.alloc_ref_array(2, 3).unwrap();
         h.set_field(a, 0, Value::from(b)).unwrap();

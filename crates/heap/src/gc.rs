@@ -74,6 +74,12 @@ impl PauseReport {
 }
 
 /// Cumulative collector statistics.
+///
+/// Kept as a plain struct so barrier-adjacent hot paths bump fields
+/// without touching atomics; [`GcState`] mirrors the values into the
+/// process-global telemetry registry (counters `heap.gc.*`) at cycle
+/// boundaries, so the struct is the façade and the registry the export
+/// path.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct GcStats {
     /// Completed marking cycles.
@@ -90,6 +96,64 @@ pub struct GcStats {
     pub swept: u64,
 }
 
+impl GcStats {
+    /// Accumulates `other` into `self` field-by-field, for aggregating
+    /// statistics across heaps/runs without hand-summing each field.
+    pub fn merge(&mut self, other: &GcStats) {
+        self.cycles += other.cycles;
+        self.satb_logs += other.satb_logs;
+        self.dirty_marks += other.dirty_marks;
+        self.concurrent_scans += other.concurrent_scans;
+        self.allocated_black += other.allocated_black;
+        self.swept += other.swept;
+    }
+}
+
+impl std::fmt::Display for GcStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cycles={} satb_logs={} dirty_marks={} concurrent_scans={} allocated_black={} swept={}",
+            self.cycles,
+            self.satb_logs,
+            self.dirty_marks,
+            self.concurrent_scans,
+            self.allocated_black,
+            self.swept
+        )
+    }
+}
+
+/// Pre-resolved registry handles for the collector's metrics. Resolved
+/// once per [`GcState`]; publishing is a handful of relaxed atomic adds
+/// per GC cycle.
+#[derive(Debug)]
+struct GcMetrics {
+    cycles: wbe_telemetry::Counter,
+    satb_logs: wbe_telemetry::Counter,
+    dirty_marks: wbe_telemetry::Counter,
+    concurrent_scans: wbe_telemetry::Counter,
+    allocated_black: wbe_telemetry::Counter,
+    swept: wbe_telemetry::Counter,
+    pause_work_units: wbe_telemetry::Histogram,
+    pause_us: wbe_telemetry::Histogram,
+}
+
+impl GcMetrics {
+    fn new() -> Self {
+        GcMetrics {
+            cycles: wbe_telemetry::counter("heap.gc.cycles"),
+            satb_logs: wbe_telemetry::counter("heap.gc.satb_logs"),
+            dirty_marks: wbe_telemetry::counter("heap.gc.dirty_marks"),
+            concurrent_scans: wbe_telemetry::counter("heap.gc.concurrent_scans"),
+            allocated_black: wbe_telemetry::counter("heap.gc.allocated_black"),
+            swept: wbe_telemetry::counter("heap.gc.swept"),
+            pause_work_units: wbe_telemetry::histogram("heap.gc.pause.work_units"),
+            pause_us: wbe_telemetry::histogram("heap.gc.pause.us"),
+        }
+    }
+}
+
 /// Collector state: mark bits, grey stack, mutator-barrier buffers.
 #[derive(Debug)]
 pub struct GcState {
@@ -102,6 +166,9 @@ pub struct GcState {
     retrace: BTreeSet<GcRef>,
     /// Cumulative statistics.
     pub stats: GcStats,
+    /// Portion of `stats` already mirrored into the registry.
+    published: GcStats,
+    metrics: GcMetrics,
 }
 
 impl GcState {
@@ -116,7 +183,25 @@ impl GcState {
             dirty: BTreeSet::new(),
             retrace: BTreeSet::new(),
             stats: GcStats::default(),
+            published: GcStats::default(),
+            metrics: GcMetrics::new(),
         }
+    }
+
+    /// Mirrors any statistics accrued since the last publish into the
+    /// global registry (`heap.gc.*` counters). Called automatically at
+    /// cycle boundaries ([`Self::remark`], [`Self::sweep`]); drivers may
+    /// call it at run end to flush mid-cycle barrier counts.
+    pub fn publish_metrics(&mut self) {
+        let (s, p, m) = (&self.stats, &self.published, &self.metrics);
+        m.cycles.add(s.cycles - p.cycles);
+        m.satb_logs.add(s.satb_logs - p.satb_logs);
+        m.dirty_marks.add(s.dirty_marks - p.dirty_marks);
+        m.concurrent_scans
+            .add(s.concurrent_scans - p.concurrent_scans);
+        m.allocated_black.add(s.allocated_black - p.allocated_black);
+        m.swept.add(s.swept - p.swept);
+        self.published = self.stats;
     }
 
     /// The marker style.
@@ -297,6 +382,8 @@ impl GcState {
     /// marking, including all objects allocated during the cycle.
     pub fn remark(&mut self, store: &mut Store, roots: &[GcRef]) -> PauseReport {
         assert_eq!(self.phase, Phase::Marking, "remark while idle");
+        let _span = wbe_telemetry::span!("heap.gc.remark");
+        let pause_start = std::time::Instant::now();
         let mut pause = PauseReport::default();
         for &r in roots {
             pause.roots_examined += 1;
@@ -343,6 +430,11 @@ impl GcState {
         }
         self.phase = Phase::Idle;
         self.stats.cycles += 1;
+        self.metrics
+            .pause_work_units
+            .record(pause.work_units() as u64);
+        self.metrics.pause_us.record_duration(pause_start.elapsed());
+        self.publish_metrics();
         pause
     }
 
@@ -363,6 +455,7 @@ impl GcState {
             }
         }
         self.stats.swept += freed as u64;
+        self.publish_metrics();
         freed
     }
 
@@ -384,7 +477,8 @@ mod tests {
     use crate::value::{FieldShape, Value};
 
     fn obj(h: &mut Heap) -> GcRef {
-        h.alloc_object(0, &[FieldShape::Ref, FieldShape::Ref]).unwrap()
+        h.alloc_object(0, &[FieldShape::Ref, FieldShape::Ref])
+            .unwrap()
     }
 
     /// Build `a -> b -> c`, start marking, then unlink b from a and
@@ -435,7 +529,7 @@ mod tests {
         let a = obj(&mut h);
         h.gc.begin_marking(&mut h.store, &[a]);
         let b = obj(&mut h); // allocated black
-        // a.f1 is null; store without barrier.
+                             // a.f1 is null; store without barrier.
         assert!(h.get_field(a, 1).unwrap().is_null());
         h.set_field(a, 1, Value::from(b)).unwrap();
         h.gc.remark(&mut h.store, &[a]);

@@ -318,11 +318,7 @@ impl Heap {
         usize::try_from(index)
             .ok()
             .filter(|&i| i < len)
-            .ok_or(HeapError::IndexOutOfBounds {
-                arr: r,
-                index,
-                len,
-            })
+            .ok_or(HeapError::IndexOutOfBounds { arr: r, index, len })
     }
 
     /// Reads element `index` of reference array `r`.

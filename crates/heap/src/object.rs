@@ -94,11 +94,7 @@ mod tests {
         let o = HeapObject {
             class_tag: 0,
             trace_state: TraceState::default(),
-            kind: ObjKind::Object(vec![
-                Value::Int(3),
-                Value::Ref(Some(GcRef(7))),
-                Value::NULL,
-            ]),
+            kind: ObjKind::Object(vec![Value::Int(3), Value::Ref(Some(GcRef(7))), Value::NULL]),
         };
         assert_eq!(o.outgoing_refs().collect::<Vec<_>>(), vec![GcRef(7)]);
         assert_eq!(o.len(), 3);

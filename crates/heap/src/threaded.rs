@@ -177,7 +177,7 @@ mod tests {
         };
         let cycle = ConcurrentCycle::start(Arc::clone(&heap), &[root], 2);
         drop(cycle); // must not deadlock or leak the thread
-        // Heap is still usable (phase stays Marking; finish was skipped).
+                     // Heap is still usable (phase stays Marking; finish was skipped).
         let h = heap.lock();
         assert!(h.gc.is_marking());
     }

@@ -252,15 +252,30 @@ impl BarrierStats {
 
     /// Iterates over `((method, addr, kind), stats)` for every executed
     /// site.
-    pub fn iter(
-        &self,
-    ) -> impl Iterator<Item = (&(MethodId, InsnAddr, StoreKind), &SiteStats)> {
+    pub fn iter(&self) -> impl Iterator<Item = (&(MethodId, InsnAddr, StoreKind), &SiteStats)> {
         self.sites.iter()
     }
 
     /// Number of distinct executed store sites.
     pub fn site_count(&self) -> usize {
         self.sites.len()
+    }
+
+    /// Accumulates `other`'s per-site counters into `self`, so harness
+    /// code can aggregate runs without hand-summing summary fields.
+    pub fn merge(&mut self, other: &BarrierStats) {
+        for (&key, stats) in &other.sites {
+            let s = self.sites.entry(key).or_default();
+            s.executions += stats.executions;
+            s.pre_null += stats.pre_null;
+        }
+    }
+
+    /// Total `(executions, pre_null executions)` across every site.
+    pub fn totals(&self) -> (u64, u64) {
+        self.sites
+            .values()
+            .fold((0, 0), |(e, p), s| (e + s.executions, p + s.pre_null))
     }
 
     /// Aggregates the run against an elision set, producing the numbers
@@ -290,6 +305,19 @@ impl BarrierStats {
             }
         }
         s
+    }
+}
+
+impl std::fmt::Display for BarrierStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (executions, pre_null) = self.totals();
+        write!(
+            f,
+            "sites={} executions={} pre_null={}",
+            self.site_count(),
+            executions,
+            pre_null
+        )
     }
 }
 
@@ -412,6 +440,59 @@ mod tests {
         let s = st.summarize(&ElidedBarriers::new());
         assert_eq!(s.total(), 0);
         assert_eq!(s.pct_eliminated(), 0.0);
+    }
+
+    #[test]
+    fn zero_execution_site_is_not_potentially_pre_null() {
+        // A site that never executed must not be reported as an elision
+        // opportunity: 0/0 is "no evidence", not "always pre-null".
+        let s = SiteStats::default();
+        assert_eq!(s.executions, 0);
+        assert!(!s.potentially_pre_null());
+        // And summarize over an empty run stays all-zero even when the
+        // elision set is non-empty.
+        let mut elided = ElidedBarriers::new();
+        elided.insert(MethodId(0), addr(0));
+        let summary = BarrierStats::default().summarize(&elided);
+        assert_eq!(summary, BarrierSummary::default());
+        assert_eq!(summary.pct_eliminated(), 0.0);
+        assert_eq!(summary.pct_potential_pre_null(), 0.0);
+    }
+
+    #[test]
+    fn all_elided_summary_hits_one_hundred_percent() {
+        let mut st = BarrierStats::default();
+        let m = MethodId(0);
+        for i in 0..3 {
+            st.record(m, addr(i), StoreKind::Field, true);
+        }
+        st.record(m, addr(3), StoreKind::Array, true);
+        let elided: ElidedBarriers = (0..4).map(|i| (m, addr(i))).collect();
+        let s = st.summarize(&elided);
+        assert_eq!(s.total(), 4);
+        assert_eq!(s.eliminated(), 4);
+        assert_eq!(s.pct_eliminated(), 100.0);
+        assert_eq!(s.pct_field_eliminated(), 100.0);
+        assert_eq!(s.pct_array_eliminated(), 100.0);
+        assert_eq!(s.pct_potential_pre_null(), 100.0);
+    }
+
+    #[test]
+    fn merge_sums_per_site_and_display_reports_totals() {
+        let m = MethodId(0);
+        let mut a = BarrierStats::default();
+        a.record(m, addr(0), StoreKind::Field, true);
+        a.record(m, addr(0), StoreKind::Field, false);
+        let mut b = BarrierStats::default();
+        b.record(m, addr(0), StoreKind::Field, true);
+        b.record(m, addr(1), StoreKind::Array, true);
+        a.merge(&b);
+        assert_eq!(a.site_count(), 2);
+        assert_eq!(a.totals(), (4, 3));
+        let sites: HashMap<_, _> = a.iter().map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(sites[&(m, addr(0), StoreKind::Field)].executions, 3);
+        assert_eq!(sites[&(m, addr(0), StoreKind::Field)].pre_null, 2);
+        assert_eq!(format!("{a}"), "sites=2 executions=4 pre_null=3");
     }
 
     #[test]

@@ -153,6 +153,25 @@ pub struct RunStats {
     pub pauses: Vec<PauseReport>,
 }
 
+/// Scalar snapshot of [`RunStats`] as of the last telemetry publish.
+/// Publishing deltas at run boundaries keeps the interpreter loop free
+/// of atomics: `RunStats` stays a plain struct, and the registry only
+/// sees the difference since the previous snapshot.
+#[derive(Clone, Copy, Debug, Default)]
+struct PublishedRunStats {
+    insns: u64,
+    cycles: u64,
+    barrier_cycles: u64,
+    elided_executions: u64,
+    rearrange_skipped: u64,
+    retraces_scheduled: u64,
+    stack_allocated: u64,
+    stack_freed: u64,
+    gc_cycles: u64,
+    barrier_executions: u64,
+    barrier_pre_null: u64,
+}
+
 struct Frame {
     method: MethodId,
     block: BlockId,
@@ -181,6 +200,7 @@ pub struct Interp<'p> {
     class_shapes: Vec<Vec<FieldShape>>,
     allocs_since_cycle: u64,
     frames: Vec<Frame>,
+    published: PublishedRunStats,
 }
 
 impl fmt::Debug for Interp<'_> {
@@ -201,11 +221,8 @@ impl<'p> Interp<'p> {
     /// Creates an interpreter with the given marker style.
     pub fn with_style(program: &'p Program, config: BarrierConfig, style: MarkStyle) -> Self {
         let mut heap = Heap::new(style);
-        let static_shapes: Vec<FieldShape> = program
-            .statics
-            .iter()
-            .map(|s| shape_of(s.ty))
-            .collect();
+        let static_shapes: Vec<FieldShape> =
+            program.statics.iter().map(|s| shape_of(s.ty)).collect();
         heap.register_statics(&static_shapes);
         let class_shapes = program
             .classes
@@ -227,6 +244,7 @@ impl<'p> Interp<'p> {
             class_shapes,
             allocs_since_cycle: 0,
             frames: Vec::new(),
+            published: PublishedRunStats::default(),
         }
     }
 
@@ -239,16 +257,64 @@ impl<'p> Interp<'p> {
     /// arena (from `wbe_analysis::stackalloc`). Objects allocated at
     /// these sites are freed when their frame returns; an analysis error
     /// surfaces as a dangling-reference trap.
-    pub fn set_stack_sites(
-        &mut self,
-        sites: impl IntoIterator<Item = wbe_ir::SiteId>,
-    ) {
+    pub fn set_stack_sites(&mut self, sites: impl IntoIterator<Item = wbe_ir::SiteId>) {
         self.stack_sites = sites.into_iter().collect();
     }
 
     /// The barrier configuration in force.
     pub fn config(&self) -> &BarrierConfig {
         &self.config
+    }
+
+    /// Publishes the delta of [`RunStats`] since the last publish into
+    /// the global telemetry registry (and the heap's GC counters).
+    /// Called automatically at the end of [`Interp::run`]; cheap enough
+    /// to call again after manual GC driving.
+    pub fn publish_metrics(&mut self) {
+        if !wbe_telemetry::metrics_enabled() {
+            return;
+        }
+        let (exec, pre_null) = self.stats.barrier.totals();
+        let (s, p) = (&self.stats, &self.published);
+        let add = |name: &str, delta: u64| wbe_telemetry::counter(name).add(delta);
+        add("interp.insns", s.insns - p.insns);
+        add("interp.cycles", s.cycles - p.cycles);
+        add("interp.barrier.cycles", s.barrier_cycles - p.barrier_cycles);
+        add("interp.barrier.executed", exec - p.barrier_executions);
+        add("interp.barrier.pre_null", pre_null - p.barrier_pre_null);
+        add(
+            "interp.barrier.elided_executions",
+            s.elided_executions - p.elided_executions,
+        );
+        add(
+            "interp.barrier.rearrange_skipped",
+            s.rearrange_skipped - p.rearrange_skipped,
+        );
+        add(
+            "interp.retraces_scheduled",
+            s.retraces_scheduled - p.retraces_scheduled,
+        );
+        add(
+            "interp.stack_allocated",
+            s.stack_allocated - p.stack_allocated,
+        );
+        add("interp.stack_freed", s.stack_freed - p.stack_freed);
+        add("interp.gc.cycles", s.gc_cycles - p.gc_cycles);
+        wbe_telemetry::gauge("interp.barrier.sites").set(s.barrier.site_count() as u64);
+        self.published = PublishedRunStats {
+            insns: s.insns,
+            cycles: s.cycles,
+            barrier_cycles: s.barrier_cycles,
+            elided_executions: s.elided_executions,
+            rearrange_skipped: s.rearrange_skipped,
+            retraces_scheduled: s.retraces_scheduled,
+            stack_allocated: s.stack_allocated,
+            stack_freed: s.stack_freed,
+            gc_cycles: s.gc_cycles,
+            barrier_executions: exec,
+            barrier_pre_null: pre_null,
+        };
+        self.heap.gc.publish_metrics();
     }
 
     fn collect_roots(&self) -> Vec<GcRef> {
@@ -323,12 +389,15 @@ impl<'p> Interp<'p> {
                 got: args.len(),
             });
         }
+        let span = wbe_telemetry::span!("interp.run", "{}", m.name);
         let result = self.run_inner(method, args, fuel);
         // On a trap, abandon the frame stack so the interpreter can be
         // reused.
         if result.is_err() {
             self.frames.clear();
         }
+        drop(span);
+        self.publish_metrics();
         result
     }
 
@@ -379,11 +448,7 @@ impl<'p> Interp<'p> {
                         return Ok(ret);
                     }
                     if let Some(v) = ret {
-                        self.frames
-                            .last_mut()
-                            .expect("caller frame")
-                            .stack
-                            .push(v);
+                        self.frames.last_mut().expect("caller frame").stack.push(v);
                     }
                 }
             }
@@ -574,8 +639,14 @@ impl<'p> Interp<'p> {
                 self.push(b);
                 self.push(a);
             }
-            Insn::Add | Insn::Sub | Insn::Mul | Insn::And | Insn::Or | Insn::Xor
-            | Insn::Shl | Insn::Shr => {
+            Insn::Add
+            | Insn::Sub
+            | Insn::Mul
+            | Insn::And
+            | Insn::Or
+            | Insn::Xor
+            | Insn::Shl
+            | Insn::Shr => {
                 let b = self.pop_int(mid, at)?;
                 let a = self.pop_int(mid, at)?;
                 let r = match insn {
@@ -689,11 +760,15 @@ impl<'p> Interp<'p> {
                 };
                 match role {
                     Some(RearrangeRole::First) => {
-                        self.stats.barrier.record(mid, at, StoreKind::Array, old.is_none());
+                        self.stats
+                            .barrier
+                            .record(mid, at, StoreKind::Array, old.is_none());
                         self.satb_log_barrier(old);
                     }
                     Some(RearrangeRole::Member) => {
-                        self.stats.barrier.record(mid, at, StoreKind::Array, old.is_none());
+                        self.stats
+                            .barrier
+                            .record(mid, at, StoreKind::Array, old.is_none());
                         self.stats.rearrange_skipped += 1;
                         // Tracing-state check (2 cycles, like a card mark).
                         self.stats.barrier_cycles += 2;
@@ -863,7 +938,14 @@ mod tests {
             let a = mb.local(0);
             let b = mb.local(1);
             // (a + b) * 2 - 1
-            mb.load(a).load(b).add().iconst(2).mul().iconst(1).sub().return_value();
+            mb.load(a)
+                .load(b)
+                .add()
+                .iconst(2)
+                .mul()
+                .iconst(1)
+                .sub()
+                .return_value();
         });
         let p = pb.finish();
         let mut i = Interp::new(&p, checked());
@@ -883,7 +965,10 @@ mod tests {
             let body = mb.new_block();
             let exit = mb.new_block();
             mb.iconst(0).store(i).iconst(0).store(acc).goto_(head);
-            mb.switch_to(head).load(i).load(n).if_icmp(CmpOp::Lt, body, exit);
+            mb.switch_to(head)
+                .load(i)
+                .load(n)
+                .if_icmp(CmpOp::Lt, body, exit);
             mb.switch_to(body)
                 .load(acc)
                 .load(i)
@@ -917,10 +1002,18 @@ mod tests {
                 let head = mb.new_block();
                 let body = mb.new_block();
                 let exit = mb.new_block();
-                mb.load(ta).arraylength().iconst(2).mul().new_ref_array(t).store(new_ta);
+                mb.load(ta)
+                    .arraylength()
+                    .iconst(2)
+                    .mul()
+                    .new_ref_array(t)
+                    .store(new_ta);
                 mb.iconst(0).store(i).goto_(head);
                 mb.switch_to(head);
-                mb.load(i).load(ta).arraylength().if_icmp(CmpOp::Lt, body, exit);
+                mb.load(i)
+                    .load(ta)
+                    .arraylength()
+                    .if_icmp(CmpOp::Lt, body, exit);
                 mb.switch_to(body);
                 mb.load(new_ta).load(i).load(ta).load(i).aaload().aastore();
                 mb.iinc(i, 1).goto_(head);
@@ -940,7 +1033,12 @@ mod tests {
             mb.switch_to(head);
             mb.load(i).iconst(5).if_icmp(CmpOp::Lt, body, exit);
             mb.switch_to(body);
-            mb.load(arr).load(i).new_object(t).aastore().iinc(i, 1).goto_(head);
+            mb.load(arr)
+                .load(i)
+                .new_object(t)
+                .aastore()
+                .iinc(i, 1)
+                .goto_(head);
             mb.switch_to(exit);
             mb.load(arr).invoke(expand).return_value();
         });
@@ -972,7 +1070,11 @@ mod tests {
             mb.return_();
         });
         let m = pb.method("make", vec![], Some(Ty::Ref(c)), 0, |mb| {
-            mb.new_object(c).dup().iconst(42).invoke(ctor).return_value();
+            mb.new_object(c)
+                .dup()
+                .iconst(42)
+                .invoke(ctor)
+                .return_value();
         });
         let p = pb.finish();
         p.validate().unwrap();
@@ -1101,7 +1203,10 @@ mod tests {
             let body = mb.new_block();
             let exit = mb.new_block();
             mb.new_object(c).store(o).iconst(0).store(i).goto_(head);
-            mb.switch_to(head).load(i).load(n).if_icmp(CmpOp::Lt, body, exit);
+            mb.switch_to(head)
+                .load(i)
+                .load(n)
+                .if_icmp(CmpOp::Lt, body, exit);
             mb.switch_to(body)
                 .load(o)
                 .load(o)
@@ -1142,9 +1247,16 @@ mod tests {
             let bwbody = mb.new_block();
             let bexit = mb.new_block();
             // head = new Node; i = 1
-            mb.new_object(c).store(head_l).iconst(1).store(i).goto_(bhead);
+            mb.new_object(c)
+                .store(head_l)
+                .iconst(1)
+                .store(i)
+                .goto_(bhead);
             // while i < n: t = new Node; t.next = head; head = t
-            mb.switch_to(bhead).load(i).load(n).if_icmp(CmpOp::Lt, bbody, bwalk);
+            mb.switch_to(bhead)
+                .load(i)
+                .load(n)
+                .if_icmp(CmpOp::Lt, bbody, bwalk);
             mb.switch_to(bbody)
                 .new_object(c)
                 .dup()
@@ -1212,7 +1324,12 @@ mod tests {
             let rec = mb.new_block();
             mb.load(n).if_zero(CmpOp::Le, base, rec);
             mb.switch_to(base).iconst(0).return_value();
-            mb.switch_to(rec).load(n).iconst(1).sub().invoke(f).return_value();
+            mb.switch_to(rec)
+                .load(n)
+                .iconst(1)
+                .sub()
+                .invoke(f)
+                .return_value();
         });
         let p = pb.finish();
         let mut interp = Interp::new(&p, checked());
@@ -1248,7 +1365,10 @@ mod tests {
         let c = pb.class("C");
         let root = pb.static_field("root", Ty::Ref(c));
         let m = pb.method("publish", vec![], Some(Ty::Ref(c)), 0, |mb| {
-            mb.new_object(c).putstatic(root).getstatic(root).return_value();
+            mb.new_object(c)
+                .putstatic(root)
+                .getstatic(root)
+                .return_value();
         });
         let p = pb.finish();
         let mut interp = Interp::new(&p, checked());

@@ -91,11 +91,7 @@ impl ProgramBuilder {
     /// Declares a constructor for `class`; parameter 0 is the object under
     /// construction. Constructors return void and get the paper's special
     /// initial analysis state for `this`.
-    pub fn declare_constructor(
-        &mut self,
-        class: ClassId,
-        mut extra_params: Vec<Ty>,
-    ) -> MethodId {
+    pub fn declare_constructor(&mut self, class: ClassId, mut extra_params: Vec<Ty>) -> MethodId {
         let mut params = vec![Ty::Ref(class)];
         params.append(&mut extra_params);
         let name = format!("{}::<init>", self.program.class(class).name);

@@ -49,8 +49,7 @@ pub fn reverse_postorder(method: &Method) -> Vec<BlockId> {
 
 /// Blocks unreachable from the entry.
 pub fn unreachable_blocks(method: &Method) -> Vec<BlockId> {
-    let reachable: std::collections::BTreeSet<_> =
-        reverse_postorder(method).into_iter().collect();
+    let reachable: std::collections::BTreeSet<_> = reverse_postorder(method).into_iter().collect();
     (0..method.blocks.len())
         .map(BlockId::from_index)
         .filter(|b| !reachable.contains(b))

@@ -193,10 +193,7 @@ mod tests {
         let c = pb.class("Node");
         let next = pb.field(c, "next", Ty::Ref(c));
         pb.method("link", vec![Ty::Ref(c)], None, 0, |mb| {
-            mb.load(mb.local(0))
-                .const_null()
-                .putfield(next)
-                .return_();
+            mb.load(mb.local(0)).const_null().putfield(next).return_();
         });
         let p = pb.finish();
         let s = method_display(&p, &p.methods[0]).to_string();

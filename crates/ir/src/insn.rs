@@ -5,8 +5,8 @@
 //! operations needed to write realistic programs. Blocks contain straight
 //! line [`Insn`]s and end in exactly one [`Terminator`].
 
-use crate::ids::{ClassId, FieldId, LocalId, MethodId, SiteId, StaticId};
 use crate::ids::BlockId;
+use crate::ids::{ClassId, FieldId, LocalId, MethodId, SiteId, StaticId};
 
 /// Integer comparison operator used by conditional branches.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -196,7 +196,10 @@ pub enum Insn {
 impl Insn {
     /// Returns `(pops, pushes)` stack effect, given a resolver for method
     /// signatures (only [`Insn::Invoke`] needs it).
-    pub fn stack_effect(&self, invoke_effect: impl Fn(MethodId) -> (usize, usize)) -> (usize, usize) {
+    pub fn stack_effect(
+        &self,
+        invoke_effect: impl Fn(MethodId) -> (usize, usize),
+    ) -> (usize, usize) {
         match *self {
             Insn::Const(_) | Insn::ConstNull | Insn::Load(_) => (0, 1),
             Insn::Store(_) | Insn::Pop => (1, 0),
@@ -300,7 +303,14 @@ mod tests {
 
     #[test]
     fn cmp_eval_and_negate() {
-        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             for (a, b) in [(0, 0), (1, 2), (2, 1), (-3, 3)] {
                 assert_eq!(op.eval(a, b), !op.negate().eval(a, b), "{op:?} {a} {b}");
                 assert_eq!(op.eval(a, b), op.flip().eval(b, a), "{op:?} {a} {b}");
@@ -324,7 +334,10 @@ mod tests {
             then_: BlockId(1),
             else_: BlockId(2),
         };
-        assert_eq!(t.successors().collect::<Vec<_>>(), vec![BlockId(1), BlockId(2)]);
+        assert_eq!(
+            t.successors().collect::<Vec<_>>(),
+            vec![BlockId(1), BlockId(2)]
+        );
         assert_eq!(Terminator::Return.successors().count(), 0);
         assert!(Terminator::ReturnValue.is_return());
         assert_eq!(t.pops(), 1);
@@ -332,7 +345,10 @@ mod tests {
 
     #[test]
     fn allocation_sites_reported() {
-        let i = Insn::New { class: ClassId(0), site: SiteId(5) };
+        let i = Insn::New {
+            class: ClassId(0),
+            site: SiteId(5),
+        };
         assert_eq!(i.allocation_site(), Some(SiteId(5)));
         assert_eq!(Insn::Pop.allocation_site(), None);
         assert!(Insn::AaStore.is_potential_barrier_site());

@@ -124,8 +124,12 @@ impl Method {
 
     /// Iterates over every instruction as `(BlockId, index-in-block, &Insn)`.
     pub fn iter_insns(&self) -> impl Iterator<Item = (BlockId, usize, &Insn)> {
-        self.iter_blocks()
-            .flat_map(|(bid, b)| b.insns.iter().enumerate().map(move |(i, insn)| (bid, i, insn)))
+        self.iter_blocks().flat_map(|(bid, b)| {
+            b.insns
+                .iter()
+                .enumerate()
+                .map(move |(i, insn)| (bid, i, insn))
+        })
     }
 }
 
@@ -168,7 +172,10 @@ mod tests {
             is_constructor: false,
             num_locals: 2,
             blocks: vec![
-                Block::new(vec![Insn::Load(LocalId(0)), Insn::Store(LocalId(1))], Terminator::Goto(BlockId(1))),
+                Block::new(
+                    vec![Insn::Load(LocalId(0)), Insn::Store(LocalId(1))],
+                    Terminator::Goto(BlockId(1)),
+                ),
                 Block::new(vec![Insn::Load(LocalId(1))], Terminator::ReturnValue),
             ],
             size: 0,
@@ -200,7 +207,10 @@ mod tests {
     #[test]
     fn iter_insns_addresses() {
         let m = sample_method();
-        let addrs: Vec<_> = m.iter_insns().map(|(b, i, _)| InsnAddr::new(b, i)).collect();
+        let addrs: Vec<_> = m
+            .iter_insns()
+            .map(|(b, i, _)| InsnAddr::new(b, i))
+            .collect();
         assert_eq!(addrs.len(), 3);
         assert_eq!(addrs[2], InsnAddr::new(BlockId(1), 0));
         assert_eq!(addrs[2].to_string(), "B1[0]");

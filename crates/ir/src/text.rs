@@ -201,8 +201,7 @@ impl<'a> Parser<'a> {
                             offset,
                         });
                         self.program.classes[cid.index()].fields.push(fid);
-                        self.field_ids
-                            .insert((cid, fname.trim().to_string()), fid);
+                        self.field_ids.insert((cid, fname.trim().to_string()), fid);
                         pos += 1;
                     }
                 }
@@ -457,9 +456,9 @@ impl<'a> Parser<'a> {
         let mut w = line.split_whitespace();
         let op = w.next().ok_or_else(|| self.err("empty terminator"))?;
         let t = match op {
-            "goto" => Terminator::Goto(self.parse_block_ref(
-                w.next().ok_or_else(|| self.err("goto needs a target"))?,
-            )?),
+            "goto" => Terminator::Goto(
+                self.parse_block_ref(w.next().ok_or_else(|| self.err("goto needs a target"))?)?,
+            ),
             "return" => Terminator::Return,
             "return_value" => Terminator::ReturnValue,
             _ if op.starts_with("if_") => {
@@ -474,23 +473,21 @@ impl<'a> Parser<'a> {
                     Cond::RefEq
                 } else if cond_str == "acmp_ne" {
                     Cond::RefNe
-                } else if let Some(c) = cond_str
-                    .strip_prefix('i')
-                    .and_then(|c| c.strip_suffix('z'))
+                } else if let Some(c) = cond_str.strip_prefix('i').and_then(|c| c.strip_suffix('z'))
                 {
                     Cond::IZero(self.parse_cmp(c)?)
                 } else {
                     return Err(self.err(format!("unknown condition '{cond_str}'")));
                 };
-                let then_ = self.parse_block_ref(
-                    w.next().ok_or_else(|| self.err("if needs a then-target"))?,
-                )?;
+                let then_ = self
+                    .parse_block_ref(w.next().ok_or_else(|| self.err("if needs a then-target"))?)?;
                 let kw = w.next();
                 if kw != Some("else") {
                     return Err(self.err("if needs 'else'"));
                 }
                 let else_ = self.parse_block_ref(
-                    w.next().ok_or_else(|| self.err("if needs an else-target"))?,
+                    w.next()
+                        .ok_or_else(|| self.err("if needs an else-target"))?,
                 )?;
                 Terminator::If { cond, then_, else_ }
             }
@@ -667,7 +664,14 @@ mod tests {
             mb.iconst(3).div().iconst(2).rem().neg();
             mb.iconst(1).and().iconst(2).or().iconst(3).xor();
             mb.iconst(1).shl().iconst(1).shr();
-            mb.dup().pop().iconst(9).swap().dup_x1().pop().pop().store(t);
+            mb.dup()
+                .pop()
+                .iconst(9)
+                .swap()
+                .dup_x1()
+                .pop()
+                .pop()
+                .store(t);
             // heap ops
             mb.new_object(c).store(o);
             mb.load(o).load(o).getfield(fr).putfield(fr);
@@ -686,10 +690,7 @@ mod tests {
             mb.load(t).if_zero(CmpOp::Ge, b1, b2);
             mb.switch_to(b1).load(o).if_null(b2, b3);
             mb.switch_to(b2).iconst(0).return_value();
-            mb.switch_to(b3)
-                .load(o)
-                .getstatic(g)
-                .if_acmp_eq(b2, b2);
+            mb.switch_to(b3).load(o).getstatic(g).if_acmp_eq(b2, b2);
         });
         let p = pb.finish();
         p.validate().unwrap();

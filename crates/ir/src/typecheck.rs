@@ -122,9 +122,7 @@ impl Checker<'_> {
     }
 
     fn pop_any(&self, f: &mut Frame, at: &str) -> Result<VType, TypeError> {
-        f.stack
-            .pop()
-            .ok_or_else(|| self.err(at, "stack underflow"))
+        f.stack.pop().ok_or_else(|| self.err(at, "stack underflow"))
     }
 
     fn load_local(&self, f: &Frame, at: &str, l: LocalId) -> Result<VType, TypeError> {
@@ -517,8 +515,15 @@ mod tests {
             let body = mb.new_block();
             let exit = mb.new_block();
             mb.const_null().store(o).iconst(0).store(i).goto_(head);
-            mb.switch_to(head).load(i).load(n).if_icmp(CmpOp::Lt, body, exit);
-            mb.switch_to(body).new_object(c).store(o).iinc(i, 1).goto_(head);
+            mb.switch_to(head)
+                .load(i)
+                .load(n)
+                .if_icmp(CmpOp::Lt, body, exit);
+            mb.switch_to(body)
+                .new_object(c)
+                .store(o)
+                .iinc(i, 1)
+                .goto_(head);
             mb.switch_to(exit).return_();
         });
         let p = pb.finish();

@@ -166,8 +166,7 @@ pub fn validate_method(program: &Program, method: &Method) -> Result<(), Validat
         let block = method.block(bid);
         for (idx, insn) in block.insns.iter().enumerate() {
             let at = format!("{bid}[{idx}]");
-            let (pops, pushes) =
-                insn.stack_effect(|m| program.method(m).sig.invoke_effect());
+            let (pops, pushes) = insn.stack_effect(|m| program.method(m).sig.invoke_effect());
             if height < pops {
                 return Err(ValidateError::StackUnderflow { method: mid, at });
             }
@@ -261,22 +260,20 @@ fn check_ids(
     };
     match *insn {
         Insn::Load(l) | Insn::Store(l) | Insn::IInc(l, _) => check_local(l)?,
-        Insn::GetField(fi) | Insn::PutField(fi)
-            if fi.index() >= program.fields.len() => {
-                return Err(bad(format!("field {fi}")));
-            }
-        Insn::GetStatic(s) | Insn::PutStatic(s)
-            if s.index() >= program.statics.len() => {
-                return Err(bad(format!("static {s}")));
-            }
+        Insn::GetField(fi) | Insn::PutField(fi) if fi.index() >= program.fields.len() => {
+            return Err(bad(format!("field {fi}")));
+        }
+        Insn::GetStatic(s) | Insn::PutStatic(s) if s.index() >= program.statics.len() => {
+            return Err(bad(format!("static {s}")));
+        }
         Insn::New { class, .. } | Insn::NewRefArray { class, .. }
-            if class.index() >= program.classes.len() => {
-                return Err(bad(format!("class {class}")));
-            }
-        Insn::Invoke(m)
-            if m.index() >= program.methods.len() => {
-                return Err(bad(format!("method {m}")));
-            }
+            if class.index() >= program.classes.len() =>
+        {
+            return Err(bad(format!("class {class}")));
+        }
+        Insn::Invoke(m) if m.index() >= program.methods.len() => {
+            return Err(bad(format!("method {m}")));
+        }
         _ => {}
     }
     Ok(())
@@ -360,7 +357,8 @@ mod tests {
         assert!(
             matches!(
                 err,
-                ValidateError::InconsistentStackHeight { .. } | ValidateError::StackUnderflow { .. }
+                ValidateError::InconsistentStackHeight { .. }
+                    | ValidateError::StackUnderflow { .. }
             ),
             "{err}"
         );

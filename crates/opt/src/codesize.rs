@@ -49,11 +49,7 @@ pub const TERM_BYTES: usize = 4;
 
 /// Compiled size of one method in bytes, charging [`BARRIER_BYTES`] for
 /// every reference-store site not in `elided`.
-pub fn method_code_size(
-    program: &Program,
-    method: &Method,
-    elided: &BTreeSet<InsnAddr>,
-) -> usize {
+pub fn method_code_size(program: &Program, method: &Method, elided: &BTreeSet<InsnAddr>) -> usize {
     let mut total = 0;
     for (bid, block) in method.iter_blocks() {
         for (idx, insn) in block.insns.iter().enumerate() {
@@ -130,18 +126,24 @@ mod tests {
         let mut pb = ProgramBuilder::new();
         let c = pb.class("C");
         let f = pb.field(c, "f", Ty::Ref(c));
-        let m = pb.method("mix", vec![Ty::Ref(c), Ty::Ref(c)], Some(Ty::Int), 1, |mb| {
-            let a = mb.local(0);
-            let b = mb.local(1);
-            let t = mb.local(2);
-            // ~28 integer instructions of filler.
-            mb.iconst(0).store(t);
-            for k in 0..12 {
-                mb.load(t).iconst(k).add().store(t);
-            }
-            mb.load(a).load(b).putfield(f); // the one barrier site
-            mb.load(t).return_value();
-        });
+        let m = pb.method(
+            "mix",
+            vec![Ty::Ref(c), Ty::Ref(c)],
+            Some(Ty::Int),
+            1,
+            |mb| {
+                let a = mb.local(0);
+                let b = mb.local(1);
+                let t = mb.local(2);
+                // ~28 integer instructions of filler.
+                mb.iconst(0).store(t);
+                for k in 0..12 {
+                    mb.load(t).iconst(k).add().store(t);
+                }
+                mb.load(a).load(b).putfield(f); // the one barrier site
+                mb.load(t).return_value();
+            },
+        );
         let p = pb.finish();
         let barrier_at = p
             .method(m)

@@ -131,8 +131,7 @@ fn fold_branch(block: &mut Block) -> bool {
             if n < 2 {
                 return false;
             }
-            let (Insn::Const(a), Insn::Const(b)) = (block.insns[n - 2], block.insns[n - 1])
-            else {
+            let (Insn::Const(a), Insn::Const(b)) = (block.insns[n - 2], block.insns[n - 1]) else {
                 return false;
             };
             block.insns.truncate(n - 2);
@@ -341,8 +340,17 @@ mod tests {
             let exit = mb.new_block();
             mb.iconst(2).iconst(3).mul().new_ref_array(c).store(a);
             mb.iconst(0).store(i).goto_(head);
-            mb.switch_to(head).load(i).iconst(6).if_icmp(CmpOp::Lt, body, exit);
-            mb.switch_to(body).load(a).load(i).const_null().aastore().iinc(i, 1).goto_(head);
+            mb.switch_to(head)
+                .load(i)
+                .iconst(6)
+                .if_icmp(CmpOp::Lt, body, exit);
+            mb.switch_to(body)
+                .load(a)
+                .load(i)
+                .const_null()
+                .aastore()
+                .iinc(i, 1)
+                .goto_(head);
             mb.switch_to(exit).return_();
         });
         let mut p = pb.finish();

@@ -64,6 +64,7 @@ pub struct InlineStats {
 /// fresh ids so the analysis sees one abstract site pair per inlined
 /// copy.
 pub fn inline_program(program: &Program, config: InlineConfig) -> (Program, InlineStats) {
+    let _span = wbe_telemetry::span!("opt.inline", "limit {}", config.limit);
     let mut out = program.clone();
     let mut stats = InlineStats::default();
     if config.limit == 0 || config.max_passes == 0 {
@@ -92,6 +93,9 @@ pub fn inline_program(program: &Program, config: InlineConfig) -> (Program, Inli
             }
         }
     }
+    wbe_telemetry::counter("opt.inline.inlined_calls").add(stats.inlined_calls as u64);
+    wbe_telemetry::counter("opt.inline.skipped_too_big").add(stats.skipped_too_big as u64);
+    wbe_telemetry::counter("opt.inline.skipped_recursive").add(stats.skipped_recursive as u64);
     (out, stats)
 }
 
@@ -228,15 +232,20 @@ fn remap_insn(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use wbe_interp_test_util::run_both;
     use wbe_ir::builder::ProgramBuilder;
     use wbe_ir::{CmpOp, Ty};
-    use wbe_interp_test_util::run_both;
 
     /// Helper: run a method in original and inlined program, compare.
     mod wbe_interp_test_util {
         use super::*;
 
-        pub fn run_both(p: &Program, config: InlineConfig, m: MethodId, args: &[i64]) -> (i64, i64) {
+        pub fn run_both(
+            p: &Program,
+            config: InlineConfig,
+            m: MethodId,
+            args: &[i64],
+        ) -> (i64, i64) {
             let (inlined, _) = inline_program(p, config);
             inlined.validate().expect("inlined program validates");
             (eval(p, m, args), eval(&inlined, m, args))
@@ -363,11 +372,17 @@ mod tests {
 
     fn add_mul_program() -> (Program, MethodId, MethodId) {
         let mut pb = ProgramBuilder::new();
-        let helper = pb.method("twice_plus", vec![Ty::Int, Ty::Int], Some(Ty::Int), 0, |mb| {
-            let a = mb.local(0);
-            let b = mb.local(1);
-            mb.load(a).iconst(2).mul().load(b).add().return_value();
-        });
+        let helper = pb.method(
+            "twice_plus",
+            vec![Ty::Int, Ty::Int],
+            Some(Ty::Int),
+            0,
+            |mb| {
+                let a = mb.local(0);
+                let b = mb.local(1);
+                mb.load(a).iconst(2).mul().load(b).add().return_value();
+            },
+        );
         let main = pb.method("main", vec![Ty::Int], Some(Ty::Int), 0, |mb| {
             let x = mb.local(0);
             // twice_plus(x, 7) + twice_plus(3, x)
@@ -526,7 +541,12 @@ mod tests {
         });
         let main = pb.method("main", vec![Ty::Ref(c)], None, 0, |mb| {
             let arg = mb.local(0);
-            mb.new_object(c).dup().load(arg).invoke(ctor).pop().return_();
+            mb.new_object(c)
+                .dup()
+                .load(arg)
+                .invoke(ctor)
+                .pop()
+                .return_();
         });
         let p = pb.finish();
         // Without inlining: the ctor call blocks elision in main, and the

@@ -178,6 +178,7 @@ impl Compiled {
 
 /// Runs the pipeline on `program`.
 pub fn compile(program: &Program, config: &PipelineConfig) -> Compiled {
+    let _span = wbe_telemetry::span!("opt.compile", "mode {}", config.mode.label());
     let t0 = std::time::Instant::now();
     let (mut inlined, inline_stats) = inline_program(program, config.inline);
     if config.fold {
@@ -200,13 +201,25 @@ pub fn compile(program: &Program, config: &PipelineConfig) -> Compiled {
     } else {
         BTreeMap::new()
     };
-    Compiled {
+    let compiled = Compiled {
         program: inlined,
         inline_stats,
         inline_time,
         analysis,
         null_or_same,
+    };
+    wbe_telemetry::histogram("opt.inline.us").record_duration(inline_time);
+    if wbe_telemetry::metrics_enabled() {
+        // Code-size delta of barrier elision: size with no elisions vs
+        // size with this compile's elided set.
+        let before = codesize::program_code_size(&compiled.program, |_| BTreeSet::new());
+        let after = compiled.code_size();
+        wbe_telemetry::gauge("opt.code_size.baseline_bytes").set(before as u64);
+        wbe_telemetry::gauge("opt.code_size.bytes").set(after as u64);
+        wbe_telemetry::counter("opt.code_size.saved_bytes")
+            .add(before.saturating_sub(after) as u64);
     }
+    compiled
 }
 
 #[cfg(test)]
@@ -227,7 +240,12 @@ mod tests {
         });
         pb.method("main", vec![Ty::Ref(c)], None, 0, |mb| {
             let arg = mb.local(0);
-            mb.new_object(c).dup().load(arg).invoke(ctor).pop().return_();
+            mb.new_object(c)
+                .dup()
+                .load(arg)
+                .invoke(ctor)
+                .pop()
+                .return_();
         });
         pb.finish()
     }
@@ -257,7 +275,7 @@ mod tests {
         let p = sample();
         let no_inline = compile(&p, &PipelineConfig::new(OptMode::Full, 0));
         let inline = compile(&p, &PipelineConfig::new(OptMode::Full, 100));
-        assert_eq!(no_inline.elided_sites().len() , 1, "ctor body store only");
+        assert_eq!(no_inline.elided_sites().len(), 1, "ctor body store only");
         // With inlining, main's inlined store is also elided (2 total:
         // one in the dead original ctor, one in main).
         assert!(inline.elided_sites().len() >= 2);
@@ -270,10 +288,7 @@ mod tests {
         assert_eq!(OptMode::FieldOnly.label(), "F");
         assert_eq!(OptMode::Full.label(), "A");
         assert!(OptMode::Baseline.analysis_config().is_none());
-        assert!(!OptMode::FieldOnly
-            .analysis_config()
-            .unwrap()
-            .array_analysis);
+        assert!(!OptMode::FieldOnly.analysis_config().unwrap().array_analysis);
         assert!(OptMode::Full.analysis_config().unwrap().array_analysis);
     }
 

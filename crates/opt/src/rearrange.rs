@@ -152,7 +152,11 @@ fn is_pure_int(insn: &Insn) -> bool {
 
 /// Scans a pure index expression starting at `i`, ending right before
 /// the instruction `stop` first appears. Returns `(next, slice)`.
-fn parse_idx_expr(insns: &[Insn], i: usize, stop: impl Fn(&Insn) -> bool) -> Option<(usize, Vec<Insn>)> {
+fn parse_idx_expr(
+    insns: &[Insn],
+    i: usize,
+    stop: impl Fn(&Insn) -> bool,
+) -> Option<(usize, Vec<Insn>)> {
     let mut j = i;
     while j < insns.len() {
         if stop(&insns[j]) {

@@ -1,0 +1,258 @@
+//! Exporters: JSON metrics snapshot, NDJSON trace stream, and a
+//! human-readable text report.
+//!
+//! The JSON layout groups plain histograms under `"histograms"` and
+//! span-duration histograms (registry keys `span.<name>.us`) under
+//! `"spans"`, keyed by bare span name — consumers asking "what phases
+//! ran and how long did they take" need not know the key convention.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+use crate::json::{push_str_escaped, ObjWriter};
+use crate::registry::{HistogramSnapshot, MetricsSnapshot};
+use crate::trace::TraceEvent;
+
+fn histogram_json(h: &HistogramSnapshot) -> String {
+    let mut buckets = String::from("[");
+    for (i, (upper, count)) in h.nonzero_buckets().into_iter().enumerate() {
+        if i > 0 {
+            buckets.push(',');
+        }
+        let _ = write!(buckets, r#"{{"le":{upper},"count":{count}}}"#);
+    }
+    buckets.push(']');
+
+    let mut out = String::new();
+    let mut w = ObjWriter::new(&mut out);
+    w.field_u64("count", h.count)
+        .field_u64("sum", h.sum)
+        .field_u64("min", h.min)
+        .field_u64("max", h.max)
+        .field_f64("mean", h.mean())
+        .field_u64("p50", h.quantile(0.50))
+        .field_u64("p90", h.quantile(0.90))
+        .field_u64("p99", h.quantile(0.99))
+        .field_raw("buckets", &buckets);
+    w.finish();
+    out
+}
+
+fn map_json<'a, I>(entries: I) -> String
+where
+    I: Iterator<Item = (&'a str, String)>,
+{
+    let mut out = String::from("{");
+    for (i, (k, v)) in entries.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_str_escaped(&mut out, k);
+        out.push(':');
+        out.push_str(&v);
+    }
+    out.push('}');
+    out
+}
+
+/// Renders a [`MetricsSnapshot`] as one deterministic JSON object with
+/// `counters`, `gauges`, `histograms`, and `spans` sections.
+pub fn metrics_json(snap: &MetricsSnapshot) -> String {
+    let counters = map_json(
+        snap.counters
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.to_string())),
+    );
+    let gauges = map_json(snap.gauges.iter().map(|(k, v)| (k.as_str(), v.to_string())));
+
+    let is_span_key = |k: &str| k.starts_with("span.") && k.ends_with(".us");
+    let histograms = map_json(
+        snap.histograms
+            .iter()
+            .filter(|(k, _)| !is_span_key(k))
+            .map(|(k, h)| (k.as_str(), histogram_json(h))),
+    );
+    let spans = map_json(
+        snap.histograms
+            .iter()
+            .filter(|(k, _)| is_span_key(k))
+            .map(|(k, h)| {
+                let name = &k["span.".len()..k.len() - ".us".len()];
+                (name, histogram_json(h))
+            }),
+    );
+
+    let mut out = String::new();
+    let mut w = ObjWriter::new(&mut out);
+    w.field_raw("counters", &counters)
+        .field_raw("gauges", &gauges)
+        .field_raw("histograms", &histograms)
+        .field_raw("spans", &spans);
+    w.finish();
+    out.push('\n');
+    out
+}
+
+/// Renders trace events as NDJSON: one JSON object per line, in
+/// buffer order.
+pub fn trace_ndjson(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        let mut w = ObjWriter::new(&mut out);
+        w.field_str("name", &ev.name)
+            .field_str("parent", &ev.parent)
+            .field_str("detail", &ev.detail)
+            .field_u64("start_us", ev.start_us)
+            .field_u64("dur_us", ev.dur_us);
+        w.finish();
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a [`MetricsSnapshot`] as an aligned human-readable report.
+pub fn metrics_text(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let is_span_key = |k: &str| k.starts_with("span.") && k.ends_with(".us");
+
+    if !snap.counters.is_empty() {
+        out.push_str("counters:\n");
+        for (k, v) in &snap.counters {
+            let _ = writeln!(out, "  {k:<44} {v:>12}");
+        }
+    }
+    if !snap.gauges.is_empty() {
+        out.push_str("gauges:\n");
+        for (k, v) in &snap.gauges {
+            let _ = writeln!(out, "  {k:<44} {v:>12}");
+        }
+    }
+    let hists: Vec<_> = snap
+        .histograms
+        .iter()
+        .filter(|(k, _)| !is_span_key(k))
+        .collect();
+    if !hists.is_empty() {
+        out.push_str("histograms:\n");
+        for (k, h) in hists {
+            let _ = writeln!(
+                out,
+                "  {k:<44} n={} mean={:.1} p50={} p99={} max={}",
+                h.count,
+                h.mean(),
+                h.quantile(0.50),
+                h.quantile(0.99),
+                h.max
+            );
+        }
+    }
+    let spans: Vec<_> = snap
+        .histograms
+        .iter()
+        .filter(|(k, _)| is_span_key(k))
+        .collect();
+    if !spans.is_empty() {
+        out.push_str("spans (durations in us):\n");
+        for (k, h) in spans {
+            let name = &k["span.".len()..k.len() - ".us".len()];
+            let _ = writeln!(
+                out,
+                "  {name:<44} n={} total={} mean={:.1} p99={} max={}",
+                h.count,
+                h.sum,
+                h.mean(),
+                h.quantile(0.99),
+                h.max
+            );
+        }
+    }
+    if out.is_empty() {
+        out.push_str("(no metrics recorded)\n");
+    }
+    out
+}
+
+/// Snapshots the global registry and writes [`metrics_json`] to `path`.
+pub fn write_metrics_json(path: &Path) -> io::Result<()> {
+    let snap = crate::registry::global().snapshot();
+    std::fs::write(path, metrics_json(&snap))
+}
+
+/// Drains the global trace buffer and writes [`trace_ndjson`] to
+/// `path`.
+pub fn write_trace_ndjson(path: &Path) -> io::Result<()> {
+    let events = crate::trace::drain();
+    std::fs::write(path, trace_ndjson(&events))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        let _guard = crate::config::test_guard();
+        crate::configure(crate::TelemetryConfig::default());
+        let r = Registry::new();
+        r.counter("interp.barriers.executed").add(10);
+        r.gauge("heap.live_objects").set(42);
+        r.histogram("heap.gc.pause.work_units").record(7);
+        r.histogram("span.analysis.fixpoint.us").record(250);
+        r.snapshot()
+    }
+
+    #[test]
+    fn json_sections_split_spans_from_histograms() {
+        let json = metrics_json(&sample_snapshot());
+        assert!(json.contains(r#""counters":{"interp.barriers.executed":10}"#));
+        assert!(json.contains(r#""gauges":{"heap.live_objects":42}"#));
+        assert!(json.contains(r#""heap.gc.pause.work_units":{"count":1"#));
+        // Span histogram appears under "spans" by bare name, not under
+        // "histograms" by registry key.
+        assert!(json.contains(r#""spans":{"analysis.fixpoint":{"count":1"#));
+        assert!(!json.contains(r#""span.analysis.fixpoint.us""#));
+        assert!(json.ends_with('\n'));
+    }
+
+    #[test]
+    fn ndjson_one_line_per_event() {
+        let events = vec![
+            TraceEvent {
+                name: "a".into(),
+                parent: String::new(),
+                detail: "d\"q".into(),
+                start_us: 1,
+                dur_us: 2,
+            },
+            TraceEvent {
+                name: "b".into(),
+                parent: "a".into(),
+                detail: String::new(),
+                start_us: 3,
+                dur_us: 0,
+            },
+        ];
+        let nd = trace_ndjson(&events);
+        let lines: Vec<_> = nd.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            r#"{"name":"a","parent":"","detail":"d\"q","start_us":1,"dur_us":2}"#
+        );
+        assert!(lines[1].contains(r#""parent":"a""#));
+    }
+
+    #[test]
+    fn text_report_mentions_every_section() {
+        let text = metrics_text(&sample_snapshot());
+        assert!(text.contains("counters:"));
+        assert!(text.contains("interp.barriers.executed"));
+        assert!(text.contains("spans (durations in us):"));
+        assert!(text.contains("analysis.fixpoint"));
+        assert_eq!(
+            metrics_text(&MetricsSnapshot::default()),
+            "(no metrics recorded)\n"
+        );
+    }
+}

@@ -1,0 +1,118 @@
+//! Minimal hand-rolled JSON emission (the environment has no serde).
+//!
+//! Only what the exporters need: string escaping and a small writer
+//! for objects and arrays. Output is deterministic (metric maps are
+//! `BTreeMap`s) so exports diff cleanly across runs.
+
+use std::fmt::Write as _;
+
+/// Escapes `s` per RFC 8259 and appends it, quoted, to `out`.
+pub fn push_str_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends an `f64` as JSON: finite values in shortest-roundtrip form,
+/// non-finite ones as `null` (JSON has no NaN/Inf).
+pub fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Incremental writer for one JSON object `{...}`; tracks comma
+/// placement so call sites stay linear.
+pub struct ObjWriter<'a> {
+    out: &'a mut String,
+    first: bool,
+}
+
+impl<'a> ObjWriter<'a> {
+    /// Opens an object into `out`.
+    pub fn new(out: &'a mut String) -> Self {
+        out.push('{');
+        ObjWriter { out, first: true }
+    }
+
+    fn key(&mut self, k: &str) {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        push_str_escaped(self.out, k);
+        self.out.push(':');
+    }
+
+    /// Writes `"k": <u64>`.
+    pub fn field_u64(&mut self, k: &str, v: u64) -> &mut Self {
+        self.key(k);
+        let _ = write!(self.out, "{v}");
+        self
+    }
+
+    /// Writes `"k": <f64 or null>`.
+    pub fn field_f64(&mut self, k: &str, v: f64) -> &mut Self {
+        self.key(k);
+        push_f64(self.out, v);
+        self
+    }
+
+    /// Writes `"k": "escaped string"`.
+    pub fn field_str(&mut self, k: &str, v: &str) -> &mut Self {
+        self.key(k);
+        push_str_escaped(self.out, v);
+        self
+    }
+
+    /// Writes `"k":` followed by `raw` verbatim — `raw` must itself be
+    /// valid JSON (a nested object/array the caller rendered).
+    pub fn field_raw(&mut self, k: &str, raw: &str) -> &mut Self {
+        self.key(k);
+        self.out.push_str(raw);
+        self
+    }
+
+    /// Closes the object.
+    pub fn finish(self) {
+        self.out.push('}');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        let mut s = String::new();
+        push_str_escaped(&mut s, "a\"b\\c\nd\u{1}");
+        assert_eq!(s, r#""a\"b\\c\nd\u0001""#);
+    }
+
+    #[test]
+    fn object_writer_commas() {
+        let mut s = String::new();
+        let mut w = ObjWriter::new(&mut s);
+        w.field_u64("a", 1)
+            .field_str("b", "x")
+            .field_raw("c", "[1,2]");
+        w.field_f64("d", f64::NAN);
+        w.finish();
+        assert_eq!(s, r#"{"a":1,"b":"x","c":[1,2],"d":null}"#);
+    }
+}

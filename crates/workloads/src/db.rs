@@ -51,11 +51,21 @@ pub fn build() -> Workload {
         let prev = mb.local(2);
         mb.load(iters).invoke(library).pop();
         mb.iconst(32).new_ref_array(entry).putstatic(table);
-        mb.load(iters).iconst(2).mul().iconst(4).add().new_ref_array(entry).putstatic(buf);
+        mb.load(iters)
+            .iconst(2)
+            .mul()
+            .iconst(4)
+            .add()
+            .new_ref_array(entry)
+            .putstatic(buf);
         mb.iconst(0).putstatic(buf_idx);
         mb.const_null().store(prev);
         counted_loop(mb, i, Bound::Const(32), |mb| {
-            mb.new_object(entry).dup().load(prev).invoke(ctor).store(prev);
+            mb.new_object(entry)
+                .dup()
+                .load(prev)
+                .invoke(ctor)
+                .store(prev);
             mb.getstatic(table).load(i).load(prev).aastore();
         });
         mb.return_();
@@ -73,7 +83,11 @@ pub fn build() -> Workload {
         mb.iconst(0xBEEF).store(seed);
         counted_loop(mb, i, Bound::Local(iters), |mb| {
             // e = new Entry(prev); prev = e;
-            mb.new_object(entry).dup().load(prev).invoke(ctor).store(prev);
+            mb.new_object(entry)
+                .dup()
+                .load(prev)
+                .invoke(ctor)
+                .store(prev);
             // Three swaps at pseudo-random positions: the sort idiom.
             for shift in [0i64, 5, 10] {
                 lcg_step(mb, seed);
@@ -91,7 +105,12 @@ pub fn build() -> Workload {
                     .aaload()
                     .aastore();
                 // table[j ^ 17] = t;
-                mb.getstatic(table).load(j).iconst(17).xor().load(t).aastore();
+                mb.getstatic(table)
+                    .load(j)
+                    .iconst(17)
+                    .xor()
+                    .load(t)
+                    .aastore();
             }
             // Two result appends.
             for _ in 0..2 {

@@ -67,7 +67,11 @@ pub fn emit_compute_kernel(
             match k % 4 {
                 0 => mb.load(x).iconst(0x9E37_79B9).mul().store(x),
                 1 => mb.load(x).iconst(13).shr().load(x).xor().store(x),
-                2 => mb.load(x).iconst((k as i64).wrapping_mul(0x85EB_CA6B)).add().store(x),
+                2 => mb
+                    .load(x)
+                    .iconst((k as i64).wrapping_mul(0x85EB_CA6B))
+                    .add()
+                    .store(x),
                 _ => mb.load(x).iconst(0x7fff_ffff).and().store(x),
             };
         }
@@ -84,13 +88,19 @@ pub fn emit_library(pb: &mut ProgramBuilder, prefix: &str, count: usize) -> Meth
     let kernels: Vec<MethodId> = (0..count)
         .map(|k| emit_compute_kernel(pb, format!("{prefix}_lib{k}"), 52))
         .collect();
-    pb.method(format!("{prefix}_lib_driver"), vec![Ty::Int], Some(Ty::Int), 0, |mb| {
-        let x = mb.local(0);
-        for &k in &kernels {
-            mb.load(x).invoke(k).store(x);
-        }
-        mb.load(x).return_value();
-    })
+    pb.method(
+        format!("{prefix}_lib_driver"),
+        vec![Ty::Int],
+        Some(Ty::Int),
+        0,
+        |mb| {
+            let x = mb.local(0);
+            for &k in &kernels {
+                mb.load(x).invoke(k).store(x);
+            }
+            mb.load(x).return_value();
+        },
+    )
 }
 
 #[cfg(test)]

@@ -80,12 +80,20 @@ pub fn build() -> Workload {
             let join_b = mb.new_block();
             mb.load(a).if_null(set_b, join_b);
             mb.switch_to(set_b).load(t).store(a).goto_(join_b);
-            mb.switch_to(join_b).getstatic(state_s).load(a).putfield(ahead);
+            mb.switch_to(join_b)
+                .getstatic(state_s)
+                .load(a)
+                .putfield(ahead);
             // s = new Scratch; publish; s.val = t;  (pre-null, escaped)
             mb.new_object(scratch).putstatic(tmp_s);
             mb.getstatic(tmp_s).load(t).putfield(sval);
             // Two ring overwrites.
-            mb.getstatic(ring).load(i).iconst(63).and().load(t).aastore();
+            mb.getstatic(ring)
+                .load(i)
+                .iconst(63)
+                .and()
+                .load(t)
+                .aastore();
             mb.getstatic(ring2)
                 .load(i)
                 .iconst(11)

@@ -52,10 +52,18 @@ pub fn build() -> Workload {
         let iters = mb.local(0);
         let i = mb.local(1);
         mb.load(iters).invoke(library).pop();
-        mb.new_object(node).dup().const_null().invoke(nctor).putstatic(root_s);
+        mb.new_object(node)
+            .dup()
+            .const_null()
+            .invoke(nctor)
+            .putstatic(root_s);
         mb.iconst(64).new_ref_array(sym).putstatic(symtab);
         mb.iconst(128).new_ref_array(node).putstatic(pool);
-        mb.load(iters).iconst(4).add().new_ref_array(node).putstatic(kidlog);
+        mb.load(iters)
+            .iconst(4)
+            .add()
+            .new_ref_array(node)
+            .putstatic(kidlog);
         mb.iconst(0).putstatic(kidx);
         counted_loop(mb, i, Bound::Const(64), |mb| {
             mb.getstatic(symtab).load(i).new_object(sym).aastore();
@@ -114,7 +122,10 @@ pub fn build() -> Workload {
             // Array kernel every 8th iteration.
             let arrblock = mb.new_block();
             let cont = mb.new_block();
-            mb.load(i).iconst(7).and().if_zero(CmpOp::Eq, arrblock, cont);
+            mb.load(i)
+                .iconst(7)
+                .and()
+                .if_zero(CmpOp::Eq, arrblock, cont);
             mb.switch_to(arrblock);
             // Fresh children array: one eliminated store.
             mb.iconst(4).new_ref_array(node).store(arr);
@@ -125,7 +136,12 @@ pub fn build() -> Workload {
                 mb.getstatic(kidx).iconst(1).add().putstatic(kidx);
             }
             // Two ring overwrites.
-            mb.getstatic(pool).load(i).iconst(127).and().load(n).aastore();
+            mb.getstatic(pool)
+                .load(i)
+                .iconst(127)
+                .and()
+                .load(n)
+                .aastore();
             mb.getstatic(pool)
                 .load(i)
                 .iconst(19)

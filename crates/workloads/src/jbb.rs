@@ -69,11 +69,19 @@ pub fn build() -> Workload {
         mb.load(iters).invoke(library).pop();
         mb.new_object(district).putstatic(district_s);
         mb.iconst(256).new_ref_array(order).putstatic(orders_s);
-        mb.load(iters).iconst(4).add().new_ref_array(order).putstatic(olog);
+        mb.load(iters)
+            .iconst(4)
+            .add()
+            .new_ref_array(order)
+            .putstatic(olog);
         mb.iconst(0).putstatic(oidx);
         mb.const_null().store(prev);
         counted_loop(mb, i, Bound::Const(256), |mb| {
-            mb.new_object(order).dup().load(prev).invoke(octor).store(prev);
+            mb.new_object(order)
+                .dup()
+                .load(prev)
+                .invoke(octor)
+                .store(prev);
             mb.getstatic(orders_s).load(i).load(prev).aastore();
         });
         mb.return_();
@@ -129,7 +137,10 @@ pub fn build() -> Workload {
             let join_b = mb.new_block();
             mb.load(r).if_null(set_b, join_b);
             mb.switch_to(set_b).load(o).store(r).goto_(join_b);
-            mb.switch_to(join_b).getstatic(district_s).load(r).putfield(wrecent);
+            mb.switch_to(join_b)
+                .getstatic(district_s)
+                .load(r)
+                .putfield(wrecent);
             // prev = o;
             mb.load(o).store(prev);
         });

@@ -53,7 +53,11 @@ pub fn build() -> Workload {
         let iters = mb.local(0);
         mb.load(iters).invoke(library).pop();
         mb.iconst(64).new_ref_array(fact).putstatic(wm);
-        mb.load(iters).iconst(2).add().new_ref_array(fact).putstatic(log);
+        mb.load(iters)
+            .iconst(2)
+            .add()
+            .new_ref_array(fact)
+            .putstatic(log);
         mb.iconst(0).putstatic(log_idx);
         mb.return_();
     });

@@ -53,7 +53,13 @@ pub fn build() -> Workload {
     let setup = pb.method("mtrt_setup", vec![Ty::Int], None, 0, |mb| {
         let iters = mb.local(0);
         mb.load(iters).invoke(library).pop();
-        mb.load(iters).iconst(2).mul().iconst(4).add().new_ref_array(pt).putstatic(hitlog);
+        mb.load(iters)
+            .iconst(2)
+            .mul()
+            .iconst(4)
+            .add()
+            .new_ref_array(pt)
+            .putstatic(hitlog);
         mb.iconst(0).putstatic(hidx);
         mb.iconst(32).new_ref_array(pt).putstatic(scratch);
         mb.return_();
@@ -86,7 +92,12 @@ pub fn build() -> Workload {
                 mb.getstatic(hitlog).getstatic(hidx).load(p).aastore();
                 mb.getstatic(hidx).iconst(1).add().putstatic(hidx);
             }
-            mb.getstatic(scratch).load(i).iconst(31).and().load(p).aastore();
+            mb.getstatic(scratch)
+                .load(i)
+                .iconst(31)
+                .and()
+                .load(p)
+                .aastore();
         });
         mb.return_();
     });
@@ -118,6 +129,10 @@ mod tests {
         assert_eq!(s.array_total, 6 * 200);
         // Everything but the scratch ring (after its first lap) is
         // dynamically pre-null.
-        assert!(s.pct_potential_pre_null() > 85.0, "{}", s.pct_potential_pre_null());
+        assert!(
+            s.pct_potential_pre_null() > 85.0,
+            "{}",
+            s.pct_potential_pre_null()
+        );
     }
 }

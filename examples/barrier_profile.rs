@@ -8,8 +8,8 @@
 
 use std::collections::HashMap;
 
-use wbe_repro::heap::gc::MarkStyle;
 use wbe_repro::harness::runner::run_workload;
+use wbe_repro::heap::gc::MarkStyle;
 use wbe_repro::interp::{BarrierMode, StoreKind};
 use wbe_repro::opt::OptMode;
 use wbe_repro::workloads::by_name;

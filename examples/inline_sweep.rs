@@ -7,8 +7,8 @@
 //!
 //! Run with: `cargo run --example inline_sweep`
 
-use wbe_repro::heap::gc::MarkStyle;
 use wbe_repro::harness::runner::run_workload;
+use wbe_repro::heap::gc::MarkStyle;
 use wbe_repro::interp::BarrierMode;
 use wbe_repro::opt::OptMode;
 use wbe_repro::workloads::standard_suite;

@@ -28,10 +28,18 @@ fn main() {
             let head = mb.new_block();
             let body = mb.new_block();
             let exit = mb.new_block();
-            mb.load(ta).arraylength().iconst(2).mul().new_ref_array(t).store(new_ta);
+            mb.load(ta)
+                .arraylength()
+                .iconst(2)
+                .mul()
+                .new_ref_array(t)
+                .store(new_ta);
             mb.iconst(0).store(i).goto_(head);
             mb.switch_to(head);
-            mb.load(i).load(ta).arraylength().if_icmp(CmpOp::Lt, body, exit);
+            mb.load(i)
+                .load(ta)
+                .arraylength()
+                .if_icmp(CmpOp::Lt, body, exit);
             mb.switch_to(body);
             mb.load(new_ta).load(i).load(ta).load(i).aaload().aastore();
             mb.iinc(i, 1).goto_(head);
@@ -60,7 +68,10 @@ fn main() {
     program.validate().expect("well-formed IR");
 
     println!("=== IR ===");
-    print!("{}", display::method_display(&program, program.method(expand)));
+    print!(
+        "{}",
+        display::method_display(&program, program.method(expand))
+    );
 
     println!("\n=== analysis ===");
     let result = analyze_method(&program, program.method(expand), &AnalysisConfig::full());

@@ -28,12 +28,21 @@ fn main() {
         mb.new_object(vec2).store(v);
         mb.load(v).load(a).putfield(fx);
         mb.load(v).load(b).putfield(fy);
-        mb.load(v).getfield(fx).load(v).getfield(fy).mul().return_value();
+        mb.load(v)
+            .getfield(fx)
+            .load(v)
+            .getfield(fy)
+            .mul()
+            .return_value();
     });
     // publish(s): allocates a Result and publishes it — NOT arena-able.
     let publish = pb.method("publish", vec![Ty::Int], None, 0, |mb| {
         let s = mb.local(0);
-        mb.new_object(out).dup().load(s).putfield(fsum).putstatic(sink);
+        mb.new_object(out)
+            .dup()
+            .load(s)
+            .putfield(fsum)
+            .putstatic(sink);
         mb.return_();
     });
     let main_m = pb.method("main", vec![Ty::Int], None, 2, |mb| {
@@ -44,7 +53,10 @@ fn main() {
         let body = mb.new_block();
         let exit = mb.new_block();
         mb.iconst(0).store(i).iconst(0).store(acc).goto_(head);
-        mb.switch_to(head).load(i).load(n).if_icmp(CmpOp::Lt, body, exit);
+        mb.switch_to(head)
+            .load(i)
+            .load(n)
+            .if_icmp(CmpOp::Lt, body, exit);
         mb.switch_to(body)
             .load(acc)
             .load(i)
@@ -82,7 +94,9 @@ fn main() {
             step_interval: 32,
             step_budget: 4,
         });
-        interp.run(main_m, &[Value::Int(5_000)], 10_000_000).unwrap();
+        interp
+            .run(main_m, &[Value::Int(5_000)], 10_000_000)
+            .unwrap();
         (
             interp.stats.stack_allocated,
             interp.stats.gc_cycles,

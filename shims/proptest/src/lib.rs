@@ -1,0 +1,185 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so this shim
+//! reimplements the (small) slice of proptest the workspace's property
+//! tests use: the [`proptest!`] macro, [`Strategy`](strategy::Strategy)
+//! with `prop_map`, range and tuple strategies, `prop_oneof!`,
+//! `collection::vec`, `Just`, `ProptestConfig`, `TestCaseError`, and
+//! the `prop_assert*` macros.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports its generated inputs
+//!   (every test here formats them with `Debug`) but is not minimized.
+//! * **Deterministic seeding.** The RNG seed is derived from the test
+//!   function's name, so runs are reproducible without a
+//!   `proptest-regressions` file (existing regression files are
+//!   ignored).
+//! * `cases` defaults to 256, like upstream.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything the workspace's `use proptest::prelude::*;` expects.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a property test, returning
+/// `TestCaseError::Fail` (rather than panicking) so the harness can
+/// report the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+}
+
+/// Chooses uniformly among several strategies producing the same value
+/// type. (Weighted arms are not supported by the shim.)
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $( ::std::boxed::Box::new($strategy) as ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>> ),+
+        ])
+    };
+}
+
+/// Defines property tests: each `fn name(x in strategy, ...) { body }`
+/// becomes a `#[test]` that runs `body` against `config.cases`
+/// generated inputs, failing with the inputs' `Debug` rendering.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            let mut rng =
+                $crate::test_runner::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                $(
+                    let $arg = $crate::strategy::Strategy::generate(&$strat, &mut rng);
+                )+
+                // Rendered before the body runs: the body takes the
+                // inputs by value and may consume them.
+                let mut inputs = ::std::string::String::new();
+                $(
+                    inputs.push_str(&format!(
+                        "\n  {} = {:?}", stringify!($arg), &$arg,
+                    ));
+                )+
+                let result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || { $body ::core::result::Result::Ok(()) })();
+                match result {
+                    Ok(()) => {}
+                    Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest case {}/{} failed: {}\ninputs:{}",
+                            case + 1,
+                            config.cases,
+                            msg,
+                            inputs,
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in -5i64..5, y in 0u8..4, n in 1usize..9) {
+            prop_assert!((-5i64..5).contains(&x));
+            prop_assert!(y < 4);
+            prop_assert!((1usize..9).contains(&n));
+        }
+
+        #[test]
+        fn oneof_and_map_compose(
+            v in prop_oneof![
+                (0i64..10).prop_map(|i| i * 2),
+                Just(1i64),
+            ],
+        ) {
+            let v: i64 = v;
+            prop_assert!(v == 1 || (v % 2 == 0 && v < 20), "v = {v}");
+        }
+
+        #[test]
+        fn vec_respects_size_range(
+            items in crate::collection::vec(0i64..100, 2..6),
+        ) {
+            prop_assert!((2..6).contains(&items.len()));
+            prop_assert!(items.iter().all(|&i| i < 100));
+        }
+    }
+
+    #[test]
+    fn determinism_same_name_same_values() {
+        let mut a = crate::test_runner::TestRng::from_name("x");
+        let mut b = crate::test_runner::TestRng::from_name("x");
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Value-generation strategies: the shim's object-safe [`Strategy`]
+//! trait plus implementations for ranges, tuples, `Just`, `prop_map`,
+//! and `prop_oneof!`'s union type.
+
+use crate::test_runner::TestRng;
+
+/// Generates values of one type from the deterministic RNG.
+///
+/// Object-safe: `prop_oneof!` boxes heterogeneous strategies as
+/// `dyn Strategy<Value = V>`; the combinator methods are `Sized`-gated.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Produces one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice among boxed strategies (the `prop_oneof!` macro).
+pub struct OneOf<V> {
+    arms: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> OneOf<V> {
+    /// Builds a union over `arms`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty.
+    pub fn new(arms: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        OneOf { arms }
+    }
+}
+
+impl<V> Strategy for OneOf<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),+) => {
+        $(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let width = (self.end as i128 - self.start as i128) as u64;
+                    let off = rng.below(width);
+                    (self.start as i128 + off as i128) as $t
+                }
+            }
+        )+
+    };
+}
+
+int_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! tuple_strategy {
+    ($($s:ident . $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A.0);
+tuple_strategy!(A.0, B.1);
+tuple_strategy!(A.0, B.1, C.2);
+tuple_strategy!(A.0, B.1, C.2, D.3);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_covers_negative_bounds() {
+        let mut rng = TestRng::from_name("neg");
+        let s = -50i64..50;
+        let mut lo_seen = false;
+        for _ in 0..500 {
+            let v = s.generate(&mut rng);
+            assert!((-50..50).contains(&v));
+            lo_seen |= v < 0;
+        }
+        assert!(lo_seen, "negative half never sampled");
+    }
+
+    #[test]
+    fn tuple_and_map() {
+        let mut rng = TestRng::from_name("tuple");
+        let s = (0i64..4, 0u8..2).prop_map(|(a, b)| a * 10 + b as i64);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!(v % 10 <= 1 && v < 40);
+        }
+    }
+
+    #[test]
+    fn oneof_samples_every_arm() {
+        let mut rng = TestRng::from_name("arms");
+        let s: OneOf<i64> = OneOf::new(vec![
+            Box::new(Just(1i64)),
+            Box::new(Just(2i64)),
+            Box::new(Just(3i64)),
+        ]);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            seen.insert(s.generate(&mut rng));
+        }
+        assert_eq!(seen.len(), 3);
+    }
+}

@@ -25,4 +25,5 @@ pub use wbe_heap as heap;
 pub use wbe_interp as interp;
 pub use wbe_ir as ir;
 pub use wbe_opt as opt;
+pub use wbe_telemetry as telemetry;
 pub use wbe_workloads as workloads;

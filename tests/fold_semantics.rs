@@ -24,7 +24,11 @@ fn folding_preserves_workload_semantics_and_elision() {
             (
                 interp.heap.stats.allocations,
                 interp.heap.store.live_count(),
-                interp.stats.barrier.summarize(&interp.config().elided.clone()).total(),
+                interp
+                    .stats
+                    .barrier
+                    .summarize(&interp.config().elided.clone())
+                    .total(),
             )
         };
         let plain = run(false);

@@ -32,12 +32,11 @@ fn everything_on_at_full_default_scale() {
         }
         let mut stack_sites = std::collections::BTreeSet::new();
         for (_, m) in compiled.program.iter_methods() {
-            stack_sites
-                .extend(stackalloc::analyze_method(&compiled.program, m).stack_allocatable);
+            stack_sites.extend(stackalloc::analyze_method(&compiled.program, m).stack_allocatable);
         }
 
-        let bc = BarrierConfig::with_elision(BarrierMode::Checked, elided)
-            .with_rearrange(rearrange);
+        let bc =
+            BarrierConfig::with_elision(BarrierMode::Checked, elided).with_rearrange(rearrange);
         let mut interp = Interp::new(&compiled.program, bc);
         interp.set_stack_sites(stack_sites.iter().copied());
         interp.set_gc_policy(GcPolicy {

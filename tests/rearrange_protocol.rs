@@ -52,15 +52,24 @@ fn shift_program() -> (wbe_repro::ir::Program, wbe_repro::ir::MethodId) {
             }
             // Refill the vacated top slot with a fresh node so the array
             // keeps allocating (and the GC has work).
-            mb.getstatic(arr_s).load(j).iconst(3).add().new_object(node).aastore();
+            mb.getstatic(arr_s)
+                .load(j)
+                .iconst(3)
+                .add()
+                .new_object(node)
+                .aastore();
             // Touch every slot: a dangling reference would trap here.
             counted_loop(mb, k, Bound::Const(64), |mb| {
                 let live = mb.new_block();
                 let skip = mb.new_block();
                 mb.getstatic(arr_s).load(k).aaload().if_nonnull(live, skip);
-                mb.switch_to(live).getstatic(arr_s).load(k).aaload().getfield(
-                    wbe_repro::ir::FieldId(0),
-                ).pop().goto_(skip);
+                mb.switch_to(live)
+                    .getstatic(arr_s)
+                    .load(k)
+                    .aaload()
+                    .getfield(wbe_repro::ir::FieldId(0))
+                    .pop()
+                    .goto_(skip);
                 mb.switch_to(skip);
             });
         });

@@ -80,7 +80,11 @@ fn stmt_strategy() -> impl Strategy<Value = Stmt> {
         (l.clone(), f.clone(), l.clone()).prop_map(|(obj, f, val)| Stmt::PutField { obj, f, val }),
         (l.clone(), f.clone()).prop_map(|(obj, f)| Stmt::PutNull { obj, f }),
         (l.clone(), l.clone(), f.clone()).prop_map(|(dst, obj, f)| Stmt::GetField { dst, obj, f }),
-        (l.clone(), idx.clone(), l.clone()).prop_map(|(arr, idx, val)| Stmt::ArrStore { arr, idx, val }),
+        (l.clone(), idx.clone(), l.clone()).prop_map(|(arr, idx, val)| Stmt::ArrStore {
+            arr,
+            idx,
+            val
+        }),
         (l.clone(), l.clone(), idx).prop_map(|(dst, arr, idx)| Stmt::ArrLoad { dst, arr, idx }),
         (l.clone(), g.clone()).prop_map(|(src, g)| Stmt::Publish { src, g }),
         (l.clone(), g).prop_map(|(dst, g)| Stmt::ReadGlobal { dst, g }),
@@ -422,7 +426,11 @@ fn run_case(stmts: &[Stmt], iters: i64) -> Result<(), TestCaseError> {
     prop_assert!(fr.is_ok(), "folded program trapped: {fr:?}");
     let orig = run_reachable(&program, ElidedBarriers::new());
     prop_assert!(orig.is_ok());
-    prop_assert_eq!(fr.unwrap(), orig.unwrap(), "reachable heap differs after folding");
+    prop_assert_eq!(
+        fr.unwrap(),
+        orig.unwrap(),
+        "reachable heap differs after folding"
+    );
     Ok(())
 }
 
@@ -453,20 +461,48 @@ fn smoke_all_statement_kinds() {
         AllocObj { dst: 0 },
         AllocArr { dst: 1 },
         AllocObj { dst: 2 },
-        PutField { obj: 0, f: 0, val: 2 },
+        PutField {
+            obj: 0,
+            f: 0,
+            val: 2,
+        },
         PutNull { obj: 0, f: 1 },
-        GetField { dst: 3, obj: 0, f: 0 },
-        ArrStore { arr: 1, idx: 0, val: 0 },
-        ArrLoad { dst: 3, arr: 1, idx: 0 },
+        GetField {
+            dst: 3,
+            obj: 0,
+            f: 0,
+        },
+        ArrStore {
+            arr: 1,
+            idx: 0,
+            val: 0,
+        },
+        ArrLoad {
+            dst: 3,
+            arr: 1,
+            idx: 0,
+        },
         FillLoop { arr: 1, val: 2 },
         Publish { src: 0, g: 0 },
         ReadGlobal { dst: 3, g: 0 },
         Copy { dst: 3, src: 0 },
-        NosRefresh { obj: 0, f: 0, alt: 2 },
-        PutField { obj: 2, f: 0, val: 0 },
+        NosRefresh {
+            obj: 0,
+            f: 0,
+            alt: 2,
+        },
+        PutField {
+            obj: 2,
+            f: 0,
+            val: 0,
+        },
         CallSink { src: 2 },
         CallMake { dst: 3 },
-        PutField { obj: 3, f: 1, val: 0 },
+        PutField {
+            obj: 3,
+            f: 1,
+            val: 0,
+        },
         SetNull { dst: 0 },
     ];
     run_case(&stmts, 4).unwrap();

@@ -40,7 +40,10 @@ fn scratch_objects_are_arena_freed() {
         let body = mb.new_block();
         let exit = mb.new_block();
         mb.iconst(0).store(i).iconst(0).store(acc).goto_(head);
-        mb.switch_to(head).load(i).load(n).if_icmp(CmpOp::Lt, body, exit);
+        mb.switch_to(head)
+            .load(i)
+            .load(n)
+            .if_icmp(CmpOp::Lt, body, exit);
         mb.switch_to(body)
             .load(acc)
             .load(i)

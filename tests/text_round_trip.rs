@@ -11,8 +11,7 @@ use wbe_repro::workloads::standard_suite;
 fn workloads_round_trip_structurally() {
     for w in standard_suite() {
         let text = program_display(&w.program).to_string();
-        let parsed = parse_program(&text)
-            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let parsed = parse_program(&text).unwrap_or_else(|e| panic!("{}: {e}", w.name));
         assert_eq!(parsed, w.program, "{} round trip differs", w.name);
         // Second print is byte-identical (fixed point).
         assert_eq!(program_display(&parsed).to_string(), text, "{}", w.name);
@@ -28,7 +27,11 @@ fn round_tripped_programs_analyze_identically() {
         let b = analyze_program(&parsed, &AnalysisConfig::full());
         let sa: Vec<_> = a.iter_elided().collect();
         let sb: Vec<_> = b.iter_elided().collect();
-        assert_eq!(sa, sb, "{}: elision results differ after round trip", w.name);
+        assert_eq!(
+            sa, sb,
+            "{}: elision results differ after round trip",
+            w.name
+        );
     }
 }
 
