@@ -1,5 +1,7 @@
 //! Analysis configuration, including the ablation switches DESIGN.md
-//! calls out.
+//! calls out and the guardrails that bound per-method analysis effort.
+
+use std::time::Duration;
 
 /// Configuration for the barrier-elision analyses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -24,6 +26,17 @@ pub struct AnalysisConfig {
     /// Number of merges at one join point before integer components are
     /// widened to ⊤ (termination backstop; see DESIGN.md §7).
     pub widen_after: usize,
+    /// Hard cap on worklist blocks processed per fixpoint run. `None`
+    /// uses a bound scaled to the method's size. Exceeding the cap does
+    /// not panic: the method degrades to "elide nothing"
+    /// ([`crate::AnalysisOutcome::Degraded`]).
+    pub max_iterations: Option<usize>,
+    /// Wall-clock budget per method. `None` means unlimited. A method
+    /// that exhausts its budget degrades to "elide nothing".
+    pub time_budget: Option<Duration>,
+    /// Isolate per-method panics with `catch_unwind`: a pathological
+    /// method degrades instead of killing the whole pipeline.
+    pub isolate_panics: bool,
 }
 
 impl Default for AnalysisConfig {
@@ -34,6 +47,9 @@ impl Default for AnalysisConfig {
             flow_sensitive_escape: true,
             stride_inference: true,
             widen_after: 16,
+            max_iterations: None,
+            time_budget: None,
+            isolate_panics: true,
         }
     }
 }
@@ -51,6 +67,18 @@ impl AnalysisConfig {
             ..AnalysisConfig::default()
         }
     }
+
+    /// Sets a hard per-method iteration cap.
+    pub fn with_max_iterations(mut self, cap: usize) -> Self {
+        self.max_iterations = Some(cap);
+        self
+    }
+
+    /// Sets a per-method wall-clock budget.
+    pub fn with_time_budget(mut self, budget: Duration) -> Self {
+        self.time_budget = Some(budget);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -63,5 +91,17 @@ mod tests {
         assert!(!AnalysisConfig::field_only().array_analysis);
         assert!(AnalysisConfig::default().two_refs_per_site);
         assert_eq!(AnalysisConfig::default().widen_after, 16);
+        assert!(AnalysisConfig::default().max_iterations.is_none());
+        assert!(AnalysisConfig::default().time_budget.is_none());
+        assert!(AnalysisConfig::default().isolate_panics);
+    }
+
+    #[test]
+    fn guardrail_builders() {
+        let c = AnalysisConfig::full()
+            .with_max_iterations(7)
+            .with_time_budget(Duration::from_millis(5));
+        assert_eq!(c.max_iterations, Some(7));
+        assert_eq!(c.time_budget, Some(Duration::from_millis(5)));
     }
 }

@@ -19,7 +19,15 @@ use crate::transfer::{is_barrier_site, transfer_insn};
 /// Renders the fixed point of `method` as text.
 pub fn dump_method(program: &Program, method: &Method, config: &AnalysisConfig) -> String {
     let ctx = MethodCtx::new(program, method, config);
-    let (states, _, iterations) = run_fixpoint(&ctx);
+    let (states, iterations) = match run_fixpoint(&ctx) {
+        Ok((states, _, iterations)) => (states, iterations),
+        Err(reason) => {
+            return format!(
+                "=== analysis of {} DEGRADED ({reason}): no elisions ===\n",
+                method.name
+            );
+        }
+    };
     let mut out = String::new();
     let _ = writeln!(
         out,

@@ -9,8 +9,17 @@
 //! Elision judgments are taken in one extra pass *after* the fixed
 //! point, because "the last such judgment (at the fixed point of the
 //! analysis) is correct" (§2.4).
+//!
+//! The driver is **guardrailed**: non-convergence within the iteration
+//! cap, wall-clock budget exhaustion, and panics inside the transfer
+//! functions all degrade the method to the conservative "elide nothing"
+//! result ([`AnalysisOutcome::Degraded`]) instead of aborting the
+//! pipeline. Degradations are counted in `wbe-telemetry` under
+//! `analysis.degraded`.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
 use wbe_ir::{cfg, InsnAddr, Method, MethodId, Program};
@@ -20,6 +29,60 @@ use crate::intval::VarAlloc;
 use crate::refs::Ref;
 use crate::state::{AbsState, MethodCtx};
 use crate::transfer::{is_barrier_site, transfer_insn, transfer_term};
+
+/// Why a method's analysis fell back to the conservative result.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DegradeReason {
+    /// The worklist exceeded the iteration cap without converging.
+    IterationCap {
+        /// The cap that was exceeded (configured or size-scaled).
+        limit: usize,
+    },
+    /// The per-method wall-clock budget was exhausted.
+    TimeBudget {
+        /// The budget that was exhausted.
+        budget: Duration,
+    },
+    /// The analysis panicked and was isolated by `catch_unwind`.
+    Panicked {
+        /// The panic payload, if it was a string.
+        message: String,
+    },
+    /// An internal invariant of the fixpoint driver failed.
+    Internal(&'static str),
+}
+
+impl fmt::Display for DegradeReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DegradeReason::IterationCap { limit } => {
+                write!(f, "iteration cap exceeded ({limit} blocks)")
+            }
+            DegradeReason::TimeBudget { budget } => {
+                write!(f, "wall-clock budget exhausted ({budget:?})")
+            }
+            DegradeReason::Panicked { message } => write!(f, "analysis panicked: {message}"),
+            DegradeReason::Internal(what) => write!(f, "internal driver error: {what}"),
+        }
+    }
+}
+
+/// How a method's analysis concluded.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum AnalysisOutcome {
+    /// The fixpoint converged and the elision judgments are final.
+    #[default]
+    Complete,
+    /// A guardrail fired; the method conservatively elides nothing.
+    Degraded(DegradeReason),
+}
+
+impl AnalysisOutcome {
+    /// True when a guardrail fired.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, AnalysisOutcome::Degraded(_))
+    }
+}
 
 /// Per-method analysis result.
 #[derive(Clone, Debug, Default)]
@@ -34,6 +97,8 @@ pub struct MethodAnalysis {
     pub array_sites: usize,
     /// Blocks processed until the fixed point (a work measure).
     pub iterations: usize,
+    /// How the analysis concluded; `Degraded` methods elide nothing.
+    pub outcome: AnalysisOutcome,
 }
 
 impl MethodAnalysis {
@@ -57,6 +122,19 @@ pub struct ProgramAnalysis {
 }
 
 impl ProgramAnalysis {
+    /// Methods whose analysis degraded to the conservative result.
+    pub fn degraded_methods(&self) -> impl Iterator<Item = (MethodId, &DegradeReason)> + '_ {
+        self.methods.iter().filter_map(|(&m, a)| match &a.outcome {
+            AnalysisOutcome::Degraded(r) => Some((m, r)),
+            AnalysisOutcome::Complete => None,
+        })
+    }
+
+    /// Number of degraded methods.
+    pub fn degraded_count(&self) -> usize {
+        self.degraded_methods().count()
+    }
+
     /// Total elided sites.
     pub fn total_elided(&self) -> usize {
         self.methods.values().map(|m| m.elided.len()).sum()
@@ -90,39 +168,21 @@ pub fn analyze_program(program: &Program, config: &AnalysisConfig) -> ProgramAna
 
 /// Runs the analyses on one method.
 ///
-/// # Panics
-///
-/// Panics if the iteration fails to converge within a generous bound —
-/// that would be a bug in the merge/widening machinery, not a property
-/// of the input program.
+/// Never panics on any input program: non-convergence, budget
+/// exhaustion, and panics inside the transfer functions degrade the
+/// method to the conservative "elide nothing" result, recorded in
+/// [`MethodAnalysis::outcome`].
 pub fn analyze_method(
     program: &Program,
     method: &Method,
     config: &AnalysisConfig,
 ) -> MethodAnalysis {
     let _span = wbe_telemetry::span!("analysis.fixpoint", "{}", method.name);
-    let mut ctx = MethodCtx::new(program, method, config);
 
-    let (entry_states, iterations) = if config.flow_sensitive_escape {
-        let (states, _, it) = run_fixpoint(&ctx);
-        (states, it)
-    } else {
-        // Ablation: classic escape analysis. First find everything that
-        // escapes anywhere, then rerun with those references pinned as
-        // escaped from the start (and across allocation renames).
-        let (_, nl_anywhere, it1) = run_fixpoint(&ctx);
-        ctx.pinned_nl = nl_anywhere;
-        let (states, _, it2) = run_fixpoint(&ctx);
-        (states, it1 + it2)
-    };
-    let ctx = ctx;
-
-    // Final judgment pass over the fixed point.
-    let mut result = MethodAnalysis {
-        iterations,
-        ..MethodAnalysis::default()
-    };
-    for (bid, block) in method.iter_blocks() {
+    // Site counting is a cheap syntactic pass, kept outside the guarded
+    // region so degraded methods still report their barrier sites.
+    let mut result = MethodAnalysis::default();
+    for (_, block) in method.iter_blocks() {
         for insn in block.insns.iter() {
             if is_barrier_site(program, insn) {
                 result.barrier_sites += 1;
@@ -133,15 +193,27 @@ pub fn analyze_method(
                 }
             }
         }
-        let Some(entry) = &entry_states[bid.index()] else {
-            continue; // unreachable block: no judgments, sites stay counted
-        };
-        let mut st = entry.clone();
-        for (idx, insn) in block.insns.iter().enumerate() {
-            let judgment = transfer_insn(&mut st, &ctx, insn);
-            if judgment == Some(true) {
-                result.elided.insert(InsnAddr::new(bid, idx));
-            }
+    }
+
+    let judged = if config.isolate_panics {
+        catch_unwind(AssertUnwindSafe(|| judge_method(program, method, config))).unwrap_or_else(
+            |payload| {
+                Err(DegradeReason::Panicked {
+                    message: panic_message(payload.as_ref()),
+                })
+            },
+        )
+    } else {
+        judge_method(program, method, config)
+    };
+    match judged {
+        Ok((elided, iterations)) => {
+            result.elided = elided;
+            result.iterations = iterations;
+        }
+        Err(reason) => {
+            result.outcome = AnalysisOutcome::Degraded(reason);
+            wbe_telemetry::counter("analysis.degraded").inc();
         }
     }
     wbe_telemetry::counter("analysis.methods_analyzed").inc();
@@ -149,6 +221,58 @@ pub fn analyze_method(
     wbe_telemetry::counter("analysis.elided_sites").add(result.elided.len() as u64);
     wbe_telemetry::histogram("analysis.fixpoint.iterations").record(result.iterations as u64);
     result
+}
+
+/// Renders a `catch_unwind` payload for [`DegradeReason::Panicked`].
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// The fallible core of [`analyze_method`]: fixpoint(s) plus the final
+/// judgment pass. Returns the elided sites and iteration count, or the
+/// reason the method must degrade.
+fn judge_method(
+    program: &Program,
+    method: &Method,
+    config: &AnalysisConfig,
+) -> Result<(BTreeSet<InsnAddr>, usize), DegradeReason> {
+    let mut ctx = MethodCtx::new(program, method, config);
+
+    let (entry_states, iterations) = if config.flow_sensitive_escape {
+        let (states, _, it) = run_fixpoint(&ctx)?;
+        (states, it)
+    } else {
+        // Ablation: classic escape analysis. First find everything that
+        // escapes anywhere, then rerun with those references pinned as
+        // escaped from the start (and across allocation renames).
+        let (_, nl_anywhere, it1) = run_fixpoint(&ctx)?;
+        ctx.pinned_nl = nl_anywhere;
+        let (states, _, it2) = run_fixpoint(&ctx)?;
+        (states, it1 + it2)
+    };
+    let ctx = ctx;
+
+    // Final judgment pass over the fixed point.
+    let mut elided = BTreeSet::new();
+    for (bid, block) in method.iter_blocks() {
+        let Some(entry) = &entry_states[bid.index()] else {
+            continue; // unreachable block: no judgments
+        };
+        let mut st = entry.clone();
+        for (idx, insn) in block.insns.iter().enumerate() {
+            let judgment = transfer_insn(&mut st, &ctx, insn);
+            if judgment == Some(true) {
+                elided.insert(InsnAddr::new(bid, idx));
+            }
+        }
+    }
+    Ok((elided, iterations))
 }
 
 /// Computes the fixed-point entry state of every reachable block — the
@@ -160,14 +284,23 @@ pub fn entry_states(
     config: &AnalysisConfig,
 ) -> Vec<Option<AbsState>> {
     let ctx = MethodCtx::new(program, method, config);
-    run_fixpoint(&ctx).0
+    match run_fixpoint(&ctx) {
+        Ok((states, _, _)) => states,
+        // Degraded: no entry states are known; clients treat every
+        // block as unreachable-for-judgment (conservative).
+        Err(_) => vec![None; method.blocks.len()],
+    }
 }
+
+/// Successful fixpoint result: per-block entry states, the union of NL
+/// over every program point, and the iteration count.
+pub(crate) type FixpointResult = (Vec<Option<AbsState>>, BTreeSet<Ref>, usize);
 
 /// Worklist fixpoint. `extra_nl` (the classic-escape ablation) is merged
 /// into the entry NL. Returns per-block entry states, the union of NL
 /// over every program point (for the classic-escape ablation), and the
-/// iteration count.
-pub(crate) fn run_fixpoint(ctx: &MethodCtx<'_>) -> (Vec<Option<AbsState>>, BTreeSet<Ref>, usize) {
+/// iteration count — or the guardrail that fired.
+pub(crate) fn run_fixpoint(ctx: &MethodCtx<'_>) -> Result<FixpointResult, DegradeReason> {
     let method = ctx.method;
     let nblocks = method.blocks.len();
     let rpo = cfg::reverse_postorder(method);
@@ -194,20 +327,30 @@ pub(crate) fn run_fixpoint(ctx: &MethodCtx<'_>) -> (Vec<Option<AbsState>>, BTree
     let mut iterations = 0usize;
     let mut state_merges = 0u64;
     let mut widenings = 0u64;
-    let max_iterations = (nblocks + 1) * (ctx.method.size + 8) * 4 + 10_000;
+    // Size-scaled default bound; configs may tighten it. Exceeding it
+    // no longer panics: the method degrades to "elide nothing".
+    let default_cap = (nblocks + 1) * (ctx.method.size + 8) * 4 + 10_000;
+    let cap = ctx.max_iterations.unwrap_or(default_cap);
 
     while let Some(&pos) = worklist.iter().next() {
         worklist.remove(&pos);
         iterations += 1;
-        assert!(
-            iterations <= max_iterations,
-            "analysis failed to converge in {} (bug in merge/widening)",
-            ctx.method.name
-        );
+        if iterations > cap {
+            return Err(DegradeReason::IterationCap { limit: cap });
+        }
+        // Amortize the clock read: check the deadline every 16 blocks
+        // (and on the first, so a zero budget degrades immediately).
+        if iterations % 16 == 1 {
+            if let Some((deadline, budget)) = ctx.deadline {
+                if Instant::now() >= deadline {
+                    return Err(DegradeReason::TimeBudget { budget });
+                }
+            }
+        }
         let bid = rpo[pos];
-        let mut st = entry_states[bid.index()]
-            .clone()
-            .expect("worklist blocks have entry states");
+        let Some(mut st) = entry_states[bid.index()].clone() else {
+            return Err(DegradeReason::Internal("worklist block has no entry state"));
+        };
         let block = method.block(bid);
         for insn in &block.insns {
             let _ = transfer_insn(&mut st, ctx, insn);
@@ -245,7 +388,7 @@ pub(crate) fn run_fixpoint(ctx: &MethodCtx<'_>) -> (Vec<Option<AbsState>>, BTree
     wbe_telemetry::counter("analysis.fixpoint.blocks_processed").add(iterations as u64);
     wbe_telemetry::counter("analysis.state_merges").add(state_merges);
     wbe_telemetry::counter("analysis.widenings").add(widenings);
-    (entry_states, nl_anywhere, iterations)
+    Ok((entry_states, nl_anywhere, iterations))
 }
 
 #[cfg(test)]
@@ -543,6 +686,139 @@ mod tests {
         assert_eq!(res.total_sites(), 2);
         assert_eq!(res.total_elided(), 1);
         assert_eq!(res.iter_elided().count(), 1);
+    }
+
+    /// Builds a method with a loop — enough blocks that a tiny iteration
+    /// cap fires before the fixpoint converges.
+    fn looped_store_program() -> (Program, MethodId) {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("C");
+        let f = pb.field(c, "f", Ty::Ref(c));
+        let m = pb.method("looped", vec![Ty::Int, Ty::Ref(c)], None, 1, |mb| {
+            let n = mb.local(0);
+            let x = mb.local(1);
+            let o = mb.local(2);
+            let head = mb.new_block();
+            let body = mb.new_block();
+            let exit = mb.new_block();
+            mb.new_object(c).store(o).goto_(head);
+            mb.switch_to(head).load(n).if_zero(CmpOp::Gt, body, exit);
+            mb.switch_to(body)
+                .load(o)
+                .load(x)
+                .putfield(f)
+                .iinc(n, -1)
+                .goto_(head);
+            mb.switch_to(exit).return_();
+        });
+        (pb.finish(), m)
+    }
+
+    /// Guardrail: an exhausted iteration cap degrades (no panic) and
+    /// elides nothing, while sites are still counted.
+    #[test]
+    fn iteration_cap_degrades_conservatively() {
+        let (p, m) = looped_store_program();
+        let cfg = AnalysisConfig::full().with_max_iterations(1);
+        let res = analyze_method(&p, p.method(m), &cfg);
+        assert_eq!(
+            res.outcome,
+            AnalysisOutcome::Degraded(DegradeReason::IterationCap { limit: 1 })
+        );
+        assert!(res.elided.is_empty());
+        assert_eq!(res.barrier_sites, 1, "sites are counted even degraded");
+        // With the default cap the same method completes.
+        let res = analyze_method(&p, p.method(m), &AnalysisConfig::full());
+        assert_eq!(res.outcome, AnalysisOutcome::Complete);
+    }
+
+    /// Guardrail: a zero wall-clock budget degrades immediately.
+    #[test]
+    fn zero_time_budget_degrades() {
+        let (p, m) = looped_store_program();
+        let cfg = AnalysisConfig::full().with_time_budget(Duration::ZERO);
+        let res = analyze_method(&p, p.method(m), &cfg);
+        assert!(res.outcome.is_degraded(), "{res:?}");
+        assert!(matches!(
+            res.outcome,
+            AnalysisOutcome::Degraded(DegradeReason::TimeBudget { .. })
+        ));
+        assert!(res.elided.is_empty());
+    }
+
+    /// Guardrail: degradation applies to the classic-escape ablation's
+    /// double fixpoint too.
+    #[test]
+    fn degradation_covers_classic_escape_ablation() {
+        let (p, m) = looped_store_program();
+        let cfg = AnalysisConfig {
+            flow_sensitive_escape: false,
+            ..AnalysisConfig::full().with_max_iterations(1)
+        };
+        let res = analyze_method(&p, p.method(m), &cfg);
+        assert!(res.outcome.is_degraded());
+    }
+
+    /// Degraded methods are reported by the whole-program aggregate.
+    #[test]
+    fn program_analysis_reports_degraded_methods() {
+        let (p, m) = looped_store_program();
+        let cfg = AnalysisConfig::full().with_max_iterations(1);
+        let res = analyze_program(&p, &cfg);
+        assert_eq!(res.degraded_count(), 1);
+        let (mid, reason) = res.degraded_methods().next().unwrap();
+        assert_eq!(mid, m);
+        assert!(matches!(reason, DegradeReason::IterationCap { .. }));
+        assert_eq!(res.total_elided(), 0);
+    }
+
+    /// Guardrail: a panic inside the transfer functions (provoked here
+    /// with deliberately malformed IR) is isolated and degrades the
+    /// method instead of killing the pipeline.
+    #[test]
+    fn panic_isolation_degrades_instead_of_crashing() {
+        let mut pb = ProgramBuilder::new();
+        pb.method("bad", vec![], None, 0, |mb| {
+            mb.return_();
+        });
+        let mut p = pb.finish();
+        // Stack underflow: pop with nothing on the abstract stack.
+        p.methods[0].blocks[0].insns.insert(0, wbe_ir::Insn::Pop);
+        let res = analyze_method(&p, &p.methods[0], &AnalysisConfig::full());
+        assert!(
+            matches!(
+                res.outcome,
+                AnalysisOutcome::Degraded(DegradeReason::Panicked { .. })
+            ),
+            "{res:?}"
+        );
+        assert!(res.elided.is_empty());
+        // With isolation off the panic propagates to the caller.
+        let cfg = AnalysisConfig {
+            isolate_panics: false,
+            ..AnalysisConfig::full()
+        };
+        let hit = catch_unwind(AssertUnwindSafe(|| analyze_method(&p, &p.methods[0], &cfg)));
+        assert!(hit.is_err());
+    }
+
+    /// Degrade reasons render for humans.
+    #[test]
+    fn degrade_reasons_display() {
+        assert!(DegradeReason::IterationCap { limit: 3 }
+            .to_string()
+            .contains("3"));
+        assert!(DegradeReason::TimeBudget {
+            budget: Duration::from_millis(1)
+        }
+        .to_string()
+        .contains("budget"));
+        assert!(DegradeReason::Panicked {
+            message: "boom".into()
+        }
+        .to_string()
+        .contains("boom"));
+        assert!(DegradeReason::Internal("x").to_string().contains("x"));
     }
 
     /// Convergence stress: nested loops with conflicting strides must

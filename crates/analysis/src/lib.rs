@@ -72,7 +72,10 @@ pub mod transfer;
 
 pub use bounds::BoundsAnalysis;
 pub use config::AnalysisConfig;
-pub use fixpoint::{analyze_method, analyze_program, MethodAnalysis, ProgramAnalysis};
+pub use fixpoint::{
+    analyze_method, analyze_program, AnalysisOutcome, DegradeReason, MethodAnalysis,
+    ProgramAnalysis,
+};
 pub use framework::{Framework, MethodInfo};
 pub use intval::{IntLat, IntVal, UnkId, VarId};
 pub use range::IntRange;

@@ -67,7 +67,13 @@ fn peek(st: &AbsState, depth: usize) -> Option<&AbsValue> {
 pub fn analyze_method(program: &Program, method: &Method) -> StackAllocAnalysis {
     let config = AnalysisConfig::full();
     let ctx = MethodCtx::new(program, method, &config);
-    let (states, _, _) = run_fixpoint(&ctx);
+    let Ok((states, _, _)) = run_fixpoint(&ctx) else {
+        // Degraded: conservatively, nothing is stack-allocatable.
+        return StackAllocAnalysis {
+            total_sites: ctx.sites.len(),
+            stack_allocatable: BTreeSet::new(),
+        };
+    };
 
     let mut tainted: BTreeSet<SiteId> = BTreeSet::new();
     for (bid, block) in method.iter_blocks() {

@@ -128,6 +128,11 @@ pub struct MethodCtx<'p> {
     /// ablation pins every reference that escapes anywhere). Re-asserted
     /// after allocation renames.
     pub pinned_nl: BTreeSet<Ref>,
+    /// Guardrail: iteration cap override for the fixpoint driver.
+    pub max_iterations: Option<usize>,
+    /// Guardrail: wall-clock budget and the absolute deadline derived
+    /// from it at context construction.
+    pub deadline: Option<(std::time::Instant, std::time::Duration)>,
 }
 
 impl<'p> MethodCtx<'p> {
@@ -156,6 +161,10 @@ impl<'p> MethodCtx<'p> {
             stride_inference: config.stride_inference,
             widen_after: config.widen_after,
             pinned_nl: BTreeSet::new(),
+            max_iterations: config.max_iterations,
+            deadline: config
+                .time_budget
+                .map(|b| (std::time::Instant::now() + b, b)),
         }
     }
 

@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! wbe_tool verify  <file.wbe>                      validate + type-check
+//! wbe_tool verify  [workload ...] --faults N [--seed S] [--scale F]
+//!                  [--demo-unsound]                differential fault harness
 //! wbe_tool dump    <file.wbe|workload>             pretty-print the IR
 //! wbe_tool analyze <file.wbe|workload> [--mode A|F] [--inline N] [--nos]
 //! wbe_tool run     <file.wbe|workload> <method> [int args...] [--elide] [--fuel N]
@@ -35,6 +37,7 @@ use wbe_opt::{compile, OptMode, PipelineConfig};
 fn usage() -> ! {
     eprintln!(
         "usage: wbe_tool <verify|dump|analyze|run|export|report> [<file.wbe|workload>] [options]\n\
+         verify:  <file.wbe>  — or —  [workload ...] --faults N [--seed S] [--scale F] [--demo-unsound]\n\
          analyze: [--mode A|F] [--inline N] [--nos]\n\
          run:     <method> [int args...] [--elide] [--fuel N]\n\
          report:  [workload|file.wbe ...] [--metrics-out m.json] [--trace-out t.ndjson] [--scale S]"
@@ -107,7 +110,7 @@ fn report(rest: &[String]) {
             step_interval: 32,
             step_budget: 4,
         };
-        let run = wbe_harness::runner::run_workload(
+        let run = wbe_harness::runner::try_run_workload(
             w,
             OptMode::Full,
             100,
@@ -115,7 +118,11 @@ fn report(rest: &[String]) {
             BarrierMode::Checked,
             MarkStyle::Satb,
             Some(policy),
-        );
+        )
+        .unwrap_or_else(|t| {
+            eprintln!("workload {} trapped: {t}", w.name);
+            exit(1)
+        });
         gc_total.merge(&run.gc);
         barriers.merge(&run.stats.barrier);
         println!(
@@ -164,10 +171,102 @@ fn report(rest: &[String]) {
     }
 }
 
+/// `wbe_tool verify` with fault flags: the differential fault-injection
+/// harness over built-in workloads. Exits 1 if any workload fails
+/// (observable divergence, trap, invariant violation, or an undetected
+/// deliberately-unsound elision under `--demo-unsound`).
+fn verify_faults(rest: &[String]) {
+    use wbe_harness::verify::{
+        demo_unsound_detection, verify_workload, DemoOutcome, VerifyOptions,
+    };
+    let mut opts = VerifyOptions::default();
+    let mut demo_unsound = false;
+    let mut names: Vec<String> = Vec::new();
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--faults" => {
+                opts.schedules = it
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--seed" => {
+                opts.seed = it
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--scale" => {
+                opts.scale = it
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--demo-unsound" => demo_unsound = true,
+            s if s.starts_with("--") => usage(),
+            s => names.push(s.to_string()),
+        }
+    }
+    let workloads: Vec<wbe_workloads::Workload> = if names.is_empty() {
+        wbe_workloads::standard_suite()
+    } else {
+        names
+            .iter()
+            .map(|n| {
+                wbe_workloads::by_name(n).unwrap_or_else(|| {
+                    eprintln!("'{n}' is not a built-in workload (fault verification needs one)");
+                    exit(2)
+                })
+            })
+            .collect()
+    };
+    println!(
+        "differential fault verification: {} schedules, seed {}, scale {}",
+        opts.schedules, opts.seed, opts.scale
+    );
+    let mut failed = false;
+    for w in &workloads {
+        let verdict = verify_workload(w, &opts);
+        println!("{verdict}");
+        failed |= !verdict.passed();
+    }
+    if demo_unsound {
+        for w in &workloads {
+            match demo_unsound_detection(w, &opts) {
+                DemoOutcome::Detected(msg) => println!("demo     PASS {msg}"),
+                DemoOutcome::NoCandidate(msg) => println!("demo     SKIP {msg}"),
+                DemoOutcome::Missed(msg) => {
+                    println!("demo     FAIL {msg}");
+                    failed = true;
+                }
+            }
+        }
+    }
+    if failed {
+        eprintln!("verification FAILED");
+        exit(1);
+    }
+    println!("verification passed");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("report") {
         report(&args[1..]);
+        return;
+    }
+    // `verify` dispatches on flavour: any fault flag selects the
+    // differential harness; otherwise it is the classic file check.
+    if args.first().map(String::as_str) == Some("verify")
+        && args[1..].iter().any(|a| {
+            matches!(
+                a.as_str(),
+                "--faults" | "--seed" | "--scale" | "--demo-unsound"
+            )
+        })
+    {
+        verify_faults(&args[1..]);
         return;
     }
     let (cmd, source) = match (args.first(), args.get(1)) {

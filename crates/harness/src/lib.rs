@@ -30,3 +30,4 @@ pub mod runner;
 pub mod static_counts;
 pub mod table1;
 pub mod table2;
+pub mod verify;

@@ -1,0 +1,77 @@
+//! `wbe_tool` exit-code contract: 0 on success, nonzero when a run
+//! traps or verification fails, 2 on usage errors.
+
+use std::process::Command;
+
+fn tool() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_wbe_tool"))
+}
+
+#[test]
+fn fault_verification_passes_with_zero_exit() {
+    let out = tool()
+        .args([
+            "verify", "jess", "--faults", "2", "--seed", "42", "--scale", "0.02",
+        ])
+        .output()
+        .expect("spawn wbe_tool");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "stdout:\n{stdout}");
+    assert!(stdout.contains("jess"), "{stdout}");
+    assert!(stdout.contains("verification passed"), "{stdout}");
+}
+
+#[test]
+fn demo_unsound_is_detected_and_reported() {
+    let out = tool()
+        .args([
+            "verify",
+            "db",
+            "--faults",
+            "2",
+            "--scale",
+            "0.02",
+            "--demo-unsound",
+        ])
+        .output()
+        .expect("spawn wbe_tool");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // Detection of the deliberately-unsound elision is a PASS for the
+    // harness (the machinery caught it), so the exit code stays 0.
+    assert!(out.status.success(), "stdout:\n{stdout}");
+    assert!(stdout.contains("demo     PASS"), "{stdout}");
+    assert!(stdout.contains("UNSOUND"), "{stdout}");
+}
+
+#[test]
+fn trapping_run_exits_nonzero() {
+    // The jess entry takes one int argument; passing none traps with
+    // BadArgCount, which must surface as exit code 1.
+    let w = wbe_workloads::by_name("jess").unwrap();
+    let entry_name = w.program.method(w.entry).name.clone();
+    let out = tool()
+        .args(["run", "jess", &entry_name])
+        .output()
+        .expect("spawn wbe_tool");
+    assert_eq!(out.status.code(), Some(1), "trap must exit 1");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("trap"), "{stderr}");
+}
+
+#[test]
+fn missing_file_exits_nonzero() {
+    let out = tool()
+        .args(["verify", "/nonexistent/path.wbe"])
+        .output()
+        .expect("spawn wbe_tool");
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn usage_error_exits_two() {
+    let out = tool()
+        .args(["frobnicate"])
+        .output()
+        .expect("spawn wbe_tool");
+    assert_eq!(out.status.code(), Some(2));
+}

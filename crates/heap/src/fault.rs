@@ -1,0 +1,280 @@
+//! Deterministic GC fault injection.
+//!
+//! A [`FaultPlan`] is a stream of perturbation decisions derived from a
+//! single `u64` seed (SplitMix64). The interpreter consults it at fixed
+//! points in execution — marking-start decisions, concurrent mark steps,
+//! allocations — so the whole fault schedule is a pure function of the
+//! seed and the instruction stream. Replaying the same program with the
+//! same seed reproduces the same schedule bit for bit, which is what
+//! makes failures found by the verification harness debuggable.
+//!
+//! The injected faults stress exactly the windows the paper's soundness
+//! argument depends on: *when* a marking cycle starts and finishes
+//! relative to mutator stores (SATB snapshot timing), how much SATB
+//! buffer drain pressure the marker sees, and allocation failures that
+//! force the emergency full-pause degradation path.
+
+use std::fmt;
+
+/// Probabilities (in per-mille) and knobs for one fault schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultConfig {
+    /// Seed for the decision stream.
+    pub seed: u64,
+    /// ‰ chance a *due* marking start is deferred at that allocation
+    /// (the trigger re-rolls on each subsequent allocation).
+    pub defer_start_pm: u16,
+    /// ‰ chance marking starts early at an allocation while idle.
+    pub early_start_pm: u16,
+    /// ‰ chance a scheduled concurrent mark step is skipped, delaying
+    /// marking progress relative to mutator stores.
+    pub skip_step_pm: u16,
+    /// ‰ chance a scheduled mark step gets a drain-pressure boost
+    /// (multiplied budget, forcing deep SATB-buffer drains).
+    pub drain_boost_pm: u16,
+    /// Budget multiplier applied on a drain-pressure boost.
+    pub drain_boost_factor: usize,
+    /// ‰ chance an allocation fails, exercising the emergency
+    /// full-pause retry path.
+    pub alloc_fail_pm: u16,
+    /// Number of allocations guaranteed to succeed after an injected
+    /// failure, so the mutator's retry always makes progress.
+    pub alloc_grace: u32,
+}
+
+impl FaultConfig {
+    /// The standard schedule shape used by the verification harness.
+    pub fn from_seed(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            defer_start_pm: 250,
+            early_start_pm: 60,
+            skip_step_pm: 250,
+            drain_boost_pm: 150,
+            drain_boost_factor: 16,
+            alloc_fail_pm: 15,
+            alloc_grace: 16,
+        }
+    }
+}
+
+/// Counts of decisions taken, for reporting and reproducibility checks.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Total decision points consulted.
+    pub decisions: u64,
+    /// Due marking starts deferred.
+    pub deferred_starts: u64,
+    /// Early marking starts forced.
+    pub early_starts: u64,
+    /// Concurrent mark steps skipped.
+    pub skipped_steps: u64,
+    /// Mark steps given a drain-pressure boost.
+    pub drain_boosts: u64,
+    /// Allocation failures injected.
+    pub alloc_failures: u64,
+}
+
+impl FaultStats {
+    /// Total faults actually injected (not just decision points).
+    pub fn injected(&self) -> u64 {
+        self.deferred_starts
+            + self.early_starts
+            + self.skipped_steps
+            + self.drain_boosts
+            + self.alloc_failures
+    }
+}
+
+impl fmt::Display for FaultStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} faults ({} deferred starts, {} early starts, {} skipped steps, \
+             {} drain boosts, {} alloc failures) over {} decisions",
+            self.injected(),
+            self.deferred_starts,
+            self.early_starts,
+            self.skipped_steps,
+            self.drain_boosts,
+            self.alloc_failures,
+            self.decisions
+        )
+    }
+}
+
+/// A seeded, deterministic fault schedule.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    cfg: FaultConfig,
+    state: u64,
+    grace: u32,
+    /// Decisions taken so far.
+    pub stats: FaultStats,
+}
+
+impl FaultPlan {
+    /// Builds a plan from an explicit configuration.
+    pub fn new(cfg: FaultConfig) -> Self {
+        FaultPlan {
+            cfg,
+            state: cfg.seed,
+            grace: 0,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// Builds the standard plan for `seed`.
+    pub fn from_seed(seed: u64) -> Self {
+        FaultPlan::new(FaultConfig::from_seed(seed))
+    }
+
+    /// The seed this plan was built from.
+    pub fn seed(&self) -> u64 {
+        self.cfg.seed
+    }
+
+    /// SplitMix64: the next raw value of the decision stream.
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// One biased coin flip with probability `pm`/1000.
+    fn roll(&mut self, pm: u16) -> bool {
+        self.stats.decisions += 1;
+        self.next() % 1000 < u64::from(pm)
+    }
+
+    /// Should a *due* marking start be deferred at this allocation?
+    pub fn defer_marking_start(&mut self) -> bool {
+        let hit = self.roll(self.cfg.defer_start_pm);
+        self.stats.deferred_starts += u64::from(hit);
+        hit
+    }
+
+    /// Should marking start early at this allocation while idle?
+    pub fn early_marking_start(&mut self) -> bool {
+        let hit = self.roll(self.cfg.early_start_pm);
+        self.stats.early_starts += u64::from(hit);
+        hit
+    }
+
+    /// Should this scheduled concurrent mark step be skipped?
+    pub fn skip_mark_step(&mut self) -> bool {
+        let hit = self.roll(self.cfg.skip_step_pm);
+        self.stats.skipped_steps += u64::from(hit);
+        hit
+    }
+
+    /// Drain pressure: a budget multiplier for this mark step, if the
+    /// schedule injects one.
+    pub fn drain_pressure(&mut self) -> Option<usize> {
+        if self.roll(self.cfg.drain_boost_pm) {
+            self.stats.drain_boosts += 1;
+            Some(self.cfg.drain_boost_factor)
+        } else {
+            None
+        }
+    }
+
+    /// Should this allocation fail? After an injected failure, the next
+    /// [`FaultConfig::alloc_grace`] allocations are guaranteed to
+    /// succeed so the emergency-pause retry path always makes progress.
+    pub fn should_fail_alloc(&mut self) -> bool {
+        if self.grace > 0 {
+            self.grace -= 1;
+            return false;
+        }
+        let hit = self.roll(self.cfg.alloc_fail_pm);
+        if hit {
+            self.stats.alloc_failures += 1;
+            self.grace = self.cfg.alloc_grace;
+        }
+        hit
+    }
+
+    /// A digest of the plan's entire history: equal digests mean equal
+    /// decision streams. Used to assert seed-reproducibility.
+    pub fn digest(&self) -> u64 {
+        let mut d = self.state ^ self.cfg.seed.rotate_left(17);
+        for part in [
+            self.stats.decisions,
+            self.stats.deferred_starts,
+            self.stats.early_starts,
+            self.stats.skipped_steps,
+            self.stats.drain_boosts,
+            self.stats.alloc_failures,
+        ] {
+            d = (d ^ part).wrapping_mul(0x100_0000_01b3);
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = FaultPlan::from_seed(42);
+        let mut b = FaultPlan::from_seed(42);
+        for _ in 0..1000 {
+            assert_eq!(a.defer_marking_start(), b.defer_marking_start());
+            assert_eq!(a.skip_mark_step(), b.skip_mark_step());
+            assert_eq!(a.drain_pressure(), b.drain_pressure());
+            assert_eq!(a.should_fail_alloc(), b.should_fail_alloc());
+        }
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = FaultPlan::from_seed(1);
+        let mut b = FaultPlan::from_seed(2);
+        let va: Vec<bool> = (0..256).map(|_| a.skip_mark_step()).collect();
+        let vb: Vec<bool> = (0..256).map(|_| b.skip_mark_step()).collect();
+        assert_ne!(va, vb);
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn alloc_grace_guarantees_retry_progress() {
+        let mut p = FaultPlan::new(FaultConfig {
+            alloc_fail_pm: 1000, // always fail when not in grace
+            alloc_grace: 3,
+            ..FaultConfig::from_seed(7)
+        });
+        assert!(p.should_fail_alloc());
+        assert!(!p.should_fail_alloc());
+        assert!(!p.should_fail_alloc());
+        assert!(!p.should_fail_alloc());
+        assert!(p.should_fail_alloc(), "grace exhausted, fails again");
+        assert_eq!(p.stats.alloc_failures, 2);
+    }
+
+    #[test]
+    fn rates_roughly_match_per_mille() {
+        let mut p = FaultPlan::from_seed(123);
+        let n = 10_000;
+        let hits = (0..n).filter(|_| p.roll(250)).count();
+        let rate = hits as f64 / n as f64;
+        assert!((0.2..0.3).contains(&rate), "rate {rate}");
+    }
+
+    #[test]
+    fn stats_display_and_injected() {
+        let mut p = FaultPlan::new(FaultConfig {
+            skip_step_pm: 1000,
+            ..FaultConfig::from_seed(9)
+        });
+        assert!(p.skip_mark_step());
+        assert_eq!(p.stats.injected(), 1);
+        assert!(p.stats.to_string().contains("skipped steps"));
+    }
+}

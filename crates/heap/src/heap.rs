@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use crate::fault::FaultPlan;
 use crate::gc::{GcState, MarkStyle};
 use crate::object::{HeapObject, ObjKind, TraceState};
 use crate::value::{FieldShape, GcRef, Value};
@@ -36,6 +37,10 @@ pub enum HeapError {
     StaticOutOfRange(usize),
     /// Negative array length at allocation.
     NegativeArrayLength(i64),
+    /// Allocation failed (injected by a [`FaultPlan`] or genuine
+    /// exhaustion). Recoverable: collecting may free space, so drivers
+    /// retry after an emergency pause.
+    AllocationFailed,
 }
 
 impl fmt::Display for HeapError {
@@ -51,6 +56,7 @@ impl fmt::Display for HeapError {
             }
             HeapError::StaticOutOfRange(i) => write!(f, "static {i} out of range"),
             HeapError::NegativeArrayLength(n) => write!(f, "negative array length {n}"),
+            HeapError::AllocationFailed => write!(f, "allocation failed"),
         }
     }
 }
@@ -161,6 +167,9 @@ pub struct Heap {
     statics: Vec<Value>,
     /// Allocation statistics.
     pub stats: HeapStats,
+    /// Optional deterministic fault schedule. When present, allocations
+    /// consult it and may fail with [`HeapError::AllocationFailed`].
+    pub fault: Option<FaultPlan>,
 }
 
 impl Heap {
@@ -171,6 +180,7 @@ impl Heap {
             gc: GcState::new(style),
             statics: Vec::new(),
             stats: HeapStats::default(),
+            fault: None,
         }
     }
 
@@ -220,6 +230,28 @@ impl Heap {
             .collect()
     }
 
+    /// References stored in statics with their static indices (for the
+    /// invariant verifier's dangling-static reporting).
+    pub fn static_ref_slots(&self) -> impl Iterator<Item = (usize, GcRef)> + '_ {
+        self.statics
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| match v {
+                Value::Ref(Some(r)) => Some((i, *r)),
+                _ => None,
+            })
+    }
+
+    /// Consults the fault plan (if any) before an allocation.
+    fn check_alloc_fault(&mut self) -> Result<(), HeapError> {
+        if let Some(plan) = self.fault.as_mut() {
+            if plan.should_fail_alloc() {
+                return Err(HeapError::AllocationFailed);
+            }
+        }
+        Ok(())
+    }
+
     fn finish_alloc(&mut self, obj: HeapObject) -> GcRef {
         let words = obj.size_words() as u64;
         let r = self.store.insert(obj);
@@ -234,13 +266,14 @@ impl Heap {
     ///
     /// # Errors
     ///
-    /// Currently infallible in practice; returns `Result` for uniformity
-    /// with the array allocators.
+    /// [`HeapError::AllocationFailed`] if the fault plan injects a
+    /// failure; otherwise infallible.
     pub fn alloc_object(
         &mut self,
         class_tag: u32,
         shapes: &[FieldShape],
     ) -> Result<GcRef, HeapError> {
+        self.check_alloc_fault()?;
         let fields = shapes.iter().map(|s| s.zero_value()).collect();
         Ok(self.finish_alloc(HeapObject {
             class_tag,
@@ -253,9 +286,11 @@ impl Heap {
     ///
     /// # Errors
     ///
-    /// [`HeapError::NegativeArrayLength`] if `len < 0`.
+    /// [`HeapError::NegativeArrayLength`] if `len < 0`, or
+    /// [`HeapError::AllocationFailed`] from the fault plan.
     pub fn alloc_ref_array(&mut self, class_tag: u32, len: i64) -> Result<GcRef, HeapError> {
         let n = usize::try_from(len).map_err(|_| HeapError::NegativeArrayLength(len))?;
+        self.check_alloc_fault()?;
         Ok(self.finish_alloc(HeapObject {
             class_tag,
             trace_state: TraceState::Untraced,
@@ -267,9 +302,11 @@ impl Heap {
     ///
     /// # Errors
     ///
-    /// [`HeapError::NegativeArrayLength`] if `len < 0`.
+    /// [`HeapError::NegativeArrayLength`] if `len < 0`, or
+    /// [`HeapError::AllocationFailed`] from the fault plan.
     pub fn alloc_int_array(&mut self, len: i64) -> Result<GcRef, HeapError> {
         let n = usize::try_from(len).map_err(|_| HeapError::NegativeArrayLength(len))?;
+        self.check_alloc_fault()?;
         Ok(self.finish_alloc(HeapObject {
             class_tag: HeapObject::INT_ARRAY_TAG,
             trace_state: TraceState::Untraced,

@@ -46,12 +46,15 @@
 //! ```
 
 pub mod debug;
+pub mod fault;
 pub mod gc;
 pub mod heap;
 pub mod object;
 pub mod threaded;
 pub mod value;
+pub mod verify;
 
+pub use fault::{FaultConfig, FaultPlan, FaultStats};
 pub use heap::{Heap, HeapError, HeapStats, Store};
 pub use object::{HeapObject, ObjKind, TraceState};
 pub use value::{FieldShape, GcRef, Value};

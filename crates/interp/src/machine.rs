@@ -3,7 +3,7 @@
 use std::fmt;
 
 use wbe_heap::gc::{MarkStyle, PauseReport};
-use wbe_heap::{FieldShape, GcRef, Heap, HeapError, Value};
+use wbe_heap::{FaultPlan, FieldShape, GcRef, Heap, HeapError, Value};
 use wbe_ir::{BlockId, Cond, FieldId, Insn, InsnAddr, MethodId, Program, Terminator, Ty};
 
 use crate::barrier::{
@@ -50,6 +50,26 @@ pub enum Trap {
         /// Instruction address.
         at: InsnAddr,
     },
+    /// Allocation kept failing after repeated emergency collection
+    /// pauses; the mutator cannot make progress.
+    OutOfMemory {
+        /// Method executing when the trap occurred.
+        method: MethodId,
+        /// Instruction address.
+        at: InsnAddr,
+    },
+    /// A heap-invariant check at a GC cycle boundary failed (see
+    /// `wbe_heap::verify`). Like [`Trap::UnsoundElision`], this is a
+    /// soundness oracle: it should be impossible unless a barrier was
+    /// elided unsoundly or the collector itself is broken.
+    InvariantViolation {
+        /// Which check failed: `"post-mark"` or `"post-sweep"`.
+        when: &'static str,
+        /// Number of violations found.
+        count: usize,
+        /// Rendering of the first violation.
+        first: String,
+    },
     /// The fuel budget was exhausted.
     OutOfFuel,
     /// Wrong number of arguments passed to [`Interp::run`].
@@ -81,6 +101,13 @@ impl fmt::Display for Trap {
             Trap::UnsoundElision { method, at } => write!(
                 f,
                 "UNSOUND ELISION: non-null pre-value at elided barrier in {method} at {at}"
+            ),
+            Trap::OutOfMemory { method, at } => {
+                write!(f, "out of memory in {method} at {at} (retries exhausted)")
+            }
+            Trap::InvariantViolation { when, count, first } => write!(
+                f,
+                "HEAP INVARIANT VIOLATION ({when}): {count} violation(s), first: {first}"
             ),
             Trap::OutOfFuel => write!(f, "out of fuel"),
             Trap::BadArgCount {
@@ -149,6 +176,10 @@ pub struct RunStats {
     pub stack_freed: u64,
     /// Completed GC cycles (policy-driven).
     pub gc_cycles: u64,
+    /// Emergency full pauses taken after an allocation failure.
+    pub emergency_pauses: u64,
+    /// Allocation retries after an emergency pause.
+    pub alloc_retries: u64,
     /// Pause reports of completed cycles.
     pub pauses: Vec<PauseReport>,
 }
@@ -168,6 +199,9 @@ struct PublishedRunStats {
     stack_allocated: u64,
     stack_freed: u64,
     gc_cycles: u64,
+    emergency_pauses: u64,
+    alloc_retries: u64,
+    fault_injected: u64,
     barrier_executions: u64,
     barrier_pre_null: u64,
 }
@@ -199,6 +233,7 @@ pub struct Interp<'p> {
     stack_sites: std::collections::BTreeSet<wbe_ir::SiteId>,
     class_shapes: Vec<Vec<FieldShape>>,
     allocs_since_cycle: u64,
+    verify_invariants: bool,
     frames: Vec<Frame>,
     published: PublishedRunStats,
 }
@@ -243,6 +278,7 @@ impl<'p> Interp<'p> {
             stack_sites: std::collections::BTreeSet::new(),
             class_shapes,
             allocs_since_cycle: 0,
+            verify_invariants: false,
             frames: Vec::new(),
             published: PublishedRunStats::default(),
         }
@@ -251,6 +287,21 @@ impl<'p> Interp<'p> {
     /// Enables policy-driven concurrent marking during execution.
     pub fn set_gc_policy(&mut self, policy: GcPolicy) {
         self.gc_policy = Some(policy);
+    }
+
+    /// Installs a deterministic fault schedule (see [`wbe_heap::fault`]).
+    /// The plan perturbs marking start/finish timing, SATB drain
+    /// pressure, and allocation success; its stats remain readable
+    /// afterwards via `self.heap.fault`.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.heap.fault = Some(plan);
+    }
+
+    /// Enables heap-invariant verification (`wbe_heap::verify`) at every
+    /// GC cycle boundary. A failed check surfaces as
+    /// [`Trap::InvariantViolation`].
+    pub fn set_verify_invariants(&mut self, on: bool) {
+        self.verify_invariants = on;
     }
 
     /// Declares allocation sites whose objects may live in the frame
@@ -300,6 +351,17 @@ impl<'p> Interp<'p> {
         );
         add("interp.stack_freed", s.stack_freed - p.stack_freed);
         add("interp.gc.cycles", s.gc_cycles - p.gc_cycles);
+        add(
+            "interp.gc.emergency_pauses",
+            s.emergency_pauses - p.emergency_pauses,
+        );
+        add("interp.gc.alloc_retries", s.alloc_retries - p.alloc_retries);
+        let fault_injected = self
+            .heap
+            .fault
+            .as_ref()
+            .map_or(p.fault_injected, |plan| plan.stats.injected());
+        add("interp.fault.injected", fault_injected - p.fault_injected);
         wbe_telemetry::gauge("interp.barrier.sites").set(s.barrier.site_count() as u64);
         self.published = PublishedRunStats {
             insns: s.insns,
@@ -311,6 +373,9 @@ impl<'p> Interp<'p> {
             stack_allocated: s.stack_allocated,
             stack_freed: s.stack_freed,
             gc_cycles: s.gc_cycles,
+            emergency_pauses: s.emergency_pauses,
+            alloc_retries: s.alloc_retries,
+            fault_injected,
             barrier_executions: exec,
             barrier_pre_null: pre_null,
         };
@@ -334,36 +399,110 @@ impl<'p> Interp<'p> {
             return;
         };
         self.allocs_since_cycle += 1;
-        if !self.heap.gc.is_marking() && self.allocs_since_cycle >= policy.alloc_trigger {
+        if self.heap.gc.is_marking() {
+            return;
+        }
+        // Fault schedule: a *due* start may be deferred (re-rolled at the
+        // next allocation), and an idle collector may be started early.
+        // Both shift the SATB snapshot point relative to mutator stores.
+        let due = self.allocs_since_cycle >= policy.alloc_trigger;
+        let start = match (due, self.heap.fault.as_mut()) {
+            (true, Some(plan)) => !plan.defer_marking_start(),
+            (true, None) => true,
+            (false, Some(plan)) => plan.early_marking_start(),
+            (false, None) => false,
+        };
+        if start {
             let roots = self.collect_roots();
             self.heap.gc.begin_marking(&mut self.heap.store, &roots);
             self.allocs_since_cycle = 0;
         }
     }
 
-    fn drive_gc_after_insn(&mut self) {
+    fn drive_gc_after_insn(&mut self) -> Result<(), Trap> {
         let Some(policy) = self.gc_policy else {
-            return;
+            return Ok(());
         };
         if !self.heap.gc.is_marking() {
-            return;
+            return Ok(());
         }
         if policy.step_interval == 0 || !self.stats.insns.is_multiple_of(policy.step_interval) {
-            return;
+            return Ok(());
         }
-        let did = self
-            .heap
-            .gc
-            .mark_step(&mut self.heap.store, policy.step_budget);
+        let mut budget = policy.step_budget;
+        if let Some(plan) = self.heap.fault.as_mut() {
+            // Skipping a step delays marking progress (widening the race
+            // window); a drain boost forces deep SATB-buffer drains.
+            if plan.skip_mark_step() {
+                return Ok(());
+            }
+            if let Some(factor) = plan.drain_pressure() {
+                budget = budget.saturating_mul(factor);
+            }
+        }
+        let did = self.heap.gc.mark_step(&mut self.heap.store, budget);
         // No concurrent progress possible: finish the cycle. (For SATB,
         // did == 0 implies the log is drained; for incremental update the
         // remaining dirty set is exactly what the remark pause rescans.)
         if did == 0 {
-            let roots = self.collect_roots();
-            let pause = self.heap.gc.remark(&mut self.heap.store, &roots);
-            self.heap.sweep();
-            self.stats.gc_cycles += 1;
-            self.stats.pauses.push(pause);
+            self.full_pause()?;
+        }
+        Ok(())
+    }
+
+    /// Finishes the current cycle — or, from idle, runs a complete
+    /// stop-the-world collection — with optional invariant verification
+    /// at both cycle boundaries.
+    fn full_pause(&mut self) -> Result<(), Trap> {
+        let roots = self.collect_roots();
+        if !self.heap.gc.is_marking() {
+            self.heap.gc.begin_marking(&mut self.heap.store, &roots);
+            self.allocs_since_cycle = 0;
+        }
+        let pause = self.heap.gc.remark(&mut self.heap.store, &roots);
+        if self.verify_invariants {
+            check_invariants(
+                wbe_heap::verify::verify_post_mark(&self.heap, &roots),
+                "post-mark",
+            )?;
+        }
+        self.heap.sweep();
+        if self.verify_invariants {
+            check_invariants(
+                wbe_heap::verify::verify_post_sweep(&self.heap),
+                "post-sweep",
+            )?;
+        }
+        self.stats.gc_cycles += 1;
+        self.stats.pauses.push(pause);
+        Ok(())
+    }
+
+    /// Allocates via `alloc`, recovering from injected
+    /// [`HeapError::AllocationFailed`] with an emergency full pause and a
+    /// bounded number of retries.
+    fn alloc_with_recovery(
+        &mut self,
+        mid: MethodId,
+        at: InsnAddr,
+        mut alloc: impl FnMut(&mut Heap) -> Result<GcRef, HeapError>,
+    ) -> Result<GcRef, Trap> {
+        const MAX_RETRIES: u32 = 4;
+        let mut attempt = 0;
+        loop {
+            match alloc(&mut self.heap) {
+                Ok(r) => return Ok(r),
+                Err(HeapError::AllocationFailed) if attempt < MAX_RETRIES => {
+                    attempt += 1;
+                    self.stats.alloc_retries += 1;
+                    self.stats.emergency_pauses += 1;
+                    self.full_pause()?;
+                }
+                Err(HeapError::AllocationFailed) => {
+                    return Err(Trap::OutOfMemory { method: mid, at })
+                }
+                Err(e) => return Err(e.into()),
+            }
         }
     }
 
@@ -452,7 +591,7 @@ impl<'p> Interp<'p> {
                     }
                 }
             }
-            self.drive_gc_after_insn();
+            self.drive_gc_after_insn()?;
         }
     }
 
@@ -806,7 +945,7 @@ impl<'p> Interp<'p> {
             }
             Insn::New { class, site } => {
                 let shapes = self.class_shapes[class.index()].clone();
-                let r = self.heap.alloc_object(class.0, &shapes)?;
+                let r = self.alloc_with_recovery(mid, at, |h| h.alloc_object(class.0, &shapes))?;
                 if self.stack_sites.contains(&site) {
                     self.frame_mut().owned.push(r);
                     self.stats.stack_allocated += 1;
@@ -816,13 +955,13 @@ impl<'p> Interp<'p> {
             }
             Insn::NewRefArray { class, .. } => {
                 let len = self.pop_int(mid, at)?;
-                let r = self.heap.alloc_ref_array(class.0, len)?;
+                let r = self.alloc_with_recovery(mid, at, |h| h.alloc_ref_array(class.0, len))?;
                 self.push(Value::from(r));
                 self.drive_gc_after_alloc();
             }
             Insn::NewIntArray { .. } => {
                 let len = self.pop_int(mid, at)?;
-                let r = self.heap.alloc_int_array(len)?;
+                let r = self.alloc_with_recovery(mid, at, |h| h.alloc_int_array(len))?;
                 self.push(Value::from(r));
                 self.drive_gc_after_alloc();
             }
@@ -909,6 +1048,20 @@ impl<'p> Interp<'p> {
             self.heap.store.remove(r);
             self.stats.stack_freed += 1;
         }
+    }
+}
+
+fn check_invariants(
+    violations: Vec<wbe_heap::verify::Violation>,
+    when: &'static str,
+) -> Result<(), Trap> {
+    match violations.first() {
+        None => Ok(()),
+        Some(first) => Err(Trap::InvariantViolation {
+            when,
+            count: violations.len(),
+            first: first.to_string(),
+        }),
     }
 }
 
@@ -1375,6 +1528,119 @@ mod tests {
         let r = interp.run(m, &[], 100).unwrap().unwrap();
         assert!(matches!(r, Value::Ref(Some(_))));
         assert_eq!(interp.heap.static_roots().len(), 1);
+    }
+
+    /// Allocation-heavy list builder: n nodes, each linked to its
+    /// predecessor with a pre-null `putfield`; returns n.
+    fn churn_program() -> (Program, MethodId) {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("Node");
+        let next = pb.field(c, "next", Ty::Ref(c));
+        let m = pb.method("churn", vec![Ty::Int], Some(Ty::Int), 2, |mb| {
+            let n = mb.local(0);
+            let prev = mb.local(1);
+            let i = mb.local(2);
+            let head = mb.new_block();
+            let body = mb.new_block();
+            let exit = mb.new_block();
+            mb.iconst(0).store(i).const_null().store(prev).goto_(head);
+            mb.switch_to(head)
+                .load(i)
+                .load(n)
+                .if_icmp(CmpOp::Lt, body, exit);
+            mb.switch_to(body)
+                .new_object(c)
+                .dup()
+                .load(prev)
+                .putfield(next)
+                .store(prev)
+                .iinc(i, 1)
+                .goto_(head);
+            mb.switch_to(exit).load(i).return_value();
+        });
+        let p = pb.finish();
+        p.validate().unwrap();
+        (p, m)
+    }
+
+    #[test]
+    fn fault_schedule_is_seed_deterministic_and_run_survives() {
+        use wbe_heap::FaultPlan;
+        let (p, m) = churn_program();
+        let run = |seed: u64| {
+            let mut interp = Interp::new(&p, checked());
+            interp.set_gc_policy(GcPolicy {
+                alloc_trigger: 16,
+                step_interval: 4,
+                step_budget: 2,
+            });
+            interp.set_fault_plan(FaultPlan::from_seed(seed));
+            interp.set_verify_invariants(true);
+            let r = interp.run(m, &[Value::Int(300)], 1_000_000).unwrap();
+            assert_eq!(r, Some(Value::Int(300)), "result unaffected by faults");
+            let plan = interp.heap.fault.as_ref().unwrap();
+            (plan.digest(), plan.stats)
+        };
+        let (d1, s1) = run(42);
+        let (d2, s2) = run(42);
+        assert_eq!(d1, d2, "same seed, same decision stream");
+        assert_eq!(s1, s2);
+        assert!(s1.injected() > 0, "schedule actually perturbed the run");
+        let (d3, _) = run(43);
+        assert_ne!(d1, d3, "different seed, different schedule");
+    }
+
+    #[test]
+    fn alloc_failure_takes_emergency_pause_and_recovers() {
+        use wbe_heap::{FaultConfig, FaultPlan};
+        let (p, m) = churn_program();
+        let mut interp = Interp::new(&p, checked());
+        // High failure rate, no GC policy: only the emergency path
+        // collects.
+        interp.set_fault_plan(FaultPlan::new(FaultConfig {
+            alloc_fail_pm: 200,
+            alloc_grace: 8,
+            ..FaultConfig::from_seed(5)
+        }));
+        interp.set_verify_invariants(true);
+        let r = interp.run(m, &[Value::Int(200)], 1_000_000).unwrap();
+        assert_eq!(r, Some(Value::Int(200)));
+        assert!(
+            interp.stats.emergency_pauses > 0,
+            "emergency path exercised"
+        );
+        assert!(interp.stats.alloc_retries > 0);
+        assert!(interp.stats.gc_cycles > 0);
+    }
+
+    #[test]
+    fn verified_gc_policy_run_is_clean() {
+        let (p, m) = churn_program();
+        let mut interp = Interp::new(&p, checked());
+        interp.set_gc_policy(GcPolicy {
+            alloc_trigger: 20,
+            step_interval: 8,
+            step_budget: 4,
+        });
+        interp.set_verify_invariants(true);
+        let r = interp.run(m, &[Value::Int(250)], 1_000_000).unwrap();
+        assert_eq!(r, Some(Value::Int(250)));
+        assert!(interp.stats.gc_cycles > 0, "verification ran at boundaries");
+    }
+
+    #[test]
+    fn new_trap_variants_display() {
+        let t = Trap::OutOfMemory {
+            method: MethodId(0),
+            at: InsnAddr::new(BlockId(0), 0),
+        };
+        assert!(t.to_string().contains("out of memory"));
+        let t = Trap::InvariantViolation {
+            when: "post-mark",
+            count: 2,
+            first: "x".into(),
+        };
+        assert!(t.to_string().contains("post-mark"));
     }
 
     #[test]

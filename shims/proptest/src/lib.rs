@@ -15,7 +15,9 @@
 //!   function's name, so runs are reproducible without a
 //!   `proptest-regressions` file (existing regression files are
 //!   ignored).
-//! * `cases` defaults to 256, like upstream.
+//! * `cases` defaults to 256, like upstream, and the `PROPTEST_CASES`
+//!   environment variable overrides it (also like upstream), so CI can
+//!   pin the case count.
 
 pub mod collection;
 pub mod strategy;
@@ -105,9 +107,10 @@ macro_rules! __proptest_items {
         $(#[$meta])*
         fn $name() {
             let config = $cfg;
+            let cases = config.resolved_cases();
             let mut rng =
                 $crate::test_runner::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
-            for case in 0..config.cases {
+            for case in 0..cases {
                 $(
                     let $arg = $crate::strategy::Strategy::generate(&$strat, &mut rng);
                 )+
@@ -128,7 +131,7 @@ macro_rules! __proptest_items {
                         panic!(
                             "proptest case {}/{} failed: {}\ninputs:{}",
                             case + 1,
-                            config.cases,
+                            cases,
                             msg,
                             inputs,
                         );

@@ -26,6 +26,19 @@ impl Default for ProptestConfig {
     }
 }
 
+impl ProptestConfig {
+    /// The effective case count: a `PROPTEST_CASES` environment variable
+    /// overrides the configured value (mirroring upstream proptest's
+    /// env-var support), so CI can pin or scale property runs without
+    /// editing test code.
+    pub fn resolved_cases(&self) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(self.cases)
+    }
+}
+
 /// Why a single generated case did not pass.
 #[derive(Clone, Debug)]
 pub enum TestCaseError {
@@ -104,6 +117,17 @@ mod tests {
         for _ in 0..1000 {
             assert!(rng.below(7) < 7);
         }
+    }
+
+    #[test]
+    fn env_var_overrides_case_count() {
+        // Set/remove is process-global; keep the window minimal. Other
+        // shim property tests tolerate a different case count.
+        std::env::set_var("PROPTEST_CASES", "7");
+        let resolved = ProptestConfig::default().resolved_cases();
+        std::env::remove_var("PROPTEST_CASES");
+        assert_eq!(resolved, 7);
+        assert_eq!(ProptestConfig::default().resolved_cases(), 256);
     }
 
     #[test]

@@ -1,0 +1,100 @@
+//! Analysis guardrails end-to-end: a method that exhausts the
+//! per-method iteration cap must analyze as *degraded*, contribute no
+//! elisions, and still execute correctly under full barriers. The
+//! guardrail's whole contract is "pathological input costs performance,
+//! never soundness or availability".
+
+use wbe_repro::analysis::{analyze_program, AnalysisConfig, AnalysisOutcome};
+use wbe_repro::interp::{BarrierConfig, BarrierMode, GcPolicy, Interp, Value};
+use wbe_repro::ir::builder::ProgramBuilder;
+use wbe_repro::ir::{CmpOp, MethodId, Program, Ty};
+
+/// A looped allocator-and-store method: enough blocks and stores that
+/// the fixpoint needs several sweeps, so a tiny iteration cap trips.
+/// Returns the iteration count so correctness is observable.
+fn loopy_program() -> (Program, MethodId) {
+    let mut pb = ProgramBuilder::new();
+    let c = pb.class("Node");
+    let next = pb.field(c, "next", Ty::Ref(c));
+    let m = pb.method("loopy", vec![Ty::Int], Some(Ty::Int), 2, |mb| {
+        let n = mb.local(0);
+        let prev = mb.local(1);
+        let i = mb.local(2);
+        let head = mb.new_block();
+        let body = mb.new_block();
+        let exit = mb.new_block();
+        mb.iconst(0).store(i).const_null().store(prev).goto_(head);
+        mb.switch_to(head)
+            .load(i)
+            .load(n)
+            .if_icmp(CmpOp::Lt, body, exit);
+        mb.switch_to(body)
+            .new_object(c)
+            .dup()
+            .load(prev)
+            .putfield(next)
+            .store(prev)
+            .iinc(i, 1)
+            .goto_(head);
+        mb.switch_to(exit).load(i).return_value();
+    });
+    let p = pb.finish();
+    p.validate().unwrap();
+    (p, m)
+}
+
+#[test]
+fn iteration_capped_method_degrades_and_still_runs() {
+    let (program, m) = loopy_program();
+
+    // Sanity: without the cap the store is provably pre-null.
+    let full = analyze_program(&program, &AnalysisConfig::full());
+    assert_eq!(full.degraded_count(), 0);
+    assert!(
+        !full.methods[&m].elided.is_empty(),
+        "uncapped analysis elides the initializing store"
+    );
+
+    // A one-iteration cap cannot reach the fixpoint: Degraded, no
+    // elisions anywhere.
+    let capped_cfg = AnalysisConfig::full().with_max_iterations(1);
+    let capped = analyze_program(&program, &capped_cfg);
+    assert!(
+        capped.methods[&m].outcome.is_degraded(),
+        "cap of 1 must degrade: {:?}",
+        capped.methods[&m].outcome
+    );
+    assert!(
+        capped.methods[&m].elided.is_empty(),
+        "degraded elides nothing"
+    );
+    assert_eq!(capped.degraded_count(), 1);
+    let reasons: Vec<String> = capped
+        .degraded_methods()
+        .map(|(mid, r)| format!("{mid}: {r}"))
+        .collect();
+    assert!(reasons[0].contains("iteration cap"), "{reasons:?}");
+
+    // The program still executes correctly under full barriers with the
+    // (empty) degraded elision set — concurrent marking included.
+    let mut interp = Interp::new(&program, BarrierConfig::new(BarrierMode::Checked));
+    interp.set_gc_policy(GcPolicy {
+        alloc_trigger: 20,
+        step_interval: 8,
+        step_budget: 4,
+    });
+    interp.set_verify_invariants(true);
+    let r = interp.run(m, &[Value::Int(150)], 1_000_000).unwrap();
+    assert_eq!(r, Some(Value::Int(150)));
+    assert_eq!(
+        interp.stats.elided_executions, 0,
+        "no elisions execute for a degraded method"
+    );
+
+    // Degraded analysis must never panic on this program either way:
+    // the outcome is data, not a crash.
+    assert!(matches!(
+        capped.methods[&m].outcome,
+        AnalysisOutcome::Degraded(_)
+    ));
+}

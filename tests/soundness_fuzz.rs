@@ -453,6 +453,118 @@ proptest! {
     }
 }
 
+/// Parses the `Debug` rendering of a statement list as committed in
+/// `soundness_fuzz.proptest-regressions` (`[Name { k: v, ... }, ...]`).
+/// Statement structs have no nested braces, so each `}` closes one.
+fn parse_stmts(text: &str) -> Vec<Stmt> {
+    let inner = text
+        .trim()
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .expect("corpus stmts are a [..] list");
+    let mut out = Vec::new();
+    for part in inner.split_inclusive('}') {
+        let part = part.trim().trim_start_matches(',').trim();
+        if part.is_empty() {
+            continue;
+        }
+        let (name, fields) = part.split_once('{').expect("struct-like statement");
+        let mut map = std::collections::BTreeMap::new();
+        for fv in fields.trim_end_matches('}').split(',') {
+            let fv = fv.trim();
+            if fv.is_empty() {
+                continue;
+            }
+            let (k, v) = fv.split_once(':').expect("field: value");
+            map.insert(
+                k.trim().to_string(),
+                v.trim().parse::<usize>().expect("numeric field"),
+            );
+        }
+        let g = |k: &str| {
+            *map.get(k)
+                .unwrap_or_else(|| panic!("field {k} in `{part}`"))
+        };
+        out.push(match name.trim() {
+            "AllocObj" => Stmt::AllocObj { dst: g("dst") },
+            "AllocArr" => Stmt::AllocArr { dst: g("dst") },
+            "PutField" => Stmt::PutField {
+                obj: g("obj"),
+                f: g("f"),
+                val: g("val"),
+            },
+            "PutNull" => Stmt::PutNull {
+                obj: g("obj"),
+                f: g("f"),
+            },
+            "GetField" => Stmt::GetField {
+                dst: g("dst"),
+                obj: g("obj"),
+                f: g("f"),
+            },
+            "ArrStore" => Stmt::ArrStore {
+                arr: g("arr"),
+                idx: g("idx") as u8,
+                val: g("val"),
+            },
+            "ArrLoad" => Stmt::ArrLoad {
+                dst: g("dst"),
+                arr: g("arr"),
+                idx: g("idx") as u8,
+            },
+            "Publish" => Stmt::Publish {
+                src: g("src"),
+                g: g("g"),
+            },
+            "ReadGlobal" => Stmt::ReadGlobal {
+                dst: g("dst"),
+                g: g("g"),
+            },
+            "Copy" => Stmt::Copy {
+                dst: g("dst"),
+                src: g("src"),
+            },
+            "SetNull" => Stmt::SetNull { dst: g("dst") },
+            "FillLoop" => Stmt::FillLoop {
+                arr: g("arr"),
+                val: g("val"),
+            },
+            "NosRefresh" => Stmt::NosRefresh {
+                obj: g("obj"),
+                f: g("f"),
+                alt: g("alt"),
+            },
+            "CallSink" => Stmt::CallSink { src: g("src") },
+            "CallMake" => Stmt::CallMake { dst: g("dst") },
+            other => panic!("unknown statement kind `{other}`"),
+        });
+    }
+    out
+}
+
+/// The proptest shim does not read `.proptest-regressions`; replay the
+/// committed corpus explicitly so past failures stay covered no matter
+/// which proptest implementation is in use.
+#[test]
+fn regression_corpus_replays_clean() {
+    let corpus = include_str!("soundness_fuzz.proptest-regressions");
+    let mut replayed = 0;
+    for line in corpus.lines() {
+        let Some(rest) = line.split("shrinks to stmts = ").nth(1) else {
+            continue;
+        };
+        let (stmts_text, iters_text) = rest
+            .rsplit_once(", iters = ")
+            .expect("corpus line ends with `, iters = N`");
+        let stmts = parse_stmts(stmts_text);
+        assert!(!stmts.is_empty(), "corpus case parsed to no statements");
+        let iters: i64 = iters_text.trim().parse().expect("iters is an integer");
+        run_case(&stmts, iters).unwrap_or_else(|e| panic!("corpus case failed: {e}\n{line}"));
+        replayed += 1;
+    }
+    assert!(replayed > 0, "corpus must contain at least one case");
+}
+
 /// A fixed regression mix exercising every statement kind at once.
 #[test]
 fn smoke_all_statement_kinds() {
