@@ -1,0 +1,143 @@
+//! Emits `BENCH_pr3.json`: evidence that the concurrency layer leaves
+//! the paper's headline numbers untouched, plus model-checker
+//! throughput.
+//!
+//! Usage: `cargo run --release -p wbe-bench --bin bench_pr3 [-- <out.json>]`
+//! (defaults to `BENCH_pr3.json` in the current directory).
+//!
+//! Three sections:
+//!
+//! * `suite` — the Table 1 dynamic barrier-elision percentage at the
+//!   same reduced scale `bench_json` uses; compile-time elision does
+//!   not depend on mutator count, so this must match the seed's value.
+//! * `mcheck` — per-mutator-count scheduler accounting over the stock
+//!   scenarios: elided-store executions vs. gated (full-barrier)
+//!   executions, and schedules explored per second. The elided share
+//!   stays high at 4 mutators because gating only applies in the short
+//!   arm-to-ack window of each cycle.
+//! * `savings` — dynamic barrier-cost savings (checked barriers billed
+//!   at the interpreter's barrier cycle cost) for the suite, unchanged
+//!   from the seed's accounting.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use wbe_heap::gc::MarkStyle;
+use wbe_heap::mcheck::run_mcheck;
+use wbe_heap::{CheckerConfig, Scenario, SchedConfig};
+use wbe_interp::BarrierMode;
+use wbe_opt::OptMode;
+use wbe_workloads::standard_suite;
+
+const SCALE: f64 = 0.1;
+const SCHEDULES_PER_SCENARIO: u64 = 60;
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_pr3.json".into());
+
+    // Suite elision rate + barrier-cost savings (same harness as the
+    // seed's Table 1 path).
+    let mut total = 0u64;
+    let mut elim = 0u64;
+    let mut barrier_cycles_checked = 0u64;
+    let mut barrier_cycles_elided = 0u64;
+    for w in &standard_suite() {
+        let iters = ((w.default_iters as f64 * SCALE) as i64).max(8);
+        let base = wbe_harness::runner::run_workload(
+            w,
+            OptMode::Baseline,
+            100,
+            iters,
+            BarrierMode::Checked,
+            MarkStyle::Satb,
+            None,
+        );
+        let run = wbe_harness::runner::run_workload(
+            w,
+            OptMode::Full,
+            100,
+            iters,
+            BarrierMode::Checked,
+            MarkStyle::Satb,
+            None,
+        );
+        total += run.summary.total();
+        elim += run.summary.eliminated();
+        barrier_cycles_checked += base.stats.barrier_cycles;
+        barrier_cycles_elided += run.stats.barrier_cycles;
+    }
+    let suite_pct = if total == 0 {
+        0.0
+    } else {
+        100.0 * elim as f64 / total as f64
+    };
+    let savings_pct = if barrier_cycles_checked == 0 {
+        0.0
+    } else {
+        100.0 * (barrier_cycles_checked - barrier_cycles_elided) as f64
+            / barrier_cycles_checked as f64
+    };
+
+    // Scheduler accounting under 1 vs 4 mutators, stock scenarios.
+    let mut mcheck_rows = Vec::new();
+    for mutators in [1usize, 4] {
+        let start = Instant::now();
+        let mut explored = 0u64;
+        let mut elided = 0u64;
+        let mut gated = 0u64;
+        let mut cycles = 0u64;
+        for scenario in Scenario::ALL {
+            let report = run_mcheck(&CheckerConfig {
+                sched: SchedConfig {
+                    threads: mutators,
+                    scenario,
+                    ..SchedConfig::default()
+                },
+                schedules: SCHEDULES_PER_SCENARIO,
+                seed: 1,
+                ..CheckerConfig::default()
+            });
+            assert!(report.sound(), "stock scenarios must be sound");
+            explored += report.explored;
+            elided += report.totals.elided_stores;
+            gated += report.totals.gated_elisions;
+            cycles += report.cycles;
+        }
+        let secs = start.elapsed().as_secs_f64().max(1e-9);
+        let pct_elided_execs = if elided + gated == 0 {
+            0.0
+        } else {
+            100.0 * elided as f64 / (elided + gated) as f64
+        };
+        mcheck_rows.push((
+            mutators,
+            explored,
+            cycles,
+            pct_elided_execs,
+            explored as f64 / secs,
+        ));
+    }
+
+    let mut json = String::from("{\n  \"bench\": \"pr3\",\n");
+    let _ = writeln!(
+        json,
+        "  \"suite\": {{\"pct_barriers_elided\": {suite_pct:.3}, \"pct_barrier_cycles_saved\": {savings_pct:.3}}},"
+    );
+    json.push_str("  \"mcheck\": [\n");
+    for (i, (mutators, explored, cycles, pct, sps)) in mcheck_rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"mutators\": {mutators}, \"schedules\": {explored}, \"gc_cycles\": {cycles}, \"pct_elided_site_executions\": {pct:.3}, \"schedules_per_sec\": {sps:.0}}}{}",
+            if i + 1 < mcheck_rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    print!("{json}");
+    eprintln!("written to {out}");
+}

@@ -10,6 +10,10 @@
 //! wbe_tool export  <workload>                      print a workload as .wbe text
 //! wbe_tool report  [workload|file.wbe ...] [--metrics-out m.json]
 //!                  [--trace-out t.ndjson] [--scale S]
+//! wbe_tool mcheck  [--threads N] [--schedules K] [--seed S]
+//!                  [--scenario chain|churn|shared] [--systematic]
+//!                  [--preempt-bound B] [--demo-unsound] [--fault-seed S]
+//!                  [--replay SEED | --replay-prefix HEX]
 //! ```
 //!
 //! Wherever a file is expected, a built-in workload name (jess, db,
@@ -36,11 +40,13 @@ use wbe_opt::{compile, OptMode, PipelineConfig};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: wbe_tool <verify|dump|analyze|run|export|report> [<file.wbe|workload>] [options]\n\
+        "usage: wbe_tool <verify|dump|analyze|run|export|report|mcheck> [<file.wbe|workload>] [options]\n\
          verify:  <file.wbe>  — or —  [workload ...] --faults N [--seed S] [--scale F] [--demo-unsound]\n\
          analyze: [--mode A|F] [--inline N] [--nos]\n\
          run:     <method> [int args...] [--elide] [--fuel N]\n\
-         report:  [workload|file.wbe ...] [--metrics-out m.json] [--trace-out t.ndjson] [--scale S]"
+         report:  [workload|file.wbe ...] [--metrics-out m.json] [--trace-out t.ndjson] [--scale S]\n\
+         {}",
+        wbe_harness::mcheck::USAGE
     );
     exit(2)
 }
@@ -255,6 +261,13 @@ fn main() {
     if args.first().map(String::as_str) == Some("report") {
         report(&args[1..]);
         return;
+    }
+    if args.first().map(String::as_str) == Some("mcheck") {
+        let opts = wbe_harness::mcheck::parse(&args[1..]).unwrap_or_else(|e| {
+            eprintln!("mcheck: {e}");
+            usage()
+        });
+        exit(wbe_harness::mcheck::run(&opts));
     }
     // `verify` dispatches on flavour: any fault flag selects the
     // differential harness; otherwise it is the classic file check.

@@ -24,6 +24,7 @@ pub mod combined;
 pub mod ext;
 pub mod fig2;
 pub mod fig3;
+pub mod mcheck;
 pub mod pause;
 pub mod rearrange_exp;
 pub mod runner;

@@ -75,3 +75,74 @@ fn usage_error_exits_two() {
         .expect("spawn wbe_tool");
     assert_eq!(out.status.code(), Some(2));
 }
+
+#[test]
+fn mcheck_stock_workloads_exit_zero() {
+    let out = tool()
+        .args([
+            "mcheck",
+            "--threads",
+            "2",
+            "--schedules",
+            "12",
+            "--seed",
+            "1",
+            "--ops",
+            "16",
+        ])
+        .output()
+        .expect("spawn wbe_tool");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "stdout:\n{stdout}");
+    assert!(stdout.contains("mcheck: sound"), "{stdout}");
+    assert!(stdout.contains("schedules/sec"), "{stdout}");
+}
+
+#[test]
+fn mcheck_demo_unsound_exits_one_with_replayable_seed() {
+    let out = tool()
+        .args([
+            "mcheck",
+            "--threads",
+            "2",
+            "--schedules",
+            "200",
+            "--seed",
+            "1",
+            "--ops",
+            "16",
+            "--scenario",
+            "churn",
+            "--demo-unsound",
+        ])
+        .output()
+        .expect("spawn wbe_tool");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "stdout:\n{stdout}");
+    assert!(stdout.contains("mcheck: UNSOUND"), "{stdout}");
+    // The report hands back a full replay command line; running it
+    // must reproduce the violation with the same exit code.
+    let replay_line = stdout
+        .lines()
+        .find(|l| l.contains("reproduce: wbe_tool mcheck"))
+        .expect("replay handle printed");
+    let replay_args: Vec<&str> = replay_line
+        .split("wbe_tool mcheck")
+        .nth(1)
+        .unwrap()
+        .split_whitespace()
+        .collect();
+    let out2 = tool().arg("mcheck").args(&replay_args).output().unwrap();
+    let stdout2 = String::from_utf8_lossy(&out2.stdout);
+    assert_eq!(out2.status.code(), Some(1), "stdout:\n{stdout2}");
+    assert!(stdout2.contains("UNSOUND"), "{stdout2}");
+}
+
+#[test]
+fn mcheck_bad_flag_exits_two() {
+    let out = tool()
+        .args(["mcheck", "--threads", "not-a-number"])
+        .output()
+        .expect("spawn wbe_tool");
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -24,6 +24,19 @@ use crate::heap::Store;
 use crate::object::{ObjKind, TraceState};
 use crate::value::GcRef;
 
+/// Error from [`GcState::try_begin_marking`]: a marking cycle is already
+/// in progress on this collector.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CycleInProgress;
+
+impl std::fmt::Display for CycleInProgress {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "a marking cycle is already in progress")
+    }
+}
+
+impl std::error::Error for CycleInProgress {}
+
 /// Which concurrent marking style the collector uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum MarkStyle {
@@ -261,6 +274,34 @@ impl GcState {
         // mutator, which is exactly the always-log experiment's point.
     }
 
+    /// Drains a per-thread SATB log buffer into the collector's shared
+    /// queue (the flush-at-safepoint half of the thread-local buffer
+    /// protocol). Entries flushed while the collector is idle are
+    /// dropped: stores made before the snapshot point carry no SATB
+    /// obligation. Returns the number of entries accepted.
+    pub fn satb_flush(&mut self, entries: impl IntoIterator<Item = GcRef>) -> usize {
+        if self.phase != Phase::Marking {
+            // Consume without logging; the iterator may be a drain.
+            entries.into_iter().for_each(drop);
+            return 0;
+        }
+        let mut n = 0usize;
+        for old in entries {
+            self.satb_buf.push(old);
+            n += 1;
+        }
+        self.stats.satb_logs += n as u64;
+        n
+    }
+
+    /// True while the collector has queued work (grey objects or
+    /// undrained SATB log entries). The mutator may still generate more
+    /// via barriers, so `false` does not mean the cycle can skip its
+    /// remark rendezvous.
+    pub fn has_pending_work(&self) -> bool {
+        !self.grey.is_empty() || !self.satb_buf.is_empty()
+    }
+
     /// Incremental-update mutator barrier payload: record that `obj` was
     /// modified so the collector re-examines it.
     pub fn dirty(&mut self, obj: GcRef) {
@@ -287,8 +328,31 @@ impl GcState {
     /// Begins a marking cycle from `roots` (plus whatever the caller
     /// includes — typically mutator stacks and statics). Clears all mark
     /// state from the previous cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cycle is already in progress; use
+    /// [`Self::try_begin_marking`] for the non-panicking form.
     pub fn begin_marking(&mut self, store: &mut Store, roots: &[GcRef]) {
-        assert_eq!(self.phase, Phase::Idle, "marking already in progress");
+        self.try_begin_marking(store, roots)
+            .expect("marking already in progress");
+    }
+
+    /// Non-panicking [`Self::begin_marking`]: returns
+    /// [`CycleInProgress`] instead of asserting when a cycle is already
+    /// running, consistent with the no-panic guardrail policy.
+    ///
+    /// # Errors
+    ///
+    /// [`CycleInProgress`] if the collector is already marking.
+    pub fn try_begin_marking(
+        &mut self,
+        store: &mut Store,
+        roots: &[GcRef],
+    ) -> Result<(), CycleInProgress> {
+        if self.phase != Phase::Idle {
+            return Err(CycleInProgress);
+        }
         self.phase = Phase::Marking;
         self.mark.clear();
         self.mark.resize(store.capacity(), false);
@@ -308,6 +372,7 @@ impl GcState {
         for &r in roots {
             self.shade(r);
         }
+        Ok(())
     }
 
     /// Marks `r` grey if it is live and unmarked.

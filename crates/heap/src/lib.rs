@@ -49,12 +49,18 @@ pub mod debug;
 pub mod fault;
 pub mod gc;
 pub mod heap;
+pub mod mcheck;
 pub mod object;
+pub mod safepoint;
+pub mod sched;
 pub mod threaded;
 pub mod value;
 pub mod verify;
 
 pub use fault::{FaultConfig, FaultPlan, FaultStats};
 pub use heap::{Heap, HeapError, HeapStats, Store};
+pub use mcheck::{CheckerConfig, FailingSchedule, McheckReport, Replay};
 pub use object::{HeapObject, ObjKind, TraceState};
+pub use safepoint::{EpochState, SatbBuffer};
+pub use sched::{Scenario, SchedConfig, SchedCounters, ScheduleOutcome, SchedulePolicy};
 pub use value::{FieldShape, GcRef, Value};

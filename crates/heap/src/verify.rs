@@ -96,8 +96,10 @@ pub fn verify_refs(heap: &Heap) -> Vec<Violation> {
     out
 }
 
-/// BFS from `roots` over live objects.
-fn reachable_set(heap: &Heap, roots: &[GcRef]) -> BTreeSet<GcRef> {
+/// BFS from `roots` over live objects. Public so the concurrency model
+/// checker ([`crate::mcheck`]) can record the snapshot-reachable set at
+/// `begin_marking` and audit it against every later sweep.
+pub fn reachable_set(heap: &Heap, roots: &[GcRef]) -> BTreeSet<GcRef> {
     let mut seen: BTreeSet<GcRef> = BTreeSet::new();
     let mut queue: VecDeque<GcRef> = VecDeque::new();
     for &r in roots {

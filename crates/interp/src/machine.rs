@@ -414,8 +414,14 @@ impl<'p> Interp<'p> {
         };
         if start {
             let roots = self.collect_roots();
-            self.heap.gc.begin_marking(&mut self.heap.store, &roots);
-            self.allocs_since_cycle = 0;
+            if self
+                .heap
+                .gc
+                .try_begin_marking(&mut self.heap.store, &roots)
+                .is_ok()
+            {
+                self.allocs_since_cycle = 0;
+            }
         }
     }
 
@@ -455,8 +461,14 @@ impl<'p> Interp<'p> {
     /// at both cycle boundaries.
     fn full_pause(&mut self) -> Result<(), Trap> {
         let roots = self.collect_roots();
-        if !self.heap.gc.is_marking() {
-            self.heap.gc.begin_marking(&mut self.heap.store, &roots);
+        // From idle, open a cycle first; `Err` just means one is already
+        // running, which is exactly the state the remark below needs.
+        if self
+            .heap
+            .gc
+            .try_begin_marking(&mut self.heap.store, &roots)
+            .is_ok()
+        {
             self.allocs_since_cycle = 0;
         }
         let pause = self.heap.gc.remark(&mut self.heap.store, &roots);

@@ -9,7 +9,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use wbe_repro::heap::gc::MarkStyle;
-use wbe_repro::heap::threaded::ConcurrentCycle;
+use wbe_repro::heap::threaded::{ConcurrentCycle, SafepointCtl};
 use wbe_repro::heap::{FieldShape, Heap, Value};
 
 fn main() {
@@ -33,28 +33,47 @@ fn threaded_demo() {
         (root, middle, tail)
     };
 
-    let cycle = ConcurrentCycle::start(Arc::clone(&heap), &[root], 2);
+    let ctl = SafepointCtl::new(1);
+    let mut mutator = ctl.register();
+    let cycle = ConcurrentCycle::start(Arc::clone(&heap), Arc::clone(&ctl), &[root], 2)
+        .expect("no cycle in progress");
+    // Safepoint poll: acknowledge the armed epoch so the marker may
+    // take its snapshot.
+    mutator.safepoint(&heap);
 
     // Mutator: unlink the middle of the list *during marking*, with the
-    // SATB barrier logging the overwritten reference.
-    {
+    // per-thread SATB buffer logging the overwritten reference.
+    loop {
         let mut h = heap.lock();
-        if let Value::Ref(Some(old)) = h.get_field(root, 0).unwrap() {
-            h.gc.satb_log(old);
+        if mutator.local_marking(&h) {
+            if let Value::Ref(Some(old)) = h.get_field(root, 0).unwrap() {
+                mutator.barrier_log(&h, old);
+            }
+            h.set_field(root, 0, Value::NULL).unwrap();
+            break;
         }
-        h.set_field(root, 0, Value::NULL).unwrap();
+        drop(h);
+        std::thread::yield_now();
     }
     // Mutator: allocate a burst of new objects (allocated black).
-    for _ in 0..1_000 {
+    for i in 0..1_000 {
         let mut h = heap.lock();
         let _ = h.alloc_object(1, &[FieldShape::Int]).unwrap();
+        drop(h);
+        if i % 256 == 0 {
+            mutator.safepoint(&heap); // periodic poll, like compiled code
+        }
     }
+    mutator.retire(&heap); // final flush; rendezvous won't wait on us
 
-    let (pause, concurrent_units) = cycle.finish(&[root]);
+    let report = cycle.finish(&[root]);
+    let pause = report.pause;
     let h = heap.lock();
     println!(
-        "concurrent marking units: {concurrent_units}; pause work: {} units",
-        pause.work_units()
+        "concurrent marking units: {}; pause work: {} units; swept: {}",
+        report.concurrent_units,
+        pause.work_units(),
+        report.swept
     );
     println!(
         "snapshot preserved: middle marked = {}, tail marked = {}",
