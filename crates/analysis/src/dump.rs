@@ -4,67 +4,67 @@
 //! For each reachable block the dump shows the abstract entry state
 //! (locals, escaped set, non-default σ/Len/NR entries) and, for every
 //! barrier-relevant store, the judgment with a *reason* when the
-//! barrier must stay.
+//! barrier must stay. Reasons come from the same derivation as the
+//! [`ledger`](crate::ledger), so the dump and `wbe_tool explain` agree.
+//!
+//! Degraded methods no longer collapse to one line: blocks the driver
+//! reached before the guardrail fired are rendered from the partial
+//! (pre-convergence) states, each barrier site annotated with its
+//! best-effort keep reason; unreached blocks are labeled as such.
 
 use std::fmt::Write as _;
 
-use wbe_ir::{Insn, Method, Program};
+use wbe_ir::{Method, Program};
 
 use crate::config::AnalysisConfig;
-use crate::fixpoint::run_fixpoint;
-use crate::refs::singleton;
-use crate::state::{AbsValue, FieldKey, MethodCtx};
+use crate::fixpoint::{solve_method, Solved};
+use crate::ledger::keep_reason;
+use crate::state::{AbsState, AbsValue, FieldKey, MethodCtx};
 use crate::transfer::{is_barrier_site, transfer_insn};
 
 /// Renders the fixed point of `method` as text.
 pub fn dump_method(program: &Program, method: &Method, config: &AnalysisConfig) -> String {
-    let ctx = MethodCtx::new(program, method, config);
-    let (states, iterations) = match run_fixpoint(&ctx) {
-        Ok((states, _, iterations)) => (states, iterations),
-        Err(reason) => {
-            return format!(
-                "=== analysis of {} DEGRADED ({reason}): no elisions ===\n",
-                method.name
+    let mut ctx = MethodCtx::new(program, method, config);
+    let (states, iterations, degraded) = match solve_method(&mut ctx, config.flow_sensitive_escape)
+    {
+        Solved::Converged { states, iterations } => (states, iterations, None),
+        Solved::Degraded { reason, partial } => (partial, 0, Some(reason)),
+    };
+    let ctx = ctx;
+
+    let mut out = String::new();
+    match &degraded {
+        None => {
+            let _ = writeln!(
+                out,
+                "=== analysis of {} ({} blocks, {} fixpoint iterations) ===",
+                method.name,
+                method.blocks.len(),
+                iterations
             );
         }
-    };
-    let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "=== analysis of {} ({} blocks, {} fixpoint iterations) ===",
-        method.name,
-        method.blocks.len(),
-        iterations
-    );
+        Some(reason) => {
+            let _ = writeln!(
+                out,
+                "=== analysis of {} DEGRADED ({reason}): no elisions ===",
+                method.name
+            );
+            let _ = writeln!(
+                out,
+                "(states below are partial, pre-convergence; reasons are best-effort)"
+            );
+        }
+    }
     for (bid, block) in method.iter_blocks() {
         let Some(entry) = &states[bid.index()] else {
-            let _ = writeln!(out, "{bid}: (unreachable)");
+            if degraded.is_some() {
+                let _ = writeln!(out, "{bid}: (not reached before degradation)");
+            } else {
+                let _ = writeln!(out, "{bid}: (unreachable)");
+            }
             continue;
         };
-        let _ = writeln!(out, "{bid}: entry state");
-        for (i, v) in entry.locals.iter().enumerate() {
-            if !matches!(v, AbsValue::Bottom) {
-                let _ = writeln!(out, "    l{i} = {v:?}");
-            }
-        }
-        if !entry.stack.is_empty() {
-            let _ = writeln!(out, "    stack = {:?}", entry.stack);
-        }
-        let nl: Vec<String> = entry.nl.iter().map(|r| r.to_string()).collect();
-        let _ = writeln!(out, "    NL = {{{}}}", nl.join(", "));
-        for ((r, key), v) in &entry.sigma {
-            let keyname = match key {
-                FieldKey::Field(f) => program.field(*f).name.clone(),
-                FieldKey::Elems => "[*]".to_string(),
-            };
-            let _ = writeln!(out, "    σ({r}, {keyname}) = {v:?}");
-        }
-        for (r, l) in &entry.len {
-            let _ = writeln!(out, "    Len({r}) = {l:?}");
-        }
-        for (r, nr) in &entry.nr {
-            let _ = writeln!(out, "    NR({r}) = {nr:?}");
-        }
+        render_entry_state(&mut out, program, bid, entry);
         // Replay, annotating barrier stores.
         let mut st = entry.clone();
         for (idx, insn) in block.insns.iter().enumerate() {
@@ -73,52 +73,16 @@ pub fn dump_method(program: &Program, method: &Method, config: &AnalysisConfig) 
             if !is_barrier_site(program, insn) {
                 continue;
             }
-            let verdict = match judgment {
-                Some(true) => "ELIDED (pre-null)".to_string(),
-                Some(false) => {
-                    // Work out a reason from the pre-state.
-                    let reason = match insn {
-                        Insn::PutField(f) => {
-                            let depth = pre.stack.len();
-                            let obj = &pre.stack[depth - 2];
-                            match obj {
-                                AbsValue::Refs(s) => {
-                                    if s.iter().any(|r| pre.nl.contains(r)) {
-                                        "receiver may be non-thread-local".to_string()
-                                    } else if let Some(r) = singleton(s) {
-                                        format!(
-                                            "field may be non-null: σ = {:?}",
-                                            pre.sigma_lookup(&ctx, r, FieldKey::Field(*f))
-                                        )
-                                    } else {
-                                        "field may be non-null on some receiver".to_string()
-                                    }
-                                }
-                                _ => "receiver unknown".to_string(),
-                            }
-                        }
-                        Insn::AaStore => {
-                            let depth = pre.stack.len();
-                            let arr = &pre.stack[depth - 3];
-                            match arr {
-                                AbsValue::Refs(s) if s.iter().any(|r| pre.nl.contains(r)) => {
-                                    "array may be non-thread-local".to_string()
-                                }
-                                AbsValue::Refs(s) => match singleton(s) {
-                                    Some(r) => format!(
-                                        "index not provably in null range {:?}",
-                                        pre.nr_lookup(r)
-                                    ),
-                                    None => "multiple possible arrays".to_string(),
-                                },
-                                _ => "array unknown".to_string(),
-                            }
-                        }
-                        _ => String::new(),
-                    };
-                    format!("barrier KEPT — {reason}")
+            let verdict = match (judgment, &degraded) {
+                (Some(true), None) => "ELIDED (pre-null)".to_string(),
+                (Some(true), Some(_)) => {
+                    "barrier KEPT — analysis degraded (partial state had no failing condition)"
+                        .to_string()
                 }
-                None => continue,
+                (Some(false), _) => {
+                    format!("barrier KEPT — {}", keep_reason(&pre, &ctx, insn).detail)
+                }
+                (None, _) => continue,
             };
             let _ = writeln!(out, "  {bid}[{idx}] {insn:?}: {verdict}");
         }
@@ -126,11 +90,38 @@ pub fn dump_method(program: &Program, method: &Method, config: &AnalysisConfig) 
     out
 }
 
+fn render_entry_state(out: &mut String, program: &Program, bid: wbe_ir::BlockId, entry: &AbsState) {
+    let _ = writeln!(out, "{bid}: entry state");
+    for (i, v) in entry.locals.iter().enumerate() {
+        if !matches!(v, AbsValue::Bottom) {
+            let _ = writeln!(out, "    l{i} = {v:?}");
+        }
+    }
+    if !entry.stack.is_empty() {
+        let _ = writeln!(out, "    stack = {:?}", entry.stack);
+    }
+    let nl: Vec<String> = entry.nl.iter().map(|r| r.to_string()).collect();
+    let _ = writeln!(out, "    NL = {{{}}}", nl.join(", "));
+    for ((r, key), v) in &entry.sigma {
+        let keyname = match key {
+            FieldKey::Field(f) => program.field(*f).name.clone(),
+            FieldKey::Elems => "[*]".to_string(),
+        };
+        let _ = writeln!(out, "    σ({r}, {keyname}) = {v:?}");
+    }
+    for (r, l) in &entry.len {
+        let _ = writeln!(out, "    Len({r}) = {l:?}");
+    }
+    for (r, nr) in &entry.nr {
+        let _ = writeln!(out, "    NR({r}) = {nr:?}");
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use wbe_ir::builder::ProgramBuilder;
-    use wbe_ir::Ty;
+    use wbe_ir::{CmpOp, Ty};
 
     #[test]
     fn dump_names_the_blocking_reason() {
@@ -183,5 +174,43 @@ mod tests {
         let p = pb.finish();
         let dump = dump_method(&p, &p.methods[0], &AnalysisConfig::full());
         assert!(dump.contains("(unreachable)"), "{dump}");
+    }
+
+    #[test]
+    fn degraded_dump_keeps_per_site_reasons_for_reached_sites() {
+        // Entry block has a kept putfield; a loop after it trips a
+        // 1-iteration cap. The degraded dump must still explain the
+        // entry-block site and label the unreached loop block.
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("C");
+        let f = pb.field(c, "f", Ty::Ref(c));
+        let m = pb.method("deg", vec![Ty::Ref(c), Ty::Int], None, 0, |mb| {
+            let arg = mb.local(0);
+            let n = mb.local(1);
+            let head = mb.new_block();
+            let body = mb.new_block();
+            let exit = mb.new_block();
+            mb.load(arg).load(arg).putfield(f);
+            mb.goto_(head);
+            mb.switch_to(head).load(n).if_zero(CmpOp::Gt, body, exit);
+            mb.switch_to(body)
+                .load(arg)
+                .load(arg)
+                .putfield(f)
+                .iinc(n, -1)
+                .goto_(head);
+            mb.switch_to(exit).return_();
+        });
+        let p = pb.finish();
+        let cfg = AnalysisConfig::full().with_max_iterations(1);
+        let dump = dump_method(&p, p.method(m), &cfg);
+        assert!(dump.contains("DEGRADED"), "{dump}");
+        assert!(dump.contains("no elisions"), "{dump}");
+        // The reached entry-block site still names its real reason.
+        assert!(dump.contains("non-thread-local"), "{dump}");
+        // Unreached blocks are labeled distinctly from unreachable ones.
+        assert!(dump.contains("(not reached before degradation)"), "{dump}");
+        // Nothing may claim ELIDED in a degraded method.
+        assert!(!dump.contains("ELIDED"), "{dump}");
     }
 }

@@ -224,7 +224,7 @@ pub fn analyze_method(
 }
 
 /// Renders a `catch_unwind` payload for [`DegradeReason::Panicked`].
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -243,18 +243,9 @@ fn judge_method(
     config: &AnalysisConfig,
 ) -> Result<(BTreeSet<InsnAddr>, usize), DegradeReason> {
     let mut ctx = MethodCtx::new(program, method, config);
-
-    let (entry_states, iterations) = if config.flow_sensitive_escape {
-        let (states, _, it) = run_fixpoint(&ctx)?;
-        (states, it)
-    } else {
-        // Ablation: classic escape analysis. First find everything that
-        // escapes anywhere, then rerun with those references pinned as
-        // escaped from the start (and across allocation renames).
-        let (_, nl_anywhere, it1) = run_fixpoint(&ctx)?;
-        ctx.pinned_nl = nl_anywhere;
-        let (states, _, it2) = run_fixpoint(&ctx)?;
-        (states, it1 + it2)
+    let (entry_states, iterations) = match solve_method(&mut ctx, config.flow_sensitive_escape) {
+        Solved::Converged { states, iterations } => (states, iterations),
+        Solved::Degraded { reason, .. } => return Err(reason),
     };
     let ctx = ctx;
 
@@ -296,11 +287,80 @@ pub fn entry_states(
 /// over every program point, and the iteration count.
 pub(crate) type FixpointResult = (Vec<Option<AbsState>>, BTreeSet<Ref>, usize);
 
+/// A guardrail interruption, carrying whatever per-block entry states
+/// the driver had computed when it fired. The partial states are **not**
+/// fixed points — they are sound only for *reporting* (the dump and the
+/// elision ledger use them to explain sites reached before degradation),
+/// never for elision decisions.
+pub(crate) struct FixpointDegrade {
+    /// The guardrail that fired.
+    pub reason: DegradeReason,
+    /// Entry states computed so far (`None` = block not yet reached).
+    pub partial: Vec<Option<AbsState>>,
+}
+
+/// Outcome of [`solve_method`]: the method-level fixed point, covering
+/// the classic-escape ablation's double fixpoint.
+pub(crate) enum Solved {
+    /// The fixpoint(s) converged; `states` are final entry states.
+    Converged {
+        /// Per-block fixed-point entry states.
+        states: Vec<Option<AbsState>>,
+        /// Total blocks processed across all fixpoint runs.
+        iterations: usize,
+    },
+    /// A guardrail fired; `partial` is the pre-convergence snapshot.
+    Degraded {
+        /// The guardrail that fired.
+        reason: DegradeReason,
+        /// Entry states computed before the guardrail fired.
+        partial: Vec<Option<AbsState>>,
+    },
+}
+
+/// Runs the method-level fixed point honoring the flow-sensitivity
+/// ablation: flow-sensitive mode is one fixpoint; classic-escape mode
+/// runs twice, pinning everything that escaped anywhere as escaped from
+/// the start of the second run. Shared by the judgment pass, the dump,
+/// and the elision ledger so all three see identical states.
+pub(crate) fn solve_method(ctx: &mut MethodCtx<'_>, flow_sensitive: bool) -> Solved {
+    if flow_sensitive {
+        match run_fixpoint(ctx) {
+            Ok((states, _, iterations)) => Solved::Converged { states, iterations },
+            Err(d) => Solved::Degraded {
+                reason: d.reason,
+                partial: d.partial,
+            },
+        }
+    } else {
+        let (_, nl_anywhere, it1) = match run_fixpoint(ctx) {
+            Ok(r) => r,
+            Err(d) => {
+                return Solved::Degraded {
+                    reason: d.reason,
+                    partial: d.partial,
+                }
+            }
+        };
+        ctx.pinned_nl = nl_anywhere;
+        match run_fixpoint(ctx) {
+            Ok((states, _, it2)) => Solved::Converged {
+                states,
+                iterations: it1 + it2,
+            },
+            Err(d) => Solved::Degraded {
+                reason: d.reason,
+                partial: d.partial,
+            },
+        }
+    }
+}
+
 /// Worklist fixpoint. `extra_nl` (the classic-escape ablation) is merged
 /// into the entry NL. Returns per-block entry states, the union of NL
 /// over every program point (for the classic-escape ablation), and the
-/// iteration count — or the guardrail that fired.
-pub(crate) fn run_fixpoint(ctx: &MethodCtx<'_>) -> Result<FixpointResult, DegradeReason> {
+/// iteration count — or the guardrail that fired, with partial states.
+pub(crate) fn run_fixpoint(ctx: &MethodCtx<'_>) -> Result<FixpointResult, FixpointDegrade> {
     let method = ctx.method;
     let nblocks = method.blocks.len();
     let rpo = cfg::reverse_postorder(method);
@@ -336,20 +396,29 @@ pub(crate) fn run_fixpoint(ctx: &MethodCtx<'_>) -> Result<FixpointResult, Degrad
         worklist.remove(&pos);
         iterations += 1;
         if iterations > cap {
-            return Err(DegradeReason::IterationCap { limit: cap });
+            return Err(FixpointDegrade {
+                reason: DegradeReason::IterationCap { limit: cap },
+                partial: entry_states,
+            });
         }
         // Amortize the clock read: check the deadline every 16 blocks
         // (and on the first, so a zero budget degrades immediately).
         if iterations % 16 == 1 {
             if let Some((deadline, budget)) = ctx.deadline {
                 if Instant::now() >= deadline {
-                    return Err(DegradeReason::TimeBudget { budget });
+                    return Err(FixpointDegrade {
+                        reason: DegradeReason::TimeBudget { budget },
+                        partial: entry_states,
+                    });
                 }
             }
         }
         let bid = rpo[pos];
         let Some(mut st) = entry_states[bid.index()].clone() else {
-            return Err(DegradeReason::Internal("worklist block has no entry state"));
+            return Err(FixpointDegrade {
+                reason: DegradeReason::Internal("worklist block has no entry state"),
+                partial: entry_states,
+            });
         };
         let block = method.block(bid);
         for insn in &block.insns {

@@ -63,6 +63,7 @@ pub mod dump;
 pub mod fixpoint;
 pub mod framework;
 pub mod intval;
+pub mod ledger;
 pub mod nullsame;
 pub mod range;
 pub mod refs;
@@ -78,6 +79,7 @@ pub use fixpoint::{
 };
 pub use framework::{Framework, MethodInfo};
 pub use intval::{IntLat, IntVal, UnkId, VarId};
+pub use ledger::{ElisionLedger, SiteRecord, Verdict};
 pub use range::IntRange;
 pub use refs::{Ref, RefSet};
 pub use stackalloc::StackAllocAnalysis;

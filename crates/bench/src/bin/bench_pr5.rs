@@ -1,0 +1,97 @@
+//! Emits `BENCH_pr5.json`: the observability layer's numbers — ledger
+//! coverage and build cost per workload, plus the baseline quantities
+//! the regression gate pins (the same measurement that seeds
+//! `baselines/suite.ndjson` via `wbe_tool bench --check-baselines
+//! --update`).
+//!
+//! Usage: `cargo run --release -p wbe-bench --bin bench_pr5 [-- <out.json>]`
+//! (defaults to `BENCH_pr5.json` in the current directory).
+//!
+//! Three sections:
+//!
+//! * `suite` — the Table 1 dynamic barrier-elision percentage at the
+//!   same reduced scale the other bench files use; the ledger rides
+//!   alongside the analysis and must not change this number.
+//! * `ledger` — per-workload record counts by verdict and the ledger
+//!   build time (min of several runs; the provenance pass replays the
+//!   same fixed point the judgment used, so this bounds its overhead).
+//! * `baselines` — the per-workload static/dynamic quantities the
+//!   committed baseline file gates on.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use wbe_harness::baselines;
+use wbe_opt::OptMode;
+use wbe_workloads::standard_suite;
+
+const REPS: usize = 3;
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_pr5.json".into());
+
+    // Ledger coverage + build cost per workload.
+    let mut ledger_rows = Vec::new();
+    for w in &standard_suite() {
+        let mut best = Duration::MAX;
+        let mut ledger = None;
+        for _ in 0..REPS {
+            let start = std::time::Instant::now();
+            let l = wbe_harness::ledger::build_ledger(&w.program, OptMode::Full, 100, false)
+                .expect("full mode builds a ledger");
+            best = best.min(start.elapsed());
+            ledger = Some(l);
+        }
+        let l = ledger.unwrap();
+        ledger_rows.push((
+            w.name,
+            l.records.len(),
+            l.elided(),
+            l.kept(),
+            l.degraded(),
+            best.as_micros(),
+        ));
+    }
+
+    // Baseline quantities (also the source of baselines/suite.ndjson).
+    let suite = baselines::measure(baselines::SCALE);
+
+    let mut json = String::from("{\n  \"bench\": \"pr5\",\n");
+    let _ = writeln!(
+        json,
+        "  \"suite\": {{\"pct_barriers_elided\": {:.3}}},",
+        suite.pct_elided
+    );
+    json.push_str("  \"ledger\": [\n");
+    for (i, (name, sites, elide, keep, degraded, us)) in ledger_rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{name}\", \"sites\": {sites}, \"elide\": {elide}, \"keep\": {keep}, \"degraded\": {degraded}, \"build_us\": {us}}}{}",
+            if i + 1 < ledger_rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n  \"baselines\": [\n");
+    for (i, r) in suite.rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"static_sites\": {}, \"static_elided\": {}, \"dyn_total\": {}, \"dyn_elided\": {}, \"gc_cycles\": {}, \"max_pause_bucket\": {}}}{}",
+            r.workload,
+            r.static_sites,
+            r.static_elided,
+            r.dyn_total,
+            r.dyn_elided,
+            r.gc_cycles,
+            r.max_pause_bucket,
+            if i + 1 < suite.rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    print!("{json}");
+    eprintln!("written to {out}");
+}

@@ -1,0 +1,394 @@
+//! Baseline-gated regression reports: committed per-workload
+//! expectations (`baselines/suite.ndjson`) that `wbe_tool bench
+//! --check-baselines` measures against with tolerances.
+//!
+//! Each workload line records the deterministic quantities a regression
+//! in the analysis or runtime would move: static barrier sites and
+//! elided sites (exact — the analysis is deterministic), dynamic
+//! barrier executions and eliminated executions (small relative
+//! tolerance), GC cycles, and the max-pause bucket (power-of-two bucket
+//! of the largest `heap.gc.pause.work_units` sample, ±1 bucket). The
+//! trailing `__suite__` line pins the suite-wide dynamic elision
+//! percentage and the measurement scale.
+//!
+//! `--update` remeasures and rewrites the file; the diff then goes
+//! through code review like any other change.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use wbe_heap::gc::MarkStyle;
+use wbe_interp::{BarrierConfig, BarrierMode, GcPolicy, Interp, Value};
+use wbe_opt::{OptMode, PipelineConfig};
+use wbe_telemetry::json::ObjWriter;
+
+use crate::runner::compile_workload_with;
+
+/// Default location of the committed baseline file, relative to the
+/// repository root.
+pub const DEFAULT_PATH: &str = "baselines/suite.ndjson";
+
+/// The scale baselines are measured at (multiplies each workload's
+/// default iteration count, matching the bench crate's reduced scale).
+pub const SCALE: f64 = 0.1;
+
+/// Relative tolerance for dynamic counts.
+const REL_TOL: f64 = 0.02;
+/// Absolute slack for dynamic counts (covers tiny denominators).
+const ABS_TOL: u64 = 8;
+/// Absolute tolerance for the suite elision percentage (points).
+const PCT_TOL: f64 = 1.0;
+
+/// Expectations for one workload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkloadBaseline {
+    /// Workload name (a Table 1 class).
+    pub workload: String,
+    /// Barrier-relevant store sites after inlining (ledger records).
+    pub static_sites: u64,
+    /// Sites the analysis elides (ledger `elide` verdicts).
+    pub static_elided: u64,
+    /// Dynamic barrier executions.
+    pub dyn_total: u64,
+    /// Dynamic executions at elided sites.
+    pub dyn_elided: u64,
+    /// Completed GC cycles during the run.
+    pub gc_cycles: u64,
+    /// Power-of-two bucket of the largest GC pause (work units).
+    pub max_pause_bucket: u64,
+}
+
+/// The whole baseline file: per-workload rows plus suite-level facts.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BaselineSuite {
+    /// One row per standard-suite workload, in suite order.
+    pub rows: Vec<WorkloadBaseline>,
+    /// Suite-wide dynamic elision percentage.
+    pub pct_elided: f64,
+    /// Scale the numbers were measured at.
+    pub scale: f64,
+}
+
+fn bucket(v: u64) -> u64 {
+    if v == 0 {
+        0
+    } else {
+        64 - u64::from(v.leading_zeros())
+    }
+}
+
+/// Measures the current tree's numbers for the standard suite at
+/// `scale`, using the same deterministic GC policy as `wbe_tool
+/// report`.
+pub fn measure(scale: f64) -> BaselineSuite {
+    wbe_telemetry::configure(wbe_telemetry::TelemetryConfig {
+        metrics: true,
+        tracing: wbe_telemetry::tracing_enabled(),
+    });
+    let mut rows = Vec::new();
+    let mut total = 0u64;
+    let mut elim = 0u64;
+    for w in &wbe_workloads::standard_suite() {
+        wbe_telemetry::registry::global().reset();
+        let cfg = PipelineConfig::new(OptMode::Full, 100).with_ledger();
+        let (compiled, elided) = compile_workload_with(w, &cfg);
+        let ledger = compiled.ledger.as_ref().expect("full mode builds a ledger");
+        let iters = ((w.default_iters as f64 * scale) as i64).max(8);
+        let bc = BarrierConfig::with_elision(BarrierMode::Checked, elided.clone());
+        let mut interp = Interp::with_style(&compiled.program, bc, MarkStyle::Satb);
+        interp.set_gc_policy(GcPolicy {
+            alloc_trigger: 400,
+            step_interval: 32,
+            step_budget: 4,
+        });
+        interp
+            .run(w.entry, &[Value::Int(iters)], w.fuel_for(iters))
+            .unwrap_or_else(|t| panic!("workload {} trapped: {t}", w.name));
+        let summary = interp.stats.barrier.summarize(&elided);
+        let snap = wbe_telemetry::registry::global().snapshot();
+        let max_pause = snap
+            .histogram("heap.gc.pause.work_units")
+            .map_or(0, |h| h.max);
+        total += summary.total();
+        elim += summary.eliminated();
+        rows.push(WorkloadBaseline {
+            workload: w.name.to_string(),
+            static_sites: ledger.records.len() as u64,
+            static_elided: ledger.elided() as u64,
+            dyn_total: summary.total(),
+            dyn_elided: summary.eliminated(),
+            gc_cycles: interp.heap.gc.stats.cycles,
+            max_pause_bucket: bucket(max_pause),
+        });
+    }
+    BaselineSuite {
+        rows,
+        pct_elided: if total == 0 {
+            0.0
+        } else {
+            100.0 * elim as f64 / total as f64
+        },
+        scale,
+    }
+}
+
+impl BaselineSuite {
+    /// Serializes the suite as NDJSON: one line per workload, then the
+    /// `__suite__` line. Deterministic given deterministic inputs.
+    pub fn to_ndjson(&self) -> String {
+        let mut out = String::new();
+        for r in &self.rows {
+            let mut w = ObjWriter::new(&mut out);
+            w.field_str("workload", &r.workload)
+                .field_u64("static_sites", r.static_sites)
+                .field_u64("static_elided", r.static_elided)
+                .field_u64("dyn_total", r.dyn_total)
+                .field_u64("dyn_elided", r.dyn_elided)
+                .field_u64("gc_cycles", r.gc_cycles)
+                .field_u64("max_pause_bucket", r.max_pause_bucket);
+            w.finish();
+            out.push('\n');
+        }
+        let _ = writeln!(
+            out,
+            "{{\"workload\":\"__suite__\",\"pct_elided\":{:.3},\"scale\":{}}}",
+            self.pct_elided, self.scale
+        );
+        out
+    }
+
+    /// Parses the NDJSON form back. `Err` names the offending line.
+    pub fn parse(ndjson: &str) -> Result<BaselineSuite, String> {
+        let mut suite = BaselineSuite::default();
+        for (lineno, line) in ndjson.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let v = wbe_telemetry::json::parse(line)
+                .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            let name = v
+                .get("workload")
+                .and_then(|f| f.as_str())
+                .ok_or_else(|| format!("line {}: missing 'workload'", lineno + 1))?
+                .to_string();
+            if name == "__suite__" {
+                suite.pct_elided = v
+                    .get("pct_elided")
+                    .and_then(|f| f.as_f64())
+                    .ok_or_else(|| format!("line {}: missing 'pct_elided'", lineno + 1))?;
+                suite.scale = v
+                    .get("scale")
+                    .and_then(|f| f.as_f64())
+                    .ok_or_else(|| format!("line {}: missing 'scale'", lineno + 1))?;
+                continue;
+            }
+            let get = |k: &str| -> Result<u64, String> {
+                v.get(k)
+                    .and_then(|f| f.as_u64())
+                    .ok_or_else(|| format!("line {}: missing integer '{k}'", lineno + 1))
+            };
+            suite.rows.push(WorkloadBaseline {
+                workload: name,
+                static_sites: get("static_sites")?,
+                static_elided: get("static_elided")?,
+                dyn_total: get("dyn_total")?,
+                dyn_elided: get("dyn_elided")?,
+                gc_cycles: get("gc_cycles")?,
+                max_pause_bucket: get("max_pause_bucket")?,
+            });
+        }
+        Ok(suite)
+    }
+}
+
+fn within_rel(expected: u64, actual: u64) -> bool {
+    let slack = ((expected as f64 * REL_TOL) as u64).max(ABS_TOL);
+    actual.abs_diff(expected) <= slack
+}
+
+/// Compares `actual` against the committed `expected` baselines.
+/// Returns one human-readable violation per out-of-tolerance quantity
+/// (empty means the gate passes).
+pub fn compare(expected: &BaselineSuite, actual: &BaselineSuite) -> Vec<String> {
+    let mut violations = Vec::new();
+    if expected.scale != actual.scale {
+        violations.push(format!(
+            "scale mismatch: baseline measured at {}, this run at {}",
+            expected.scale, actual.scale
+        ));
+        return violations;
+    }
+    for exp in &expected.rows {
+        let Some(act) = actual.rows.iter().find(|r| r.workload == exp.workload) else {
+            violations.push(format!("{}: missing from this run", exp.workload));
+            continue;
+        };
+        let mut exact = |what: &str, e: u64, a: u64| {
+            if e != a {
+                violations.push(format!("{}: {what} expected {e}, got {a}", exp.workload));
+            }
+        };
+        exact("static_sites", exp.static_sites, act.static_sites);
+        exact("static_elided", exp.static_elided, act.static_elided);
+        let mut rel = |what: &str, e: u64, a: u64| {
+            if !within_rel(e, a) {
+                violations.push(format!(
+                    "{}: {what} expected {e} ±{:.0}%, got {a}",
+                    exp.workload,
+                    REL_TOL * 100.0
+                ));
+            }
+        };
+        rel("dyn_total", exp.dyn_total, act.dyn_total);
+        rel("dyn_elided", exp.dyn_elided, act.dyn_elided);
+        if act.gc_cycles.abs_diff(exp.gc_cycles) > ((exp.gc_cycles as f64 * 0.1) as u64).max(1) {
+            violations.push(format!(
+                "{}: gc_cycles expected {} ±10%, got {}",
+                exp.workload, exp.gc_cycles, act.gc_cycles
+            ));
+        }
+        if act.max_pause_bucket.abs_diff(exp.max_pause_bucket) > 1 {
+            violations.push(format!(
+                "{}: max_pause_bucket expected {} ±1, got {}",
+                exp.workload, exp.max_pause_bucket, act.max_pause_bucket
+            ));
+        }
+    }
+    for act in &actual.rows {
+        if !expected.rows.iter().any(|r| r.workload == act.workload) {
+            violations.push(format!(
+                "{}: not in the baseline file (run with --update)",
+                act.workload
+            ));
+        }
+    }
+    if (expected.pct_elided - actual.pct_elided).abs() > PCT_TOL {
+        violations.push(format!(
+            "suite: pct_elided expected {:.3} ±{PCT_TOL}, got {:.3}",
+            expected.pct_elided, actual.pct_elided
+        ));
+    }
+    violations
+}
+
+/// The `wbe_tool bench --check-baselines` driver: measures, then either
+/// rewrites `path` (`update`) or gates against it. Returns the process
+/// exit code (0 pass/updated, 1 regression, 2 I/O or parse error).
+pub fn run_check(path: &Path, update: bool) -> i32 {
+    let actual = measure(SCALE);
+    if update {
+        if let Some(dir) = path.parent() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("cannot create {}: {e}", dir.display());
+                return 2;
+            }
+        }
+        if let Err(e) = std::fs::write(path, actual.to_ndjson()) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return 2;
+        }
+        println!("baselines updated: {}", path.display());
+        return 0;
+    }
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!(
+                "cannot read {} ({e}); seed it with --update",
+                path.display()
+            );
+            return 2;
+        }
+    };
+    let expected = match BaselineSuite::parse(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{}: {e}", path.display());
+            return 2;
+        }
+    };
+    let violations = compare(&expected, &actual);
+    for w in &actual.rows {
+        println!(
+            "{:<8} static {}/{} elided, dynamic {}/{} elided, {} gc cycles, pause bucket {}",
+            w.workload,
+            w.static_elided,
+            w.static_sites,
+            w.dyn_elided,
+            w.dyn_total,
+            w.gc_cycles,
+            w.max_pause_bucket
+        );
+    }
+    println!(
+        "suite    {:.3}% of barrier executions elided",
+        actual.pct_elided
+    );
+    if violations.is_empty() {
+        println!("baselines OK ({})", path.display());
+        0
+    } else {
+        for v in &violations {
+            eprintln!("BASELINE VIOLATION: {v}");
+        }
+        eprintln!(
+            "{} violation(s) against {}",
+            violations.len(),
+            path.display()
+        );
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_round_trips_and_self_compares_clean() {
+        let suite = measure(0.05);
+        assert_eq!(suite.rows.len(), 6);
+        let parsed = BaselineSuite::parse(&suite.to_ndjson()).unwrap();
+        assert_eq!(parsed.rows.len(), suite.rows.len());
+        assert!(
+            compare(&parsed, &suite).is_empty(),
+            "{:?}",
+            compare(&parsed, &suite)
+        );
+        // Sanity: the suite elides a substantial share of barriers.
+        assert!(suite.pct_elided > 20.0, "{}", suite.pct_elided);
+        assert!(suite.rows.iter().all(|r| r.static_sites > 0));
+    }
+
+    #[test]
+    fn perturbed_baselines_are_rejected() {
+        let suite = measure(0.05);
+        let mut perturbed = suite.clone();
+        perturbed.rows[0].static_elided += 1;
+        perturbed.rows[1].dyn_total = perturbed.rows[1].dyn_total * 3 / 2;
+        perturbed.rows[2].max_pause_bucket += 5;
+        perturbed.pct_elided += 10.0;
+        let violations = compare(&perturbed, &suite);
+        assert!(violations.len() >= 4, "{violations:?}");
+        assert!(
+            violations.iter().any(|v| v.contains("static_elided")),
+            "{violations:?}"
+        );
+        assert!(
+            violations.iter().any(|v| v.contains("dyn_total")),
+            "{violations:?}"
+        );
+        assert!(
+            violations.iter().any(|v| v.contains("max_pause_bucket")),
+            "{violations:?}"
+        );
+        assert!(
+            violations.iter().any(|v| v.contains("pct_elided")),
+            "{violations:?}"
+        );
+        // Scale mismatch is its own violation class.
+        let mut rescaled = suite.clone();
+        rescaled.scale = 1.0;
+        assert_eq!(compare(&rescaled, &suite).len(), 1);
+    }
+}

@@ -1,11 +1,14 @@
 //! Command-line experiment runner.
 //!
 //! Usage: `experiments [table1|fig2|fig3|table2|pause|all] [--scale S]
-//! [--metrics-out m.json] [--trace-out t.ndjson]`
+//! [--metrics-out m.json] [--trace-out t.ndjson] [--chrome-trace t.json]`
 //!
 //! `--metrics-out` writes the telemetry registry snapshot collected
 //! while the experiments ran; `--trace-out` additionally enables event
-//! tracing and writes the span stream as NDJSON.
+//! tracing and writes the span stream as NDJSON; `--chrome-trace`
+//! writes the same stream as Chrome trace-event JSON, openable in
+//! `chrome://tracing` or Perfetto. The two trace flags share one event
+//! stream and may be combined.
 
 use std::env;
 
@@ -15,6 +18,7 @@ fn main() {
     let mut scale = 1.0f64;
     let mut metrics_out: Option<String> = None;
     let mut trace_out: Option<String> = None;
+    let mut chrome_trace: Option<String> = None;
     let mut i = 0;
     let path_arg = |args: &[String], i: usize, flag: &str| {
         args.get(i + 1).cloned().unwrap_or_else(|| {
@@ -42,6 +46,10 @@ fn main() {
                 trace_out = Some(path_arg(&args, i, "--trace-out"));
                 i += 2;
             }
+            "--chrome-trace" => {
+                chrome_trace = Some(path_arg(&args, i, "--chrome-trace"));
+                i += 2;
+            }
             other => {
                 which = other.to_string();
                 i += 1;
@@ -50,7 +58,7 @@ fn main() {
     }
     wbe_telemetry::configure(wbe_telemetry::TelemetryConfig {
         metrics: true,
-        tracing: trace_out.is_some(),
+        tracing: trace_out.is_some() || chrome_trace.is_some(),
     });
     let run_one = |name: &str| match name {
         "table1" => {
@@ -126,12 +134,22 @@ fn main() {
         }
         println!("metrics written to {}", path.display());
     }
-    if let Some(path) = &trace_out {
-        let path = std::path::Path::new(path);
-        if let Err(e) = wbe_telemetry::export::write_trace_ndjson(path) {
-            eprintln!("cannot write {}: {e}", path.display());
-            std::process::exit(1);
+    // Both trace writers consume the same buffered stream: drain once
+    // and render each requested format from the same events.
+    if trace_out.is_some() || chrome_trace.is_some() {
+        let events = wbe_telemetry::trace::drain();
+        let write = |path: &str, body: String| {
+            if let Err(e) = std::fs::write(path, body) {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("trace written to {path}");
+        };
+        if let Some(path) = &trace_out {
+            write(path, wbe_telemetry::export::trace_ndjson(&events));
         }
-        println!("trace written to {}", path.display());
+        if let Some(path) = &chrome_trace {
+            write(path, wbe_telemetry::export::chrome_trace_json(&events));
+        }
     }
 }

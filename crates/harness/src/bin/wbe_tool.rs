@@ -8,12 +8,20 @@
 //! wbe_tool analyze <file.wbe|workload> [--mode A|F] [--inline N] [--nos]
 //! wbe_tool run     <file.wbe|workload> <method> [int args...] [--elide] [--fuel N]
 //! wbe_tool export  <workload>                      print a workload as .wbe text
+//! wbe_tool explain <file.wbe|workload> [--method M] [--site N]
+//!                  [--mode A|F] [--inline N] [--nos]
+//! wbe_tool ledger  <file.wbe|workload> [--out l.ndjson] [--demo-flip]
+//!                  [--mode A|F] [--inline N] [--nos]
+//! wbe_tool ledger-diff <old.ndjson> <new.ndjson>
+//! wbe_tool bench   --check-baselines [--update] [--baselines PATH]
 //! wbe_tool report  [workload|file.wbe ...] [--metrics-out m.json]
-//!                  [--trace-out t.ndjson] [--scale S]
+//!                  [--trace-out t.ndjson] [--chrome-trace t.json]
+//!                  [--format text|ndjson] [--scale S]
 //! wbe_tool mcheck  [--threads N] [--schedules K] [--seed S]
 //!                  [--scenario chain|churn|shared] [--systematic]
 //!                  [--preempt-bound B] [--demo-unsound] [--fault-seed S]
 //!                  [--replay SEED | --replay-prefix HEX]
+//!                  [--trace-out trace.json]
 //! ```
 //!
 //! Wherever a file is expected, a built-in workload name (jess, db,
@@ -24,8 +32,21 @@
 //! suite by default — and prints a telemetry report: counters, phase
 //! spans, and the GC pause-time histogram. `--metrics-out` writes the
 //! registry snapshot as JSON; `--trace-out` enables event tracing and
-//! writes the span stream as NDJSON. File sources are compiled and
-//! analyzed but not executed (they have no standard entry point).
+//! writes the span stream as NDJSON; `--chrome-trace` writes the same
+//! stream as Chrome trace-event JSON (openable in `chrome://tracing`
+//! or Perfetto); `--format ndjson` prints the metrics in the same
+//! NDJSON shape the experiments exporter emits. File sources are
+//! compiled and analyzed but not executed (they have no standard entry
+//! point).
+//!
+//! `explain` is the human view of the elision provenance ledger: the
+//! verdict at every barrier-relevant store site with its evidence
+//! chain, and for kept barriers the first failing elision condition.
+//! `ledger` emits the machine view (NDJSON, deterministic);
+//! `ledger-diff` compares two such files site-by-site and exits 1 on a
+//! regression (newly-kept, newly-degraded, or vanished elided site);
+//! `bench --check-baselines` gates the standard suite's numbers against
+//! `baselines/suite.ndjson`.
 
 use std::process::exit;
 
@@ -40,11 +61,16 @@ use wbe_opt::{compile, OptMode, PipelineConfig};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: wbe_tool <verify|dump|analyze|run|export|report|mcheck> [<file.wbe|workload>] [options]\n\
+        "usage: wbe_tool <verify|dump|analyze|explain|ledger|ledger-diff|run|export|report|bench|mcheck> [<file.wbe|workload>] [options]\n\
          verify:  <file.wbe>  — or —  [workload ...] --faults N [--seed S] [--scale F] [--demo-unsound]\n\
          analyze: [--mode A|F] [--inline N] [--nos]\n\
+         explain: [--method M] [--site N] [--mode A|F] [--inline N] [--nos]\n\
+         ledger:  [--out l.ndjson] [--demo-flip] [--mode A|F] [--inline N] [--nos]\n\
+         ledger-diff: <old.ndjson> <new.ndjson>   (exit 1 on regression)\n\
          run:     <method> [int args...] [--elide] [--fuel N]\n\
-         report:  [workload|file.wbe ...] [--metrics-out m.json] [--trace-out t.ndjson] [--scale S]\n\
+         report:  [workload|file.wbe ...] [--metrics-out m.json] [--trace-out t.ndjson]\n\
+                  [--chrome-trace t.json] [--format text|ndjson] [--scale S]\n\
+         bench:   --check-baselines [--update] [--baselines PATH]\n\
          {}",
         wbe_harness::mcheck::USAGE
     );
@@ -81,6 +107,8 @@ fn check(program: &Program, source: &str) {
 fn report(rest: &[String]) {
     let mut metrics_out: Option<String> = None;
     let mut trace_out: Option<String> = None;
+    let mut chrome_trace: Option<String> = None;
+    let mut ndjson = false;
     let mut scale = 0.25f64;
     let mut sources: Vec<String> = Vec::new();
     let mut it = rest.iter();
@@ -88,6 +116,12 @@ fn report(rest: &[String]) {
         match a.as_str() {
             "--metrics-out" => metrics_out = Some(it.next().unwrap_or_else(|| usage()).clone()),
             "--trace-out" => trace_out = Some(it.next().unwrap_or_else(|| usage()).clone()),
+            "--chrome-trace" => chrome_trace = Some(it.next().unwrap_or_else(|| usage()).clone()),
+            "--format" => match it.next().map(String::as_str) {
+                Some("text") => ndjson = false,
+                Some("ndjson") => ndjson = true,
+                _ => usage(),
+            },
             "--scale" => {
                 scale = it
                     .next()
@@ -100,7 +134,7 @@ fn report(rest: &[String]) {
     }
     wbe_telemetry::configure(wbe_telemetry::TelemetryConfig {
         metrics: true,
-        tracing: trace_out.is_some(),
+        tracing: trace_out.is_some() || chrome_trace.is_some(),
     });
 
     // Built-in workloads run end-to-end (instrumenting analysis, interp,
@@ -160,7 +194,11 @@ fn report(rest: &[String]) {
     println!();
 
     let snap = wbe_telemetry::registry::global().snapshot();
-    print!("{}", wbe_telemetry::export::metrics_text(&snap));
+    if ndjson {
+        print!("{}", wbe_telemetry::export::metrics_ndjson(&snap));
+    } else {
+        print!("{}", wbe_telemetry::export::metrics_text(&snap));
+    }
     if let Some(path) = &metrics_out {
         if let Err(e) = wbe_telemetry::export::write_metrics_json(std::path::Path::new(path)) {
             eprintln!("cannot write {path}: {e}");
@@ -168,13 +206,132 @@ fn report(rest: &[String]) {
         }
         println!("metrics written to {path}");
     }
-    if let Some(path) = &trace_out {
-        if let Err(e) = wbe_telemetry::export::write_trace_ndjson(std::path::Path::new(path)) {
-            eprintln!("cannot write {path}: {e}");
-            exit(1);
+    // Both trace writers consume the same stream: drain once, write
+    // each requested format from the same event vector.
+    if trace_out.is_some() || chrome_trace.is_some() {
+        let events = wbe_telemetry::trace::drain();
+        let write = |path: &str, body: String| {
+            if let Err(e) = std::fs::write(path, body) {
+                eprintln!("cannot write {path}: {e}");
+                exit(1);
+            }
+            println!("trace written to {path}");
+        };
+        if let Some(path) = &trace_out {
+            write(path, wbe_telemetry::export::trace_ndjson(&events));
         }
-        println!("trace written to {path}");
+        if let Some(path) = &chrome_trace {
+            write(path, wbe_telemetry::export::chrome_trace_json(&events));
+        }
     }
+}
+
+/// Shared flag parsing for `explain` and `ledger`: builds the ledger of
+/// `source`'s program under the requested pipeline configuration.
+struct LedgerArgs {
+    mode: OptMode,
+    inline: usize,
+    nos: bool,
+    method: Option<String>,
+    site: Option<usize>,
+    out: Option<String>,
+    demo_flip: bool,
+}
+
+fn parse_ledger_args(rest: &[String]) -> LedgerArgs {
+    let mut a = LedgerArgs {
+        mode: OptMode::Full,
+        inline: 100,
+        nos: false,
+        method: None,
+        site: None,
+        out: None,
+        demo_flip: false,
+    };
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--mode" => match it.next().map(String::as_str) {
+                Some("A") => a.mode = OptMode::Full,
+                Some("F") => a.mode = OptMode::FieldOnly,
+                _ => usage(),
+            },
+            "--inline" => {
+                a.inline = it
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--nos" => a.nos = true,
+            "--method" => a.method = Some(it.next().unwrap_or_else(|| usage()).clone()),
+            "--site" => {
+                a.site = Some(
+                    it.next()
+                        .and_then(|n| n.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--out" => a.out = Some(it.next().unwrap_or_else(|| usage()).clone()),
+            "--demo-flip" => a.demo_flip = true,
+            _ => usage(),
+        }
+    }
+    a
+}
+
+fn build_ledger_or_exit(program: &Program, a: &LedgerArgs) -> wbe_analysis::ElisionLedger {
+    wbe_harness::ledger::build_ledger(program, a.mode, a.inline, a.nos).unwrap_or_else(|| {
+        eprintln!("mode runs no analysis, so there is no ledger");
+        exit(2)
+    })
+}
+
+/// `wbe_tool ledger-diff OLD NEW`: site-level comparison of two NDJSON
+/// ledgers. Exit 0 clean/improvements, 1 regressions, 2 I/O errors.
+fn ledger_diff(old_path: &str, new_path: &str) -> i32 {
+    let read = |path: &str| match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            exit(2)
+        }
+    };
+    let parse = |path: &str, text: &str| match wbe_harness::ledger::parse_ledger(text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            exit(2)
+        }
+    };
+    let old = parse(old_path, &read(old_path));
+    let new = parse(new_path, &read(new_path));
+    let d = wbe_harness::ledger::diff_ledgers(&old, &new);
+    print!("{d}");
+    if d.regressions() > 0 {
+        1
+    } else {
+        0
+    }
+}
+
+/// `wbe_tool bench`: baseline-gated suite measurement.
+fn bench(rest: &[String]) -> i32 {
+    let mut check = false;
+    let mut update = false;
+    let mut path = wbe_harness::baselines::DEFAULT_PATH.to_string();
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--check-baselines" => check = true,
+            "--update" => update = true,
+            "--baselines" => path = it.next().unwrap_or_else(|| usage()).clone(),
+            _ => usage(),
+        }
+    }
+    if !check {
+        usage();
+    }
+    wbe_harness::baselines::run_check(std::path::Path::new(&path), update)
 }
 
 /// `wbe_tool verify` with fault flags: the differential fault-injection
@@ -262,6 +419,15 @@ fn main() {
         report(&args[1..]);
         return;
     }
+    if args.first().map(String::as_str) == Some("bench") {
+        exit(bench(&args[1..]));
+    }
+    if args.first().map(String::as_str) == Some("ledger-diff") {
+        let (Some(old), Some(new)) = (args.get(1), args.get(2)) else {
+            usage()
+        };
+        exit(ledger_diff(old, new));
+    }
     if args.first().map(String::as_str) == Some("mcheck") {
         let opts = wbe_harness::mcheck::parse(&args[1..]).unwrap_or_else(|e| {
             eprintln!("mcheck: {e}");
@@ -302,6 +468,37 @@ fn main() {
         "dump" | "export" => {
             check(&program, source);
             print!("{}", program_display(&program));
+        }
+        "explain" => {
+            check(&program, source);
+            let a = parse_ledger_args(rest);
+            let ledger = build_ledger_or_exit(&program, &a);
+            print!(
+                "{}",
+                wbe_harness::ledger::explain(&ledger, a.method.as_deref(), a.site)
+            );
+        }
+        "ledger" => {
+            check(&program, source);
+            let a = parse_ledger_args(rest);
+            let mut ledger = build_ledger_or_exit(&program, &a);
+            if a.demo_flip {
+                wbe_harness::ledger::demo_flip(&mut ledger);
+            }
+            let body = ledger.to_ndjson();
+            match &a.out {
+                Some(path) => {
+                    if let Err(e) = std::fs::write(path, body) {
+                        eprintln!("cannot write {path}: {e}");
+                        exit(1);
+                    }
+                    eprintln!(
+                        "ledger written to {path} ({} records)",
+                        ledger.records.len()
+                    );
+                }
+                None => print!("{body}"),
+            }
         }
         "analyze" => {
             check(&program, source);

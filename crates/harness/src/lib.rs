@@ -18,12 +18,19 @@
 //!
 //! The `experiments` binary prints any of them:
 //! `cargo run -p wbe-harness --bin experiments -- table1`.
+//!
+//! Beyond the experiments, [`ledger`] backs the `wbe_tool explain`,
+//! `ledger`, and `ledger-diff` commands, [`baselines`] backs
+//! `wbe_tool bench --check-baselines`, and [`mcheck`] the interleaving
+//! model-checker CLI.
 
+pub mod baselines;
 pub mod clients;
 pub mod combined;
 pub mod ext;
 pub mod fig2;
 pub mod fig3;
+pub mod ledger;
 pub mod mcheck;
 pub mod pause;
 pub mod rearrange_exp;

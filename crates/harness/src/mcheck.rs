@@ -44,6 +44,9 @@ pub struct McheckOptions {
     pub replay: Option<u64>,
     /// Replay a schedule from an explicit choice-prefix (hex bytes).
     pub replay_prefix: Option<Vec<u8>>,
+    /// Write the GC timeline (safepoint polls/acks, SATB flushes,
+    /// epoch transitions, context switches) as Chrome trace-event JSON.
+    pub trace_out: Option<String>,
 }
 
 impl Default for McheckOptions {
@@ -60,6 +63,7 @@ impl Default for McheckOptions {
             fault_seed: None,
             replay: None,
             replay_prefix: None,
+            trace_out: None,
         }
     }
 }
@@ -67,7 +71,8 @@ impl Default for McheckOptions {
 /// One-line flag summary for the tool's usage message.
 pub const USAGE: &str = "mcheck:  [--threads N] [--schedules K] [--seed S] [--ops N] \
      [--scenario chain|churn|shared] [--systematic] [--preempt-bound B] \
-     [--demo-unsound] [--fault-seed S] [--replay SEED | --replay-prefix HEX]";
+     [--demo-unsound] [--fault-seed S] [--replay SEED | --replay-prefix HEX] \
+     [--trace-out trace.json]";
 
 fn parse_num<T: std::str::FromStr>(it: &mut std::slice::Iter<'_, String>) -> Result<T, String> {
     let raw = it.next().ok_or("flag needs a value")?;
@@ -102,6 +107,9 @@ pub fn parse(rest: &[String]) -> Result<McheckOptions, String> {
             "--demo-unsound" => o.demo_unsound = true,
             "--fault-seed" => o.fault_seed = Some(parse_num(&mut it)?),
             "--replay" => o.replay = Some(parse_num(&mut it)?),
+            "--trace-out" => {
+                o.trace_out = Some(it.next().ok_or("--trace-out needs a path")?.clone());
+            }
             "--replay-prefix" => {
                 let hex = it.next().ok_or("--replay-prefix needs hex bytes")?;
                 let bytes: Result<Vec<u8>, _> = (0..hex.len())
@@ -173,7 +181,30 @@ fn run_replay(o: &McheckOptions) -> i32 {
 
 /// Runs the model checker per the options and prints the report.
 /// Returns the process exit code (0 sound, 1 violations found).
+///
+/// With `--trace-out`, event tracing is enabled for the run and the
+/// collected GC timeline is written as Chrome trace-event JSON.
 pub fn run(o: &McheckOptions) -> i32 {
+    if o.trace_out.is_some() {
+        wbe_telemetry::configure(wbe_telemetry::TelemetryConfig {
+            tracing: true,
+            ..wbe_telemetry::config::current()
+        });
+    }
+    let code = run_inner(o);
+    if let Some(path) = &o.trace_out {
+        match wbe_telemetry::export::write_chrome_trace(std::path::Path::new(path)) {
+            Ok(()) => println!("gc timeline written to {path} (chrome://tracing / Perfetto)"),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                return 2;
+            }
+        }
+    }
+    code
+}
+
+fn run_inner(o: &McheckOptions) -> i32 {
     if o.replay.is_some() || o.replay_prefix.is_some() {
         return run_replay(o);
     }

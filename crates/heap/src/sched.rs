@@ -610,6 +610,12 @@ impl World {
         self.counters.flushes += 1;
         self.counters.flushed_entries += depth as u64;
         self.depth_hist.record(depth as u64);
+        if wbe_telemetry::tracing_enabled() {
+            wbe_telemetry::trace::event(
+                "sched.satb.flush",
+                format!("t{tid} depth {depth} step {}", self.step),
+            );
+        }
     }
 
     /// SATB deletion barrier for `old`, routed through the per-thread
@@ -638,11 +644,23 @@ impl World {
             // retire. Entries logged before the ack are pre-snapshot;
             // the flush drops them (collector idle), which is sound.
             self.mutators[tid].since_poll = 0;
+            if wbe_telemetry::tracing_enabled() {
+                wbe_telemetry::trace::event(
+                    "sched.safepoint.poll",
+                    format!("t{tid} step {}", self.step),
+                );
+            }
             self.flush_buffer(tid);
             if !self.epoch.acked(tid) {
                 self.epoch.ack(tid);
                 self.counters.safepoint_acks += 1;
                 self.mutators[tid].yielded = true;
+                if wbe_telemetry::tracing_enabled() {
+                    wbe_telemetry::trace::event(
+                        "sched.safepoint.ack",
+                        format!("t{tid} step {}", self.step),
+                    );
+                }
             }
             if self.stop_requested {
                 self.mutators[tid].parked = true;
@@ -782,6 +800,12 @@ impl World {
             MarkerState::Idle { countdown } => {
                 if countdown == 0 || self.all_done() {
                     self.epoch.arm();
+                    if wbe_telemetry::tracing_enabled() {
+                        wbe_telemetry::trace::event(
+                            "sched.epoch.arm",
+                            format!("step {}", self.step),
+                        );
+                    }
                     // Retired threads cannot poll; they acknowledge
                     // implicitly (their final safepoint already flushed).
                     for tid in 0..self.cfg.threads {
@@ -813,6 +837,12 @@ impl World {
                 }
                 self.snapshot = Some(verify::reachable_set(&self.heap, &roots));
                 self.epoch.snapshot_taken();
+                if wbe_telemetry::tracing_enabled() {
+                    wbe_telemetry::trace::event(
+                        "sched.epoch.snapshot",
+                        format!("step {} roots {}", self.step, roots.len()),
+                    );
+                }
                 self.marker = MarkerState::Marking;
                 self.marker_rest = true;
             }
@@ -849,6 +879,7 @@ impl World {
     /// invariant checks, sweep, lost-object audit, resume. Runs as one
     /// atomic scheduler step because the world is stopped.
     fn finish_cycle_stw(&mut self) {
+        let _span = wbe_telemetry::span!("sched.gc.stw", "cycle {}", self.counters.cycles + 1);
         for tid in 0..self.cfg.threads {
             if self.mutators[tid].satb.depth() > 0 {
                 self.flush_buffer(tid);
@@ -879,6 +910,15 @@ impl World {
             self.violation(ViolationKind::Invariant, v.to_string());
         }
         self.epoch.end_cycle();
+        if wbe_telemetry::tracing_enabled() {
+            wbe_telemetry::trace::event(
+                "sched.epoch.end_cycle",
+                format!(
+                    "step {} cycle {} swept {swept}",
+                    self.step, self.counters.cycles
+                ),
+            );
+        }
         self.stop_requested = false;
         for m in &mut self.mutators {
             m.parked = false;
@@ -974,6 +1014,17 @@ pub fn run_schedule(cfg: &SchedConfig, policy: &SchedulePolicy) -> ScheduleOutco
         } else {
             default_choice(mask, trace.last().copied(), marker)
         };
+        if wbe_telemetry::tracing_enabled() && trace.last() != Some(&choice) {
+            let who = if choice == marker {
+                "marker".to_string()
+            } else {
+                format!("t{choice}")
+            };
+            wbe_telemetry::trace::event(
+                "sched.context_switch",
+                format!("-> {who} step {}", world.step),
+            );
+        }
         trace.push(choice);
         runnable_log.push(mask);
         world.counters.steps += 1;

@@ -508,6 +508,12 @@ impl<'p> Interp<'p> {
                     attempt += 1;
                     self.stats.alloc_retries += 1;
                     self.stats.emergency_pauses += 1;
+                    if wbe_telemetry::tracing_enabled() {
+                        wbe_telemetry::trace::event(
+                            "interp.gc.emergency_pause",
+                            format!("attempt {attempt}"),
+                        );
+                    }
                     self.full_pause()?;
                 }
                 Err(HeapError::AllocationFailed) => {

@@ -10,7 +10,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::time::Duration;
 
-use wbe_analysis::{analyze_program, nullsame, AnalysisConfig, ProgramAnalysis};
+use wbe_analysis::{analyze_program, nullsame, AnalysisConfig, ElisionLedger, ProgramAnalysis};
 use wbe_ir::{InsnAddr, MethodId, Program};
 
 use crate::codesize;
@@ -67,6 +67,10 @@ pub struct PipelineConfig {
     /// inlining, before the analyses (off by default so experiment
     /// instruction counts stay directly comparable to the source).
     pub fold: bool,
+    /// Also build the per-site [`ElisionLedger`] (off by default: the
+    /// ledger replays the fixpoint for evidence, which would distort
+    /// the analysis-time measurements the benches report).
+    pub ledger: bool,
 }
 
 impl Default for PipelineConfig {
@@ -77,6 +81,7 @@ impl Default for PipelineConfig {
             analysis_override: None,
             null_or_same: false,
             fold: false,
+            ledger: false,
         }
     }
 }
@@ -90,6 +95,7 @@ impl PipelineConfig {
             analysis_override: None,
             null_or_same: false,
             fold: false,
+            ledger: false,
         }
     }
 
@@ -102,6 +108,12 @@ impl PipelineConfig {
     /// Enables the §4.3 null-or-same extension.
     pub fn with_null_or_same(mut self) -> Self {
         self.null_or_same = true;
+        self
+    }
+
+    /// Enables the per-site elision provenance ledger.
+    pub fn with_ledger(mut self) -> Self {
+        self.ledger = true;
         self
     }
 }
@@ -119,6 +131,9 @@ pub struct Compiled {
     pub analysis: Option<ProgramAnalysis>,
     /// §4.3 null-or-same sites per method (empty unless enabled).
     pub null_or_same: BTreeMap<MethodId, BTreeSet<InsnAddr>>,
+    /// Per-site provenance ledger (`None` unless enabled in the config
+    /// or in baseline mode, which has no analysis to explain).
+    pub ledger: Option<ElisionLedger>,
 }
 
 impl Compiled {
@@ -201,12 +216,37 @@ pub fn compile(program: &Program, config: &PipelineConfig) -> Compiled {
     } else {
         BTreeMap::new()
     };
+    let ledger = if config.ledger {
+        analysis_config.map(|c| {
+            let mut ledger = ElisionLedger::build(&inlined, &c);
+            // Annotate records that the §4.3 null-or-same extension
+            // would elide with a W_NS barrier. Method names survive
+            // inlining unchanged, so they key the lookup.
+            if !null_or_same.is_empty() {
+                for rec in &mut ledger.records {
+                    let Some((mid, _)) = inlined.iter_methods().find(|(_, m)| m.name == rec.method)
+                    else {
+                        continue;
+                    };
+                    if let Some(sites) = null_or_same.get(&mid) {
+                        let addr =
+                            wbe_ir::InsnAddr::new(wbe_ir::BlockId(rec.block as u32), rec.index);
+                        rec.null_or_same = sites.contains(&addr);
+                    }
+                }
+            }
+            ledger
+        })
+    } else {
+        None
+    };
     let compiled = Compiled {
         program: inlined,
         inline_stats,
         inline_time,
         analysis,
         null_or_same,
+        ledger,
     };
     wbe_telemetry::histogram("opt.inline.us").record_duration(inline_time);
     if wbe_telemetry::metrics_enabled() {
@@ -308,6 +348,58 @@ mod tests {
         let cfg = PipelineConfig::new(OptMode::Full, 100).with_null_or_same();
         let ext = compile(&p, &cfg);
         assert_eq!(ext.null_or_same_sites().len(), 1);
+    }
+
+    #[test]
+    fn ledger_is_opt_in_and_matches_analysis() {
+        let p = sample();
+        let plain = compile(&p, &PipelineConfig::new(OptMode::Full, 100));
+        assert!(plain.ledger.is_none(), "ledger is opt-in");
+        let cfg = PipelineConfig::new(OptMode::Full, 100);
+        let with = compile(
+            &p,
+            &PipelineConfig {
+                ledger: true,
+                ..cfg
+            },
+        );
+        let ledger = with.ledger.as_ref().unwrap();
+        assert_eq!(ledger.records.len(), with.barrier_sites());
+        assert_eq!(ledger.elided(), with.elided_sites().len());
+        // Baseline mode has no analysis, hence no ledger even when asked.
+        let base = PipelineConfig::new(OptMode::Baseline, 100);
+        let b = compile(
+            &p,
+            &PipelineConfig {
+                ledger: true,
+                ..base
+            },
+        );
+        assert!(b.ledger.is_none());
+    }
+
+    #[test]
+    fn ledger_annotates_null_or_same_sites() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("C");
+        let f = pb.field(c, "f", Ty::Ref(c));
+        pb.method("refresh", vec![Ty::Ref(c)], None, 0, |mb| {
+            let o = mb.local(0);
+            mb.load(o).load(o).getfield(f).putfield(f).return_();
+        });
+        let p = pb.finish();
+        let cfg = PipelineConfig::new(OptMode::Full, 100)
+            .with_null_or_same()
+            .with_ledger();
+        let compiled = compile(&p, &cfg);
+        let ledger = compiled.ledger.as_ref().unwrap();
+        let rec = ledger
+            .records
+            .iter()
+            .find(|r| r.method == "refresh")
+            .unwrap();
+        assert_eq!(rec.verdict, wbe_analysis::Verdict::Keep);
+        assert!(rec.null_or_same, "W_NS-elidable site annotated: {rec:?}");
     }
 
     #[test]

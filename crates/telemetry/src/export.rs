@@ -104,7 +104,104 @@ pub fn trace_ndjson(events: &[TraceEvent]) -> String {
             .field_str("parent", &ev.parent)
             .field_str("detail", &ev.detail)
             .field_u64("start_us", ev.start_us)
-            .field_u64("dur_us", ev.dur_us);
+            .field_u64("dur_us", ev.dur_us)
+            .field_u64("tid", ev.tid);
+        w.finish();
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders trace events in Chrome trace-event JSON (the
+/// `{"traceEvents":[...]}` object format), loadable in
+/// `chrome://tracing` and Perfetto.
+///
+/// Spans (`dur_us > 0`) become complete events (`"ph":"X"`); instants
+/// become thread-scoped instant events (`"ph":"i"`). Parent span and
+/// detail payload ride along under `"args"`. All events share
+/// `"pid":1`; `tid` is the recording thread's stable track index, so
+/// mutator and marker threads land on separate rows.
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    let mut items = String::from("[");
+    for (i, ev) in events.iter().enumerate() {
+        if i > 0 {
+            items.push(',');
+        }
+        let mut args = String::new();
+        {
+            let mut w = ObjWriter::new(&mut args);
+            w.field_str("parent", &ev.parent)
+                .field_str("detail", &ev.detail);
+            w.finish();
+        }
+        let mut w = ObjWriter::new(&mut items);
+        w.field_str("name", &ev.name)
+            .field_str("cat", if ev.dur_us > 0 { "span" } else { "instant" })
+            .field_str("ph", if ev.dur_us > 0 { "X" } else { "i" });
+        if ev.dur_us > 0 {
+            w.field_u64("dur", ev.dur_us);
+        } else {
+            // Instant scope: thread.
+            w.field_str("s", "t");
+        }
+        w.field_u64("ts", ev.start_us)
+            .field_u64("pid", 1)
+            .field_u64("tid", ev.tid)
+            .field_raw("args", &args);
+        w.finish();
+    }
+    items.push(']');
+
+    let mut out = String::new();
+    let mut w = ObjWriter::new(&mut out);
+    w.field_raw("traceEvents", &items)
+        .field_str("displayTimeUnit", "ms");
+    w.finish();
+    out.push('\n');
+    out
+}
+
+/// Renders a [`MetricsSnapshot`] as NDJSON: one object per metric with
+/// a `"kind"` discriminator (`counter`/`gauge`/`histogram`/`span`), in
+/// deterministic name order within each kind. This is the streaming
+/// sibling of [`metrics_json`], sharing one line-oriented format with
+/// the elision-ledger export.
+pub fn metrics_ndjson(snap: &MetricsSnapshot) -> String {
+    let is_span_key = |k: &str| k.starts_with("span.") && k.ends_with(".us");
+    let mut out = String::new();
+    for (k, v) in &snap.counters {
+        let mut w = ObjWriter::new(&mut out);
+        w.field_str("kind", "counter")
+            .field_str("name", k)
+            .field_u64("value", *v);
+        w.finish();
+        out.push('\n');
+    }
+    for (k, v) in &snap.gauges {
+        let mut w = ObjWriter::new(&mut out);
+        w.field_str("kind", "gauge")
+            .field_str("name", k)
+            .field_u64("value", *v);
+        w.finish();
+        out.push('\n');
+    }
+    for (k, h) in &snap.histograms {
+        let (kind, name) = if is_span_key(k) {
+            ("span", &k["span.".len()..k.len() - ".us".len()])
+        } else {
+            ("histogram", k.as_str())
+        };
+        let mut w = ObjWriter::new(&mut out);
+        w.field_str("kind", kind)
+            .field_str("name", name)
+            .field_u64("count", h.count)
+            .field_u64("sum", h.sum)
+            .field_u64("min", h.min)
+            .field_u64("max", h.max)
+            .field_f64("mean", h.mean())
+            .field_u64("p50", h.quantile(0.50))
+            .field_u64("p90", h.quantile(0.90))
+            .field_u64("p99", h.quantile(0.99));
         w.finish();
         out.push('\n');
     }
@@ -186,6 +283,13 @@ pub fn write_trace_ndjson(path: &Path) -> io::Result<()> {
     std::fs::write(path, trace_ndjson(&events))
 }
 
+/// Drains the global trace buffer and writes [`chrome_trace_json`] to
+/// `path`.
+pub fn write_chrome_trace(path: &Path) -> io::Result<()> {
+    let events = crate::trace::drain();
+    std::fs::write(path, chrome_trace_json(&events))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -215,15 +319,15 @@ mod tests {
         assert!(json.ends_with('\n'));
     }
 
-    #[test]
-    fn ndjson_one_line_per_event() {
-        let events = vec![
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
             TraceEvent {
                 name: "a".into(),
                 parent: String::new(),
                 detail: "d\"q".into(),
                 start_us: 1,
                 dur_us: 2,
+                tid: 1,
             },
             TraceEvent {
                 name: "b".into(),
@@ -231,16 +335,63 @@ mod tests {
                 detail: String::new(),
                 start_us: 3,
                 dur_us: 0,
+                tid: 2,
             },
-        ];
-        let nd = trace_ndjson(&events);
+        ]
+    }
+
+    #[test]
+    fn ndjson_one_line_per_event() {
+        let nd = trace_ndjson(&sample_events());
         let lines: Vec<_> = nd.lines().collect();
         assert_eq!(lines.len(), 2);
         assert_eq!(
             lines[0],
-            r#"{"name":"a","parent":"","detail":"d\"q","start_us":1,"dur_us":2}"#
+            r#"{"name":"a","parent":"","detail":"d\"q","start_us":1,"dur_us":2,"tid":1}"#
         );
         assert!(lines[1].contains(r#""parent":"a""#));
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_trace_event_json() {
+        let out = chrome_trace_json(&sample_events());
+        let doc = crate::json::parse(&out).expect("chrome trace must be valid JSON");
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        assert_eq!(events.len(), 2);
+        // Span → complete event with a duration.
+        let span = &events[0];
+        assert_eq!(span.get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(span.get("dur").unwrap().as_u64(), Some(2));
+        assert_eq!(span.get("ts").unwrap().as_u64(), Some(1));
+        assert_eq!(span.get("tid").unwrap().as_u64(), Some(1));
+        assert_eq!(
+            span.get("args").unwrap().get("detail").unwrap().as_str(),
+            Some("d\"q")
+        );
+        // Instant → thread-scoped "i" event, no duration field.
+        let inst = &events[1];
+        assert_eq!(inst.get("ph").unwrap().as_str(), Some("i"));
+        assert_eq!(inst.get("s").unwrap().as_str(), Some("t"));
+        assert!(inst.get("dur").is_none());
+        assert_eq!(inst.get("tid").unwrap().as_u64(), Some(2));
+    }
+
+    #[test]
+    fn metrics_ndjson_one_line_per_metric() {
+        let nd = metrics_ndjson(&sample_snapshot());
+        let lines: Vec<_> = nd.lines().collect();
+        assert_eq!(lines.len(), 4);
+        for line in &lines {
+            crate::json::parse(line).expect("each NDJSON line parses");
+        }
+        assert_eq!(
+            lines[0],
+            r#"{"kind":"counter","name":"interp.barriers.executed","value":10}"#
+        );
+        assert!(lines[1].contains(r#""kind":"gauge""#));
+        assert!(lines[2].contains(r#""kind":"histogram""#));
+        // Span histograms are reported by bare name with kind "span".
+        assert!(lines[3].contains(r#""kind":"span","name":"analysis.fixpoint""#));
     }
 
     #[test]

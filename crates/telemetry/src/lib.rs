@@ -53,7 +53,7 @@
 
 pub mod config;
 pub mod export;
-mod json;
+pub mod json;
 pub mod registry;
 pub mod span;
 pub mod trace;

@@ -27,6 +27,27 @@ pub struct TraceEvent {
     pub start_us: u64,
     /// Span duration in microseconds (0 for instant events).
     pub dur_us: u64,
+    /// Stable per-OS-thread index (first telemetry use on a thread
+    /// assigns the next one; the main thread is usually 1). Lets
+    /// timeline viewers lay concurrent spans out on separate tracks.
+    pub tid: u64,
+}
+
+/// The calling OS thread's stable trace track index.
+pub fn current_tid() -> u64 {
+    use std::cell::Cell;
+    static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static TID: Cell<u64> = const { Cell::new(0) };
+    }
+    TID.with(|t| {
+        let mut id = t.get();
+        if id == 0 {
+            id = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+            t.set(id);
+        }
+        id
+    })
 }
 
 fn buffer() -> &'static Mutex<Vec<TraceEvent>> {
@@ -70,6 +91,7 @@ pub fn event(name: &str, detail: impl Into<String>) {
         detail: detail.into(),
         start_us: since_epoch_us(),
         dur_us: 0,
+        tid: current_tid(),
     });
 }
 
