@@ -210,6 +210,30 @@ impl ElisionLedger {
     fn count(&self, v: Verdict) -> usize {
         self.records.iter().filter(|r| r.verdict == v).count()
     }
+
+    /// Builds a lookup keyed by `(method name, block, index)` — the
+    /// join key shared with the interpreter's per-site dynamic counters
+    /// (whose `InsnAddr` decomposes into the same block/index pair).
+    /// Records are unique per site, so later duplicates (none in
+    /// practice) would win.
+    pub fn index(&self) -> std::collections::HashMap<(&str, usize, usize), &SiteRecord> {
+        self.records
+            .iter()
+            .map(|r| ((r.method.as_str(), r.block, r.index), r))
+            .collect()
+    }
+
+    /// Number of kept/degraded records per keep-code, in deterministic
+    /// code order. `Elide` records (empty code) are excluded.
+    pub fn keep_code_counts(&self) -> std::collections::BTreeMap<String, usize> {
+        let mut counts = std::collections::BTreeMap::new();
+        for r in &self.records {
+            if r.verdict != Verdict::Elide && !r.keep_code.is_empty() {
+                *counts.entry(r.keep_code.clone()).or_insert(0) += 1;
+            }
+        }
+        counts
+    }
 }
 
 /// Builds the records for one method. Panics inside the analysis are
@@ -651,6 +675,25 @@ mod tests {
         assert!(ledger.records[0].facts.iter().any(|f| f.starts_with("NR(")));
         assert_eq!(ledger.records[2].verdict, Verdict::Keep);
         assert_eq!(ledger.records[2].keep_code, "index-outside-null-range");
+    }
+
+    #[test]
+    fn index_and_keep_code_counts_cover_every_record() {
+        let p = mixed_program();
+        let ledger = ElisionLedger::build(&p, &AnalysisConfig::full());
+        let idx = ledger.index();
+        assert_eq!(idx.len(), ledger.records.len(), "sites are unique");
+        for r in &ledger.records {
+            let found = idx[&(r.method.as_str(), r.block, r.index)];
+            assert_eq!(found, r);
+        }
+        let counts = ledger.keep_code_counts();
+        assert_eq!(
+            counts.values().sum::<usize>(),
+            ledger.kept() + ledger.degraded(),
+            "every non-elide record carries a keep code"
+        );
+        assert_eq!(counts.get("receiver-may-escape"), Some(&1));
     }
 
     #[test]

@@ -1,0 +1,103 @@
+//! Emits `BENCH_pr6.json`: the dynamic barrier-cost profiler's numbers
+//! — per-keep-code execution/cycle attribution with suite headroom, the
+//! per-phase GC pause percentiles, and the suite elision rate (which the
+//! profiling layer rides alongside and must not change).
+//!
+//! Usage: `cargo run --release -p wbe-bench --bin bench_pr6 [-- <out.json>]`
+//! (defaults to `BENCH_pr6.json` in the current directory).
+//!
+//! Four sections:
+//!
+//! * `suite` — the Table 1 dynamic elision percentage at the standard
+//!   reduced scale, plus suite execution/cycle totals.
+//! * `keep_codes` — suite-wide dynamic attribution: executions, cycles,
+//!   and headroom (% of all charged barrier cycles recoverable if the
+//!   code's sites became elidable), most expensive first.
+//! * `workloads` — per-workload kept/elided executions and cycles with
+//!   the top keep-code.
+//! * `pauses` — per-phase pause percentiles (p50/p90/p99/max in
+//!   deterministic work units) aggregated across the suite.
+
+use std::fmt::Write as _;
+
+use wbe_harness::baselines;
+use wbe_harness::profile::{measure, ProfileOptions};
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_pr6.json".into());
+
+    let profile = measure(&ProfileOptions::default()).expect("standard suite profiles");
+    let suite = baselines::measure(baselines::SCALE);
+
+    let mut json = String::from("{\n  \"bench\": \"pr6\",\n");
+    let _ = writeln!(
+        json,
+        "  \"suite\": {{\"pct_barriers_elided\": {:.3}, \"barrier_executions\": {}, \"elided_executions\": {}, \"kept_executions\": {}, \"barrier_cycles\": {}, \"max_stw_pause\": {}}},",
+        suite.pct_elided,
+        profile.barrier_executions,
+        profile.elided_executions,
+        profile.kept_executions,
+        profile.barrier_cycles,
+        profile.max_stw_pause
+    );
+    json.push_str("  \"keep_codes\": [\n");
+    for (i, c) in profile.keep_codes.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"code\": \"{}\", \"sites\": {}, \"executions\": {}, \"cycles\": {}, \"headroom_pct\": {:.3}}}{}",
+            c.code,
+            c.sites,
+            c.executions,
+            c.cycles,
+            profile.headroom_pct(c),
+            if i + 1 < profile.keep_codes.len() {
+                ","
+            } else {
+                ""
+            }
+        );
+    }
+    json.push_str("  ],\n  \"workloads\": [\n");
+    for (i, wp) in profile.workloads.iter().enumerate() {
+        let top = wp.keep_codes.first().map(|c| c.code.as_str()).unwrap_or("");
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"barrier_executions\": {}, \"elided_executions\": {}, \"kept_executions\": {}, \"barrier_cycles\": {}, \"top_keep_code\": \"{top}\", \"max_stw_pause\": {}}}{}",
+            wp.workload,
+            wp.barrier_executions,
+            wp.elided_executions,
+            wp.kept_executions,
+            wp.barrier_cycles,
+            wp.max_stw_pause,
+            if i + 1 < profile.workloads.len() {
+                ","
+            } else {
+                ""
+            }
+        );
+    }
+    json.push_str("  ],\n  \"pauses\": [\n");
+    for (i, ph) in profile.phases.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"phase\": \"{}\", \"stw\": {}, \"count\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}}}{}",
+            ph.phase,
+            ph.stw,
+            ph.count,
+            ph.p50,
+            ph.p90,
+            ph.p99,
+            ph.max,
+            if i + 1 < profile.phases.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    print!("{json}");
+    eprintln!("written to {out}");
+}

@@ -56,6 +56,12 @@ pub struct WorkloadBaseline {
     pub gc_cycles: u64,
     /// Power-of-two bucket of the largest GC pause (work units).
     pub max_pause_bucket: u64,
+    /// Abstract barrier cycles charged at kept sites (the dynamic cost
+    /// the elision left behind).
+    pub kept_cycles: u64,
+    /// Keep-code with the most attributed barrier cycles (empty when no
+    /// kept site executed) — pins the profiler's cost ranking.
+    pub top_keep_code: String,
 }
 
 /// The whole baseline file: per-workload rows plus suite-level facts.
@@ -81,6 +87,7 @@ fn bucket(v: u64) -> u64 {
 /// `scale`, using the same deterministic GC policy as `wbe_tool
 /// report`.
 pub fn measure(scale: f64) -> BaselineSuite {
+    let _guard = crate::registry_lock();
     wbe_telemetry::configure(wbe_telemetry::TelemetryConfig {
         metrics: true,
         tracing: wbe_telemetry::tracing_enabled(),
@@ -111,6 +118,27 @@ pub fn measure(scale: f64) -> BaselineSuite {
             .map_or(0, |h| h.max);
         total += summary.total();
         elim += summary.eliminated();
+        // Per-keep-code cycle attribution (same join as the profiler):
+        // the baseline pins the cost ranking's winner.
+        let ledger_index = ledger.index();
+        let mut code_cycles: std::collections::BTreeMap<String, u64> =
+            std::collections::BTreeMap::new();
+        for (&(mid, addr, _), stats) in interp.stats.barrier.iter() {
+            if elided.contains(mid, addr) {
+                continue;
+            }
+            let method = compiled.program.method(mid).name.as_str();
+            let code = ledger_index
+                .get(&(method, addr.block.index(), addr.index))
+                .filter(|rec| !rec.keep_code.is_empty())
+                .map_or_else(|| "unattributed".to_string(), |rec| rec.keep_code.clone());
+            *code_cycles.entry(code).or_insert(0) += stats.cycles;
+        }
+        let top_keep_code = code_cycles
+            .iter()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
+            .map(|(code, _)| code.clone())
+            .unwrap_or_default();
         rows.push(WorkloadBaseline {
             workload: w.name.to_string(),
             static_sites: ledger.records.len() as u64,
@@ -119,6 +147,8 @@ pub fn measure(scale: f64) -> BaselineSuite {
             dyn_elided: summary.eliminated(),
             gc_cycles: interp.heap.gc.stats.cycles,
             max_pause_bucket: bucket(max_pause),
+            kept_cycles: interp.stats.barrier.total_cycles(),
+            top_keep_code,
         });
     }
     BaselineSuite {
@@ -145,7 +175,9 @@ impl BaselineSuite {
                 .field_u64("dyn_total", r.dyn_total)
                 .field_u64("dyn_elided", r.dyn_elided)
                 .field_u64("gc_cycles", r.gc_cycles)
-                .field_u64("max_pause_bucket", r.max_pause_bucket);
+                .field_u64("max_pause_bucket", r.max_pause_bucket)
+                .field_u64("kept_cycles", r.kept_cycles)
+                .field_str("top_keep_code", &r.top_keep_code);
             w.finish();
             out.push('\n');
         }
@@ -195,6 +227,12 @@ impl BaselineSuite {
                 dyn_elided: get("dyn_elided")?,
                 gc_cycles: get("gc_cycles")?,
                 max_pause_bucket: get("max_pause_bucket")?,
+                kept_cycles: get("kept_cycles")?,
+                top_keep_code: v
+                    .get("top_keep_code")
+                    .and_then(|f| f.as_str())
+                    .ok_or_else(|| format!("line {}: missing 'top_keep_code'", lineno + 1))?
+                    .to_string(),
             });
         }
         Ok(suite)
@@ -241,6 +279,13 @@ pub fn compare(expected: &BaselineSuite, actual: &BaselineSuite) -> Vec<String> 
         };
         rel("dyn_total", exp.dyn_total, act.dyn_total);
         rel("dyn_elided", exp.dyn_elided, act.dyn_elided);
+        rel("kept_cycles", exp.kept_cycles, act.kept_cycles);
+        if exp.top_keep_code != act.top_keep_code {
+            violations.push(format!(
+                "{}: top_keep_code expected '{}', got '{}'",
+                exp.workload, exp.top_keep_code, act.top_keep_code
+            ));
+        }
         if act.gc_cycles.abs_diff(exp.gc_cycles) > ((exp.gc_cycles as f64 * 0.1) as u64).max(1) {
             violations.push(format!(
                 "{}: gc_cycles expected {} ±10%, got {}",
@@ -310,14 +355,21 @@ pub fn run_check(path: &Path, update: bool) -> i32 {
     let violations = compare(&expected, &actual);
     for w in &actual.rows {
         println!(
-            "{:<8} static {}/{} elided, dynamic {}/{} elided, {} gc cycles, pause bucket {}",
+            "{:<8} static {}/{} elided, dynamic {}/{} elided, {} gc cycles, pause bucket {}, \
+             {} kept cycles (top: {})",
             w.workload,
             w.static_elided,
             w.static_sites,
             w.dyn_elided,
             w.dyn_total,
             w.gc_cycles,
-            w.max_pause_bucket
+            w.max_pause_bucket,
+            w.kept_cycles,
+            if w.top_keep_code.is_empty() {
+                "-"
+            } else {
+                &w.top_keep_code
+            }
         );
     }
     println!(
@@ -367,9 +419,19 @@ mod tests {
         perturbed.rows[0].static_elided += 1;
         perturbed.rows[1].dyn_total = perturbed.rows[1].dyn_total * 3 / 2;
         perturbed.rows[2].max_pause_bucket += 5;
+        perturbed.rows[3].kept_cycles = perturbed.rows[3].kept_cycles * 2 + 100;
+        perturbed.rows[4].top_keep_code = "no-such-code".to_string();
         perturbed.pct_elided += 10.0;
         let violations = compare(&perturbed, &suite);
-        assert!(violations.len() >= 4, "{violations:?}");
+        assert!(violations.len() >= 6, "{violations:?}");
+        assert!(
+            violations.iter().any(|v| v.contains("kept_cycles")),
+            "{violations:?}"
+        );
+        assert!(
+            violations.iter().any(|v| v.contains("top_keep_code")),
+            "{violations:?}"
+        );
         assert!(
             violations.iter().any(|v| v.contains("static_elided")),
             "{violations:?}"

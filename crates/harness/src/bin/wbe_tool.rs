@@ -14,6 +14,8 @@
 //!                  [--mode A|F] [--inline N] [--nos]
 //! wbe_tool ledger-diff <old.ndjson> <new.ndjson>
 //! wbe_tool bench   --check-baselines [--update] [--baselines PATH]
+//! wbe_tool profile [--workload W]... [--top N] [--scale S]
+//!                  [--format text|ndjson] [--out F] [--slo-max-pause N]
 //! wbe_tool report  [workload|file.wbe ...] [--metrics-out m.json]
 //!                  [--trace-out t.ndjson] [--chrome-trace t.json]
 //!                  [--format text|ndjson] [--scale S]
@@ -47,6 +49,14 @@
 //! regression (newly-kept, newly-degraded, or vanished elided site);
 //! `bench --check-baselines` gates the standard suite's numbers against
 //! `baselines/suite.ndjson`.
+//!
+//! `profile` joins the interpreter's per-site dynamic barrier counters
+//! with the provenance ledger: per-keep-code execution/cycle
+//! attribution with headroom estimates, the hottest kept sites, and
+//! per-phase GC pause percentiles (p50/p90/p99/max in work units).
+//! `--slo-max-pause N` turns the report into a gate: exit 1 when any
+//! stop-the-world pause exceeded `N` work units. `--format ndjson`
+//! output is deterministic (byte-identical across runs).
 
 use std::process::exit;
 
@@ -61,7 +71,7 @@ use wbe_opt::{compile, OptMode, PipelineConfig};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: wbe_tool <verify|dump|analyze|explain|ledger|ledger-diff|run|export|report|bench|mcheck> [<file.wbe|workload>] [options]\n\
+        "usage: wbe_tool <verify|dump|analyze|explain|ledger|ledger-diff|run|export|report|bench|profile|mcheck> [<file.wbe|workload>] [options]\n\
          verify:  <file.wbe>  — or —  [workload ...] --faults N [--seed S] [--scale F] [--demo-unsound]\n\
          analyze: [--mode A|F] [--inline N] [--nos]\n\
          explain: [--method M] [--site N] [--mode A|F] [--inline N] [--nos]\n\
@@ -71,6 +81,8 @@ fn usage() -> ! {
          report:  [workload|file.wbe ...] [--metrics-out m.json] [--trace-out t.ndjson]\n\
                   [--chrome-trace t.json] [--format text|ndjson] [--scale S]\n\
          bench:   --check-baselines [--update] [--baselines PATH]\n\
+         profile: [--workload W]... [--top N] [--scale S] [--format text|ndjson]\n\
+                  [--out F] [--slo-max-pause N]   (exit 1 on SLO violation)\n\
          {}",
         wbe_harness::mcheck::USAGE
     );
@@ -314,6 +326,49 @@ fn ledger_diff(old_path: &str, new_path: &str) -> i32 {
     }
 }
 
+/// `wbe_tool profile`: dynamic barrier-cost attribution (ledger join),
+/// per-phase pause percentiles, and the optional pause SLO gate.
+fn profile(rest: &[String]) -> i32 {
+    let mut opts = wbe_harness::profile::ProfileOptions::default();
+    let mut ndjson = false;
+    let mut out: Option<String> = None;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workload" => opts
+                .workloads
+                .push(it.next().unwrap_or_else(|| usage()).clone()),
+            "--top" => {
+                opts.top = it
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--scale" => {
+                opts.scale = it
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--slo-max-pause" => {
+                opts.slo_max_pause = Some(
+                    it.next()
+                        .and_then(|n| n.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--format" => match it.next().map(String::as_str) {
+                Some("text") => ndjson = false,
+                Some("ndjson") => ndjson = true,
+                _ => usage(),
+            },
+            "--out" => out = Some(it.next().unwrap_or_else(|| usage()).clone()),
+            _ => usage(),
+        }
+    }
+    wbe_harness::profile::run_profile(&opts, ndjson, out.as_deref())
+}
+
 /// `wbe_tool bench`: baseline-gated suite measurement.
 fn bench(rest: &[String]) -> i32 {
     let mut check = false;
@@ -421,6 +476,9 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("bench") {
         exit(bench(&args[1..]));
+    }
+    if args.first().map(String::as_str) == Some("profile") {
+        exit(profile(&args[1..]));
     }
     if args.first().map(String::as_str) == Some("ledger-diff") {
         let (Some(old), Some(new)) = (args.get(1), args.get(2)) else {

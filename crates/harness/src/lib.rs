@@ -24,6 +24,17 @@
 //! `wbe_tool bench --check-baselines`, and [`mcheck`] the interleaving
 //! model-checker CLI.
 
+/// Serializes measurements that reset the global telemetry registry
+/// ([`baselines::measure`], [`profile::measure`]): the default test
+/// runner is multi-threaded, and a concurrent reset mid-run would
+/// clobber another measurement's histograms.
+pub(crate) fn registry_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::OnceLock<std::sync::Mutex<()>> = std::sync::OnceLock::new();
+    LOCK.get_or_init(|| std::sync::Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
 pub mod baselines;
 pub mod clients;
 pub mod combined;
@@ -33,6 +44,7 @@ pub mod fig3;
 pub mod ledger;
 pub mod mcheck;
 pub mod pause;
+pub mod profile;
 pub mod rearrange_exp;
 pub mod runner;
 pub mod static_counts;

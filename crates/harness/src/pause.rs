@@ -9,12 +9,17 @@
 //!
 //! We run the allocation-heavy `jess` workload under both marker styles
 //! with the same deterministic GC policy and compare the remark pauses.
+//! Each row's distribution is summarized through a telemetry log₂
+//! histogram ([`HistogramSnapshot::from_samples`]), so the p50/p99
+//! columns here use the same quantile estimator as every exported
+//! pause histogram.
 
 use std::fmt;
 
 use wbe_heap::gc::MarkStyle;
 use wbe_interp::{BarrierMode, GcPolicy};
 use wbe_opt::OptMode;
+use wbe_telemetry::registry::HistogramSnapshot;
 use wbe_workloads::by_name;
 
 use crate::runner::run_workload;
@@ -28,6 +33,10 @@ pub struct PauseRow {
     pub cycles: u64,
     /// Mean remark pause (work units).
     pub mean_pause: f64,
+    /// Median remark pause (work units, histogram estimate).
+    pub p50_pause: u64,
+    /// 99th-percentile remark pause (work units, histogram estimate).
+    pub p99_pause: u64,
     /// Max remark pause (work units).
     pub max_pause: usize,
 }
@@ -71,17 +80,18 @@ pub fn run(scale: f64) -> PauseReport {
             Some(policy),
         );
         let pauses = &r.stats.pauses;
-        let total: usize = pauses.iter().map(|p| p.work_units()).sum();
-        let max = pauses.iter().map(|p| p.work_units()).max().unwrap_or(0);
+        let hist = HistogramSnapshot::from_samples(pauses.iter().map(|p| p.work_units() as u64));
         rows.push(PauseRow {
             style: label,
             cycles: r.stats.gc_cycles,
-            mean_pause: if pauses.is_empty() {
+            mean_pause: if hist.count == 0 {
                 0.0
             } else {
-                total as f64 / pauses.len() as f64
+                hist.sum as f64 / hist.count as f64
             },
-            max_pause: max,
+            p50_pause: hist.quantile(0.50),
+            p99_pause: hist.quantile(0.99),
+            max_pause: hist.max as usize,
         });
     }
     PauseReport { rows }
@@ -91,14 +101,14 @@ impl fmt::Display for PauseReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "{:<20} {:>7} {:>12} {:>11}",
-            "marker style", "cycles", "mean pause", "max pause"
+            "{:<20} {:>7} {:>12} {:>7} {:>7} {:>11}",
+            "marker style", "cycles", "mean pause", "p50", "p99", "max pause"
         )?;
         for r in &self.rows {
             writeln!(
                 f,
-                "{:<20} {:>7} {:>12.1} {:>11}",
-                r.style, r.cycles, r.mean_pause, r.max_pause
+                "{:<20} {:>7} {:>12.1} {:>7} {:>7} {:>11}",
+                r.style, r.cycles, r.mean_pause, r.p50_pause, r.p99_pause, r.max_pause
             )?;
         }
         writeln!(f, "incremental/satb mean-pause ratio: {:.1}x", self.ratio())
@@ -118,6 +128,22 @@ mod tests {
             report.ratio() >= 10.0,
             "expected ≥10x pause gap, got {:.1}x ({report})",
             report.ratio()
+        );
+    }
+
+    #[test]
+    fn percentile_columns_are_ordered_and_bounded() {
+        let report = run(0.5);
+        for r in &report.rows {
+            assert!(r.p50_pause <= r.p99_pause, "{r:?}");
+            assert!(r.p99_pause <= r.max_pause as u64, "{r:?}");
+            assert!(r.max_pause > 0, "{r:?}");
+        }
+        // The IU percentile gap mirrors the mean gap: its remark rescans
+        // dirty objects, so even its median dwarfs SATB's max.
+        assert!(
+            report.rows[1].p50_pause > report.rows[0].max_pause as u64,
+            "{report}"
         );
     }
 }

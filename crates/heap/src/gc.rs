@@ -150,6 +150,14 @@ struct GcMetrics {
     swept: wbe_telemetry::Counter,
     pause_work_units: wbe_telemetry::Histogram,
     pause_us: wbe_telemetry::Histogram,
+    // Per-phase work-unit histograms (see [`phase_histograms`]): the
+    // profiler and bench JSON report p50/p90/p99/max per GC phase from
+    // these. Work units are deterministic under a deterministic GC
+    // policy, unlike the wall-clock `.us` histogram.
+    pause_initial_mark: wbe_telemetry::Histogram,
+    pause_mark_step: wbe_telemetry::Histogram,
+    pause_remark: wbe_telemetry::Histogram,
+    pause_sweep: wbe_telemetry::Histogram,
 }
 
 impl GcMetrics {
@@ -163,9 +171,27 @@ impl GcMetrics {
             swept: wbe_telemetry::counter("heap.gc.swept"),
             pause_work_units: wbe_telemetry::histogram("heap.gc.pause.work_units"),
             pause_us: wbe_telemetry::histogram("heap.gc.pause.us"),
+            pause_initial_mark: wbe_telemetry::histogram(PHASE_INITIAL_MARK),
+            pause_mark_step: wbe_telemetry::histogram(PHASE_MARK_STEP),
+            pause_remark: wbe_telemetry::histogram(PHASE_REMARK),
+            pause_sweep: wbe_telemetry::histogram(PHASE_SWEEP),
         }
     }
 }
+
+/// Registry key of the initial-mark (root-scan at cycle start)
+/// work-unit histogram.
+pub const PHASE_INITIAL_MARK: &str = "heap.gc.pause.initial_mark.work_units";
+/// Registry key of the concurrent-mark-step work-unit histogram (one
+/// sample per [`GcState::mark_step`] that performed work).
+pub const PHASE_MARK_STEP: &str = "heap.gc.pause.mark_step.work_units";
+/// Registry key of the STW remark work-unit histogram (same samples as
+/// the legacy `heap.gc.pause.work_units` key, which stays for the
+/// baseline gate).
+pub const PHASE_REMARK: &str = "heap.gc.pause.remark.work_units";
+/// Registry key of the sweep-slice work-unit histogram (one sample per
+/// sweep; work = slots examined).
+pub const PHASE_SWEEP: &str = "heap.gc.pause.sweep.work_units";
 
 /// Collector state: mark bits, grey stack, mutator-barrier buffers.
 #[derive(Debug)]
@@ -372,6 +398,8 @@ impl GcState {
         for &r in roots {
             self.shade(r);
         }
+        // Initial-mark "pause": the root-scan work at cycle start.
+        self.metrics.pause_initial_mark.record(roots.len() as u64);
         Ok(())
     }
 
@@ -433,6 +461,9 @@ impl GcState {
                 continue;
             }
             break;
+        }
+        if done > 0 {
+            self.metrics.pause_mark_step.record(done as u64);
         }
         done
     }
@@ -498,6 +529,7 @@ impl GcState {
         self.metrics
             .pause_work_units
             .record(pause.work_units() as u64);
+        self.metrics.pause_remark.record(pause.work_units() as u64);
         self.metrics.pause_us.record_duration(pause_start.elapsed());
         self.publish_metrics();
         pause
@@ -520,6 +552,8 @@ impl GcState {
             }
         }
         self.stats.swept += freed as u64;
+        // Sweep-slice work: every slot is examined once.
+        self.metrics.pause_sweep.record(store.capacity() as u64);
         self.publish_metrics();
         freed
     }
@@ -716,6 +750,44 @@ mod tests {
         let pause = h.gc.remark(&mut h.store, &[arr]);
         assert_eq!(pause.retraced, 1);
         assert!(h.gc.is_marked(x));
+    }
+
+    #[test]
+    fn per_phase_pause_histograms_are_populated() {
+        // Metrics are on by default; other tests only ever add samples
+        // to the global registry, so count comparisons below are safe
+        // under the parallel test runner.
+        let before = wbe_telemetry::registry::global().snapshot();
+        let count_of = |snap: &wbe_telemetry::MetricsSnapshot, key: &str| {
+            snap.histogram(key).map(|h| h.count).unwrap_or(0)
+        };
+        let mut h = Heap::new(MarkStyle::Satb);
+        let root = obj(&mut h);
+        let mut prev = root;
+        for _ in 0..6 {
+            let n = obj(&mut h);
+            h.set_field(prev, 0, Value::from(n)).unwrap();
+            prev = n;
+        }
+        h.gc.begin_marking(&mut h.store, &[root]);
+        while h.gc.mark_step(&mut h.store, 2) > 0 {}
+        h.gc.remark(&mut h.store, &[root]);
+        h.sweep();
+        let after = wbe_telemetry::registry::global().snapshot();
+        for key in [
+            PHASE_INITIAL_MARK,
+            PHASE_MARK_STEP,
+            PHASE_REMARK,
+            PHASE_SWEEP,
+            // The legacy key stays populated alongside the explicit
+            // remark phase key (the baseline gate reads the legacy one).
+            "heap.gc.pause.work_units",
+        ] {
+            assert!(
+                count_of(&after, key) > count_of(&before, key),
+                "{key} recorded no samples"
+            );
+        }
     }
 
     #[test]

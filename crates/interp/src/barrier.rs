@@ -217,6 +217,9 @@ pub struct SiteStats {
     pub executions: u64,
     /// Executions whose pre-value was null.
     pub pre_null: u64,
+    /// Abstract barrier cycles charged at this site across the run
+    /// (check + pre-read + log under the cost model; 0 when elided).
+    pub cycles: u64,
 }
 
 impl SiteStats {
@@ -250,6 +253,14 @@ impl BarrierStats {
         }
     }
 
+    /// Charges `cycles` abstract barrier cycles to the store at `addr`.
+    /// Separate from [`record`](Self::record) so the interpreter can
+    /// attribute the exact cost its barrier path computed (which varies
+    /// with marking phase and pre-value) after the execution count.
+    pub fn add_cycles(&mut self, method: MethodId, addr: InsnAddr, kind: StoreKind, cycles: u64) {
+        self.sites.entry((method, addr, kind)).or_default().cycles += cycles;
+    }
+
     /// Iterates over `((method, addr, kind), stats)` for every executed
     /// site.
     pub fn iter(&self) -> impl Iterator<Item = (&(MethodId, InsnAddr, StoreKind), &SiteStats)> {
@@ -268,6 +279,7 @@ impl BarrierStats {
             let s = self.sites.entry(key).or_default();
             s.executions += stats.executions;
             s.pre_null += stats.pre_null;
+            s.cycles += stats.cycles;
         }
     }
 
@@ -276,6 +288,11 @@ impl BarrierStats {
         self.sites
             .values()
             .fold((0, 0), |(e, p), s| (e + s.executions, p + s.pre_null))
+    }
+
+    /// Total abstract barrier cycles charged across every site.
+    pub fn total_cycles(&self) -> u64 {
+        self.sites.values().map(|s| s.cycles).sum()
     }
 
     /// Aggregates the run against an elision set, producing the numbers
@@ -493,6 +510,101 @@ mod tests {
         assert_eq!(sites[&(m, addr(0), StoreKind::Field)].executions, 3);
         assert_eq!(sites[&(m, addr(0), StoreKind::Field)].pre_null, 2);
         assert_eq!(format!("{a}"), "sites=2 executions=4 pre_null=3");
+    }
+
+    #[test]
+    fn merge_of_empty_stats_is_identity_both_ways() {
+        let m = MethodId(0);
+        let mut populated = BarrierStats::default();
+        populated.record(m, addr(0), StoreKind::Field, true);
+        populated.add_cycles(m, addr(0), StoreKind::Field, 12);
+        let before: HashMap<_, _> = populated.iter().map(|(k, v)| (*k, *v)).collect();
+
+        // populated.merge(empty) changes nothing.
+        populated.merge(&BarrierStats::default());
+        let after: HashMap<_, _> = populated.iter().map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(before, after);
+
+        // empty.merge(populated) reproduces populated exactly.
+        let mut empty = BarrierStats::default();
+        empty.merge(&populated);
+        let copied: HashMap<_, _> = empty.iter().map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(copied, before);
+        assert_eq!(empty.totals(), populated.totals());
+        assert_eq!(empty.total_cycles(), 12);
+
+        // empty.merge(empty) stays empty.
+        let mut e1 = BarrierStats::default();
+        e1.merge(&BarrierStats::default());
+        assert_eq!(e1.site_count(), 0);
+        assert_eq!(e1.totals(), (0, 0));
+        assert_eq!(e1.total_cycles(), 0);
+    }
+
+    #[test]
+    fn merge_accumulates_same_site_across_runs() {
+        // Three "runs" each touch the same (method, addr, kind) site;
+        // merged stats must sum executions, pre_null, and cycles rather
+        // than overwrite.
+        let m = MethodId(2);
+        let mut total = BarrierStats::default();
+        for run in 0..3u64 {
+            let mut one = BarrierStats::default();
+            one.record(m, addr(5), StoreKind::Array, run % 2 == 0);
+            one.add_cycles(m, addr(5), StoreKind::Array, 10 + run);
+            total.merge(&one);
+        }
+        assert_eq!(total.site_count(), 1);
+        let sites: HashMap<_, _> = total.iter().map(|(k, v)| (*k, *v)).collect();
+        let s = sites[&(m, addr(5), StoreKind::Array)];
+        assert_eq!(s.executions, 3);
+        assert_eq!(s.pre_null, 2);
+        assert_eq!(s.cycles, 10 + 11 + 12);
+    }
+
+    #[test]
+    fn summarize_counts_site_only_under_its_executed_store_kind() {
+        // The same (method, addr) executed as a Field store must not
+        // leak into the Array row of the summary, and vice versa: the
+        // StoreKind is part of the site key.
+        let m = MethodId(3);
+        let mut st = BarrierStats::default();
+        st.record(m, addr(7), StoreKind::Field, true);
+        st.record(m, addr(7), StoreKind::Field, true);
+        let s = st.summarize(&ElidedBarriers::new());
+        assert_eq!(s.field_total, 2);
+        assert_eq!(s.array_total, 0);
+        assert_eq!(s.pct_field(), 100.0);
+
+        // Elision applies per (method, addr): if the same addr later
+        // executes as an Array store, both kinds count as eliminated,
+        // each under its own row.
+        let mut elided = ElidedBarriers::new();
+        elided.insert(m, addr(7));
+        st.record(m, addr(7), StoreKind::Array, true);
+        assert_eq!(st.site_count(), 2);
+        let s = st.summarize(&elided);
+        assert_eq!(s.field_total, 2);
+        assert_eq!(s.field_eliminated, 2);
+        assert_eq!(s.array_total, 1);
+        assert_eq!(s.array_eliminated, 1);
+    }
+
+    #[test]
+    fn add_cycles_creates_site_and_display_ignores_cycles() {
+        let m = MethodId(4);
+        let mut st = BarrierStats::default();
+        // Charging cycles before any record() creates the site with
+        // zero executions (the profiler treats that as suspicious but
+        // merge/totals must stay consistent).
+        st.add_cycles(m, addr(0), StoreKind::Field, 7);
+        assert_eq!(st.site_count(), 1);
+        assert_eq!(st.totals(), (0, 0));
+        assert_eq!(st.total_cycles(), 7);
+        st.record(m, addr(0), StoreKind::Field, false);
+        assert_eq!(st.totals(), (1, 0));
+        // Display keeps its pinned executions/pre_null shape.
+        assert_eq!(format!("{st}"), "sites=1 executions=1 pre_null=0");
     }
 
     #[test]

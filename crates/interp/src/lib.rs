@@ -49,5 +49,5 @@ pub use barrier::{
     BarrierConfig, BarrierMode, BarrierStats, BarrierSummary, ElidedBarriers, ElisionKind,
     RearrangeRole, RearrangeSites, SiteStats, StoreKind,
 };
-pub use machine::{GcPolicy, Interp, RunStats, Trap};
+pub use machine::{GcPolicy, Interp, RunStats, Trap, PAUSE_EMERGENCY};
 pub use wbe_heap::Value;

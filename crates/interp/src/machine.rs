@@ -11,6 +11,11 @@ use crate::barrier::{
 };
 use crate::cost;
 
+/// Registry histogram key for emergency (allocation-failure) pause
+/// sizes, in remark work units. Complements the per-phase keys under
+/// `heap.gc.pause.*` exported by the collector itself.
+pub const PAUSE_EMERGENCY: &str = "interp.gc.pause.emergency.work_units";
+
 /// A runtime trap: the interpreter's analogue of a JVM exception. The
 /// workloads are written not to trap; traps in tests indicate bugs (or
 /// deliberately exercised error paths).
@@ -458,8 +463,9 @@ impl<'p> Interp<'p> {
 
     /// Finishes the current cycle — or, from idle, runs a complete
     /// stop-the-world collection — with optional invariant verification
-    /// at both cycle boundaries.
-    fn full_pause(&mut self) -> Result<(), Trap> {
+    /// at both cycle boundaries. Returns the remark pause report so
+    /// callers (e.g. the emergency-allocation path) can attribute it.
+    fn full_pause(&mut self) -> Result<PauseReport, Trap> {
         let roots = self.collect_roots();
         // From idle, open a cycle first; `Err` just means one is already
         // running, which is exactly the state the remark below needs.
@@ -487,7 +493,19 @@ impl<'p> Interp<'p> {
         }
         self.stats.gc_cycles += 1;
         self.stats.pauses.push(pause);
-        Ok(())
+        // Cycle-boundary samples for the timeline: live-heap occupancy
+        // and cumulative allocation, drawn as counter tracks.
+        if wbe_telemetry::tracing_enabled() {
+            wbe_telemetry::trace::counter_event(
+                "heap.occupancy.objects",
+                self.heap.store.live_count() as u64,
+            );
+            wbe_telemetry::trace::counter_event(
+                "heap.alloc.objects_total",
+                self.heap.stats.allocations,
+            );
+        }
+        Ok(pause)
     }
 
     /// Allocates via `alloc`, recovering from injected
@@ -514,7 +532,8 @@ impl<'p> Interp<'p> {
                             format!("attempt {attempt}"),
                         );
                     }
-                    self.full_pause()?;
+                    let pause = self.full_pause()?;
+                    wbe_telemetry::histogram(PAUSE_EMERGENCY).record(pause.work_units() as u64);
                 }
                 Err(HeapError::AllocationFailed) => {
                     return Err(Trap::OutOfMemory { method: mid, at })
@@ -676,6 +695,7 @@ impl<'p> Interp<'p> {
             // Card-marking barrier: cheap and unconditional.
             self.stats.barrier_cycles += 2;
             self.stats.cycles += 2;
+            self.stats.barrier.add_cycles(mid, at, kind, 2);
             if self.config.mode != BarrierMode::None {
                 self.heap.gc.dirty(receiver);
             }
@@ -695,15 +715,18 @@ impl<'p> Interp<'p> {
                 return Ok(());
             }
         }
-        self.satb_log_barrier(old);
+        let c = self.satb_log_barrier(old);
+        self.stats.barrier.add_cycles(mid, at, kind, c);
         Ok(())
     }
 
-    /// The mode-dependent SATB logging path (no elision, no recording).
-    fn satb_log_barrier(&mut self, old: Option<GcRef>) {
+    /// The mode-dependent SATB logging path (no elision, no per-site
+    /// recording). Returns the cycles charged so callers can attribute
+    /// them to the executing store site.
+    fn satb_log_barrier(&mut self, old: Option<GcRef>) -> u64 {
         let pre_null = old.is_none();
         match self.config.mode {
-            BarrierMode::None => {}
+            BarrierMode::None => 0,
             BarrierMode::Checked => {
                 let marking = self.heap.gc.is_marking();
                 let c = cost::checked_barrier_cost(marking, pre_null);
@@ -714,6 +737,7 @@ impl<'p> Interp<'p> {
                         self.heap.gc.satb_log(o);
                     }
                 }
+                c
             }
             BarrierMode::AlwaysLog => {
                 let c = cost::always_log_barrier_cost(pre_null);
@@ -722,6 +746,7 @@ impl<'p> Interp<'p> {
                 if let Some(o) = old {
                     self.heap.gc.satb_log(o);
                 }
+                c
             }
         }
     }
@@ -920,7 +945,8 @@ impl<'p> Interp<'p> {
                         self.stats
                             .barrier
                             .record(mid, at, StoreKind::Array, old.is_none());
-                        self.satb_log_barrier(old);
+                        let c = self.satb_log_barrier(old);
+                        self.stats.barrier.add_cycles(mid, at, StoreKind::Array, c);
                     }
                     Some(RearrangeRole::Member) => {
                         self.stats
@@ -930,6 +956,7 @@ impl<'p> Interp<'p> {
                         // Tracing-state check (2 cycles, like a card mark).
                         self.stats.barrier_cycles += 2;
                         self.stats.cycles += 2;
+                        self.stats.barrier.add_cycles(mid, at, StoreKind::Array, 2);
                         if self.heap.gc.is_marking()
                             && self.heap.gc.trace_state(&self.heap.store, arr)
                                 != wbe_heap::TraceState::Untraced

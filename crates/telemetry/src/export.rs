@@ -106,6 +106,9 @@ pub fn trace_ndjson(events: &[TraceEvent]) -> String {
             .field_u64("start_us", ev.start_us)
             .field_u64("dur_us", ev.dur_us)
             .field_u64("tid", ev.tid);
+        if let Some(v) = ev.value {
+            w.field_u64("value", v);
+        }
         w.finish();
         out.push('\n');
     }
@@ -117,15 +120,38 @@ pub fn trace_ndjson(events: &[TraceEvent]) -> String {
 /// `chrome://tracing` and Perfetto.
 ///
 /// Spans (`dur_us > 0`) become complete events (`"ph":"X"`); instants
-/// become thread-scoped instant events (`"ph":"i"`). Parent span and
-/// detail payload ride along under `"args"`. All events share
-/// `"pid":1`; `tid` is the recording thread's stable track index, so
-/// mutator and marker threads land on separate rows.
+/// become thread-scoped instant events (`"ph":"i"`); counter samples
+/// (`value` set) become counter events (`"ph":"C"`) that viewers draw
+/// as a value-over-time track. Parent span and detail payload ride
+/// along under `"args"` (for counters, `"args"` carries the sampled
+/// value, as the format requires). All events share `"pid":1`; `tid`
+/// is the recording thread's stable track index, so mutator and marker
+/// threads land on separate rows.
 pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
     let mut items = String::from("[");
     for (i, ev) in events.iter().enumerate() {
         if i > 0 {
             items.push(',');
+        }
+        if let Some(v) = ev.value {
+            // Counter event: args holds {"value": v} and the track is
+            // named by the event.
+            let mut args = String::new();
+            {
+                let mut w = ObjWriter::new(&mut args);
+                w.field_u64("value", v);
+                w.finish();
+            }
+            let mut w = ObjWriter::new(&mut items);
+            w.field_str("name", &ev.name)
+                .field_str("cat", "counter")
+                .field_str("ph", "C")
+                .field_u64("ts", ev.start_us)
+                .field_u64("pid", 1)
+                .field_u64("tid", ev.tid)
+                .field_raw("args", &args);
+            w.finish();
+            continue;
         }
         let mut args = String::new();
         {
@@ -328,6 +354,7 @@ mod tests {
                 start_us: 1,
                 dur_us: 2,
                 tid: 1,
+                value: None,
             },
             TraceEvent {
                 name: "b".into(),
@@ -336,6 +363,16 @@ mod tests {
                 start_us: 3,
                 dur_us: 0,
                 tid: 2,
+                value: None,
+            },
+            TraceEvent {
+                name: "heap.occupancy".into(),
+                parent: String::new(),
+                detail: String::new(),
+                start_us: 4,
+                dur_us: 0,
+                tid: 1,
+                value: Some(17),
             },
         ]
     }
@@ -344,12 +381,14 @@ mod tests {
     fn ndjson_one_line_per_event() {
         let nd = trace_ndjson(&sample_events());
         let lines: Vec<_> = nd.lines().collect();
-        assert_eq!(lines.len(), 2);
+        assert_eq!(lines.len(), 3);
         assert_eq!(
             lines[0],
             r#"{"name":"a","parent":"","detail":"d\"q","start_us":1,"dur_us":2,"tid":1}"#
         );
         assert!(lines[1].contains(r#""parent":"a""#));
+        // Counter samples carry their value.
+        assert!(lines[2].contains(r#""value":17"#));
     }
 
     #[test]
@@ -357,7 +396,7 @@ mod tests {
         let out = chrome_trace_json(&sample_events());
         let doc = crate::json::parse(&out).expect("chrome trace must be valid JSON");
         let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
-        assert_eq!(events.len(), 2);
+        assert_eq!(events.len(), 3);
         // Span → complete event with a duration.
         let span = &events[0];
         assert_eq!(span.get("ph").unwrap().as_str(), Some("X"));
@@ -374,6 +413,41 @@ mod tests {
         assert_eq!(inst.get("s").unwrap().as_str(), Some("t"));
         assert!(inst.get("dur").is_none());
         assert_eq!(inst.get("tid").unwrap().as_u64(), Some(2));
+        // Counter sample → "C" event whose args carry the value.
+        let ctr = &events[2];
+        assert_eq!(ctr.get("ph").unwrap().as_str(), Some("C"));
+        assert_eq!(ctr.get("name").unwrap().as_str(), Some("heap.occupancy"));
+        assert_eq!(
+            ctr.get("args").unwrap().get("value").unwrap().as_u64(),
+            Some(17)
+        );
+    }
+
+    /// Pins the histogram field set both exporters promise: consumers
+    /// (the profiler, bench JSON, SLO gates) rely on p50/p90/p99 *and*
+    /// max being present alongside count/sum/min/mean.
+    #[test]
+    fn histogram_exports_pin_percentile_field_set() {
+        let snap = sample_snapshot();
+        let json = metrics_json(&snap);
+        let doc = crate::json::parse(&json).unwrap();
+        let hist = doc
+            .get("histograms")
+            .unwrap()
+            .get("heap.gc.pause.work_units")
+            .unwrap();
+        for field in ["count", "sum", "min", "max", "mean", "p50", "p90", "p99"] {
+            assert!(hist.get(field).is_some(), "metrics_json missing {field}");
+        }
+        let nd = metrics_ndjson(&snap);
+        let line = nd
+            .lines()
+            .find(|l| l.contains("heap.gc.pause.work_units"))
+            .unwrap();
+        let doc = crate::json::parse(line).unwrap();
+        for field in ["count", "sum", "min", "max", "mean", "p50", "p90", "p99"] {
+            assert!(doc.get(field).is_some(), "metrics_ndjson missing {field}");
+        }
     }
 
     #[test]

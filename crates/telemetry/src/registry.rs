@@ -185,6 +185,32 @@ pub struct HistogramSnapshot {
 }
 
 impl HistogramSnapshot {
+    /// Builds a snapshot directly from raw samples, without going
+    /// through a registry or the global enable gate. Lets offline
+    /// aggregations (e.g. a vector of pause work-unit counts) reuse the
+    /// same log₂ bucketing and quantile estimator the live histograms
+    /// use, so percentiles reported from either path agree.
+    pub fn from_samples(samples: impl IntoIterator<Item = u64>) -> HistogramSnapshot {
+        let mut snap = HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: vec![0; HIST_BUCKETS],
+        };
+        for v in samples {
+            snap.count += 1;
+            snap.sum += v;
+            snap.min = snap.min.min(v);
+            snap.max = snap.max.max(v);
+            snap.buckets[bucket_index(v)] += 1;
+        }
+        if snap.count == 0 {
+            snap.min = 0;
+        }
+        snap
+    }
+
     /// Arithmetic mean of the samples (0 when empty).
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
@@ -436,6 +462,26 @@ mod tests {
             hs.nonzero_buckets(),
             vec![(0, 1), (1, 1), (3, 2), (7, 1), (1023, 1)]
         );
+    }
+
+    #[test]
+    fn from_samples_matches_live_recording() {
+        let _guard = crate::config::test_guard();
+        crate::configure(crate::TelemetryConfig::default());
+        let samples = [0u64, 1, 2, 3, 4, 1000];
+        let r = Registry::new();
+        let h = r.histogram("lat");
+        for &v in &samples {
+            h.record(v);
+        }
+        let live = r.snapshot().histogram("lat").unwrap().clone();
+        let offline = HistogramSnapshot::from_samples(samples);
+        assert_eq!(live, offline);
+        assert_eq!(offline.quantile(0.5), 3);
+        let empty = HistogramSnapshot::from_samples([]);
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.min, 0);
+        assert_eq!(empty.quantile(0.99), 0);
     }
 
     #[test]

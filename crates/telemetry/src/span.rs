@@ -91,6 +91,7 @@ impl Drop for SpanGuard {
                 start_us: open.start_us,
                 dur_us: dur.as_micros().min(u64::MAX as u128) as u64,
                 tid: trace::current_tid(),
+                value: None,
             });
         }
     }

@@ -31,6 +31,10 @@ pub struct TraceEvent {
     /// assigns the next one; the main thread is usually 1). Lets
     /// timeline viewers lay concurrent spans out on separate tracks.
     pub tid: u64,
+    /// Sampled value for counter-series events (heap occupancy,
+    /// allocation totals); `None` for spans and plain instants. Counter
+    /// events render as Chrome trace `"ph":"C"` counter tracks.
+    pub value: Option<u64>,
 }
 
 /// The calling OS thread's stable trace track index.
@@ -92,6 +96,25 @@ pub fn event(name: &str, detail: impl Into<String>) {
         start_us: since_epoch_us(),
         dur_us: 0,
         tid: current_tid(),
+        value: None,
+    });
+}
+
+/// Records one sample of a counter series (heap occupancy, allocation
+/// totals, …), if tracing is enabled. Timeline viewers draw these as a
+/// value-over-time track alongside the span rows.
+pub fn counter_event(name: &str, value: u64) {
+    if !tracing_enabled() {
+        return;
+    }
+    push(TraceEvent {
+        name: name.to_string(),
+        parent: crate::span::current().unwrap_or_default(),
+        detail: String::new(),
+        start_us: since_epoch_us(),
+        dur_us: 0,
+        tid: current_tid(),
+        value: Some(value),
     });
 }
 
