@@ -117,6 +117,14 @@ pub struct SiteRecord {
     /// with a `W_NS` barrier (annotated by the opt pipeline; always
     /// `false` straight out of [`ElisionLedger::build`]).
     pub null_or_same: bool,
+    /// Whether the *runtime* revoked this site's elision (barrier panic
+    /// mode or a failed per-site oracle). Always `false` straight out
+    /// of [`ElisionLedger::build`]; joined in afterwards from the
+    /// recovery controller's revocation table. Serialized only when
+    /// set, so static ledgers stay byte-identical.
+    pub revoked: bool,
+    /// Why the runtime revoked the site (empty unless `revoked`).
+    pub revoke_reason: String,
 }
 
 impl SiteRecord {
@@ -143,6 +151,13 @@ impl SiteRecord {
             .field_str("keep_detail", &self.keep_detail)
             .field_str("degraded", &self.degraded)
             .field_bool("null_or_same", self.null_or_same);
+        // Runtime-revocation fields are additive: absent (not `false`)
+        // on purely-static ledgers, so existing ledgers and their diffs
+        // are unaffected byte for byte.
+        if self.revoked {
+            w.field_bool("revoked", true)
+                .field_str("revoke_reason", &self.revoke_reason);
+        }
         w.finish();
         out
     }
@@ -221,6 +236,35 @@ impl ElisionLedger {
             .iter()
             .map(|r| ((r.method.as_str(), r.block, r.index), r))
             .collect()
+    }
+
+    /// Joins runtime revocations into the ledger: each `(method, block,
+    /// index, reason)` tuple marks the matching record `revoked`, so
+    /// `wbe_tool ledger`/`explain` show runtime revocations alongside
+    /// the static keep-codes. Returns how many tuples matched a record;
+    /// unmatched tuples (sites the static ledger never saw, e.g. from a
+    /// different program) are ignored.
+    pub fn join_revocations<'a>(
+        &mut self,
+        revocations: impl IntoIterator<Item = (&'a str, usize, usize, &'a str)>,
+    ) -> usize {
+        let mut joined = 0;
+        for (method, block, index, reason) in revocations {
+            for rec in &mut self.records {
+                if rec.method == method && rec.block == block && rec.index == index {
+                    rec.revoked = true;
+                    rec.revoke_reason = reason.to_string();
+                    joined += 1;
+                    break;
+                }
+            }
+        }
+        joined
+    }
+
+    /// Number of records carrying a runtime revocation.
+    pub fn runtime_revoked(&self) -> usize {
+        self.records.iter().filter(|r| r.revoked).count()
     }
 
     /// Number of kept/degraded records per keep-code, in deterministic
@@ -307,6 +351,8 @@ fn blank_record(
         keep_detail: String::new(),
         degraded: String::new(),
         null_or_same: false,
+        revoked: false,
+        revoke_reason: String::new(),
     }
 }
 
@@ -703,5 +749,69 @@ mod tests {
         let keys: std::collections::BTreeSet<_> =
             ledger.records.iter().map(|r| r.site_key()).collect();
         assert_eq!(keys.len(), ledger.records.len());
+    }
+
+    #[test]
+    fn revocation_join_is_additive_and_only_serialized_when_set() {
+        let p = mixed_program();
+        let cfg = AnalysisConfig::full();
+        let baseline = ElisionLedger::build(&p, &cfg).to_ndjson();
+        assert!(
+            !baseline.contains("revoked"),
+            "static ledgers never mention revocation"
+        );
+
+        let mut ledger = ElisionLedger::build(&p, &cfg);
+        let elided = ledger
+            .records
+            .iter()
+            .find(|r| r.verdict == Verdict::Elide)
+            .cloned()
+            .expect("mixed program has an elided site");
+        let joined = ledger.join_revocations([
+            (
+                elided.method.as_str(),
+                elided.block,
+                elided.index,
+                "barrier panic mode: post-mark verify failed",
+            ),
+            ("no-such-method", 0, 0, "ignored"),
+        ]);
+        assert_eq!(joined, 1, "unknown sites are skipped, not errors");
+        assert_eq!(ledger.runtime_revoked(), 1);
+
+        let ndjson = ledger.to_ndjson();
+        let mut revoked_lines = 0;
+        for line in ndjson.lines() {
+            let v = wbe_telemetry::json::parse(line).expect("valid JSON");
+            if v.get("revoked").is_some() {
+                revoked_lines += 1;
+                assert_eq!(
+                    v.get("revoke_reason").unwrap().as_str().unwrap(),
+                    "barrier panic mode: post-mark verify failed"
+                );
+                assert_eq!(
+                    v.get("method").unwrap().as_str().unwrap(),
+                    elided.method.as_str()
+                );
+            }
+        }
+        assert_eq!(
+            revoked_lines, 1,
+            "only the joined record carries the fields"
+        );
+
+        // Stripping the joined record's extra fields recovers the exact
+        // baseline line: the join is purely additive.
+        let stripped: String = ndjson
+            .lines()
+            .map(|l| {
+                l.replace(
+                    ",\"revoked\":true,\"revoke_reason\":\"barrier panic mode: post-mark verify failed\"",
+                    "",
+                ) + "\n"
+            })
+            .collect();
+        assert_eq!(stripped, baseline);
     }
 }

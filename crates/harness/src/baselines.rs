@@ -18,6 +18,7 @@ use std::fmt::Write as _;
 use std::path::Path;
 
 use wbe_heap::gc::MarkStyle;
+use wbe_heap::{FaultConfig, FaultPlan, RecoveryPolicy};
 use wbe_interp::{BarrierConfig, BarrierMode, GcPolicy, Interp, Value};
 use wbe_opt::{OptMode, PipelineConfig};
 use wbe_telemetry::json::ObjWriter;
@@ -31,6 +32,17 @@ pub const DEFAULT_PATH: &str = "baselines/suite.ndjson";
 /// The scale baselines are measured at (multiplies each workload's
 /// default iteration count, matching the bench crate's reduced scale).
 pub const SCALE: f64 = 0.1;
+
+/// Pinned fault seed for the recovery probe: the baseline's recovery
+/// counters are the *exact* numbers this seed produces, so any change
+/// to the fault stream, the verifier, or the recovery state machine
+/// moves them and trips the gate.
+pub const RECOVERY_FAULT_SEED: u64 = 0x00C0_FFEE;
+/// Post-remark corruption rate (‰) for the recovery probe.
+const RECOVERY_CORRUPT_PM: u16 = 400;
+/// Workload scale for the recovery probe (kept small; the probe's
+/// counters are exact, not statistical).
+const RECOVERY_SCALE: f64 = 0.02;
 
 /// Relative tolerance for dynamic counts.
 const REL_TOL: f64 = 0.02;
@@ -73,6 +85,11 @@ pub struct BaselineSuite {
     pub pct_elided: f64,
     /// Scale the numbers were measured at.
     pub scale: f64,
+    /// Recovery attempts taken by the pinned-seed recovery probe
+    /// (exact; see [`RECOVERY_FAULT_SEED`]).
+    pub recoveries_attempted: u64,
+    /// Recovery attempts that healed the heap in the probe (exact).
+    pub recoveries_succeeded: u64,
 }
 
 fn bucket(v: u64) -> u64 {
@@ -151,6 +168,7 @@ pub fn measure(scale: f64) -> BaselineSuite {
             top_keep_code,
         });
     }
+    let (recoveries_attempted, recoveries_succeeded) = recovery_probe();
     BaselineSuite {
         rows,
         pct_elided: if total == 0 {
@@ -159,7 +177,39 @@ pub fn measure(scale: f64) -> BaselineSuite {
             100.0 * elim as f64 / total as f64
         },
         scale,
+        recoveries_attempted,
+        recoveries_succeeded,
     }
+}
+
+/// Runs the pinned-seed recovery probe: one `db` run with post-remark
+/// mark corruption injected under [`RECOVERY_FAULT_SEED`], invariant
+/// verification on, and the self-healing controller installed. The
+/// fault stream is a pure function of the seed, so the returned
+/// (attempted, succeeded) counters are exact and gate-able.
+fn recovery_probe() -> (u64, u64) {
+    let w = wbe_workloads::by_name("db").expect("db is a standard workload");
+    let cfg = PipelineConfig::new(OptMode::Full, 100);
+    let (compiled, elided) = compile_workload_with(&w, &cfg);
+    let bc = BarrierConfig::with_elision(BarrierMode::Checked, elided);
+    let mut interp = Interp::with_style(&compiled.program, bc, MarkStyle::Satb);
+    interp.set_gc_policy(GcPolicy {
+        alloc_trigger: 64,
+        step_interval: 8,
+        step_budget: 4,
+    });
+    interp.set_fault_plan(FaultPlan::new(FaultConfig {
+        corrupt_mark_pm: RECOVERY_CORRUPT_PM,
+        ..FaultConfig::from_seed(RECOVERY_FAULT_SEED)
+    }));
+    interp.set_verify_invariants(true);
+    interp.set_recovery(RecoveryPolicy { max_attempts: 5 });
+    let iters = ((w.default_iters as f64 * RECOVERY_SCALE) as i64).max(8);
+    interp
+        .run(w.entry, &[Value::Int(iters)], w.fuel_for(iters))
+        .unwrap_or_else(|t| panic!("recovery probe trapped: {t}"));
+    let rc = interp.recovery().expect("probe installed a controller");
+    (rc.stats.attempted, rc.stats.succeeded)
 }
 
 impl BaselineSuite {
@@ -183,8 +233,9 @@ impl BaselineSuite {
         }
         let _ = writeln!(
             out,
-            "{{\"workload\":\"__suite__\",\"pct_elided\":{:.3},\"scale\":{}}}",
-            self.pct_elided, self.scale
+            "{{\"workload\":\"__suite__\",\"pct_elided\":{:.3},\"scale\":{},\
+             \"recoveries_attempted\":{},\"recoveries_succeeded\":{}}}",
+            self.pct_elided, self.scale, self.recoveries_attempted, self.recoveries_succeeded
         );
         out
     }
@@ -212,6 +263,17 @@ impl BaselineSuite {
                     .get("scale")
                     .and_then(|f| f.as_f64())
                     .ok_or_else(|| format!("line {}: missing 'scale'", lineno + 1))?;
+                // Absent in pre-recovery baseline files: read as 0 so
+                // the gate reports the drift instead of failing to
+                // parse (fix with --update).
+                suite.recoveries_attempted = v
+                    .get("recoveries_attempted")
+                    .and_then(|f| f.as_u64())
+                    .unwrap_or(0);
+                suite.recoveries_succeeded = v
+                    .get("recoveries_succeeded")
+                    .and_then(|f| f.as_u64())
+                    .unwrap_or(0);
                 continue;
             }
             let get = |k: &str| -> Result<u64, String> {
@@ -313,6 +375,19 @@ pub fn compare(expected: &BaselineSuite, actual: &BaselineSuite) -> Vec<String> 
             expected.pct_elided, actual.pct_elided
         ));
     }
+    // The recovery probe is fully deterministic: exact equality.
+    if expected.recoveries_attempted != actual.recoveries_attempted {
+        violations.push(format!(
+            "suite: recoveries_attempted expected {}, got {}",
+            expected.recoveries_attempted, actual.recoveries_attempted
+        ));
+    }
+    if expected.recoveries_succeeded != actual.recoveries_succeeded {
+        violations.push(format!(
+            "suite: recoveries_succeeded expected {}, got {}",
+            expected.recoveries_succeeded, actual.recoveries_succeeded
+        ));
+    }
     violations
 }
 
@@ -373,8 +448,9 @@ pub fn run_check(path: &Path, update: bool) -> i32 {
         );
     }
     println!(
-        "suite    {:.3}% of barrier executions elided",
-        actual.pct_elided
+        "suite    {:.3}% of barrier executions elided, recovery probe {}/{} \
+         (seed {RECOVERY_FAULT_SEED:#x})",
+        actual.pct_elided, actual.recoveries_succeeded, actual.recoveries_attempted
     );
     if violations.is_empty() {
         println!("baselines OK ({})", path.display());
@@ -410,6 +486,10 @@ mod tests {
         // Sanity: the suite elides a substantial share of barriers.
         assert!(suite.pct_elided > 20.0, "{}", suite.pct_elided);
         assert!(suite.rows.iter().all(|r| r.static_sites > 0));
+        // The pinned-seed probe actually exercises recovery, and every
+        // attempt healed (the probe's corruption is transient).
+        assert!(suite.recoveries_attempted > 0);
+        assert_eq!(suite.recoveries_attempted, suite.recoveries_succeeded);
     }
 
     #[test]
@@ -422,8 +502,10 @@ mod tests {
         perturbed.rows[3].kept_cycles = perturbed.rows[3].kept_cycles * 2 + 100;
         perturbed.rows[4].top_keep_code = "no-such-code".to_string();
         perturbed.pct_elided += 10.0;
+        perturbed.recoveries_attempted += 1;
+        perturbed.recoveries_succeeded += 2;
         let violations = compare(&perturbed, &suite);
-        assert!(violations.len() >= 6, "{violations:?}");
+        assert!(violations.len() >= 8, "{violations:?}");
         assert!(
             violations.iter().any(|v| v.contains("kept_cycles")),
             "{violations:?}"
@@ -446,6 +528,18 @@ mod tests {
         );
         assert!(
             violations.iter().any(|v| v.contains("pct_elided")),
+            "{violations:?}"
+        );
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("recoveries_attempted")),
+            "{violations:?}"
+        );
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("recoveries_succeeded")),
             "{violations:?}"
         );
         // Scale mismatch is its own violation class.

@@ -19,6 +19,9 @@
 //! wbe_tool report  [workload|file.wbe ...] [--metrics-out m.json]
 //!                  [--trace-out t.ndjson] [--chrome-trace t.json]
 //!                  [--format text|ndjson] [--scale S]
+//! wbe_tool soak    [--rounds N] [--seed S] [--escalate] [--scale F]
+//!                  [--max-attempts K] [--threshold D] [--unrecoverable]
+//!                  [--format text|ndjson] [--out F] [--flight-out T]
 //! wbe_tool mcheck  [--threads N] [--schedules K] [--seed S]
 //!                  [--scenario chain|churn|shared] [--systematic]
 //!                  [--preempt-bound B] [--demo-unsound] [--fault-seed S]
@@ -71,7 +74,7 @@ use wbe_opt::{compile, OptMode, PipelineConfig};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: wbe_tool <verify|dump|analyze|explain|ledger|ledger-diff|run|export|report|bench|profile|mcheck> [<file.wbe|workload>] [options]\n\
+        "usage: wbe_tool <verify|dump|analyze|explain|ledger|ledger-diff|run|export|report|bench|profile|soak|mcheck> [<file.wbe|workload>] [options]\n\
          verify:  <file.wbe>  — or —  [workload ...] --faults N [--seed S] [--scale F] [--demo-unsound]\n\
          analyze: [--mode A|F] [--inline N] [--nos]\n\
          explain: [--method M] [--site N] [--mode A|F] [--inline N] [--nos]\n\
@@ -83,6 +86,9 @@ fn usage() -> ! {
          bench:   --check-baselines [--update] [--baselines PATH]\n\
          profile: [--workload W]... [--top N] [--scale S] [--format text|ndjson]\n\
                   [--out F] [--slo-max-pause N]   (exit 1 on SLO violation)\n\
+         soak:    [--rounds N] [--seed S] [--escalate] [--scale F] [--max-attempts K]\n\
+                  [--threshold D] [--unrecoverable] [--format text|ndjson] [--out F]\n\
+                  [--flight-out T]   (exit 0 clean / 1 degraded / 2 trapped)\n\
          {}",
         wbe_harness::mcheck::USAGE
     );
@@ -389,6 +395,89 @@ fn bench(rest: &[String]) -> i32 {
     wbe_harness::baselines::run_check(std::path::Path::new(&path), update)
 }
 
+/// `wbe_tool soak`: the chaos soak — the whole suite under seeded
+/// (optionally escalating) fault schedules with invariant verification
+/// and self-healing recovery on every run. Exit 0 clean, 1 when more
+/// runs degraded into barrier panic mode than `--threshold` allows,
+/// 2 on an unrecovered trap. On failure the flight-recorder ring is
+/// dumped as Chrome trace JSON to `--flight-out` and each failed run's
+/// replay handle is printed.
+fn soak(rest: &[String]) -> i32 {
+    use wbe_harness::soak::{run_soak, SoakOptions};
+    let mut opts = SoakOptions::default();
+    let mut out: Option<String> = None;
+    let mut flight_out = "soak-flight.trace.json".to_string();
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--rounds" => {
+                opts.rounds = it
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--seed" => {
+                opts.seed = it
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--scale" => {
+                opts.scale = it
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--max-attempts" => {
+                opts.max_attempts = it
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--threshold" => {
+                opts.threshold = it
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--escalate" => opts.escalate = true,
+            "--unrecoverable" => opts.unrecoverable = true,
+            "--format" => match it.next().map(String::as_str) {
+                Some("text") => opts.ndjson = false,
+                Some("ndjson") => opts.ndjson = true,
+                _ => usage(),
+            },
+            "--out" => out = Some(it.next().unwrap_or_else(|| usage()).clone()),
+            "--flight-out" => flight_out = it.next().unwrap_or_else(|| usage()).clone(),
+            _ => usage(),
+        }
+    }
+    let outcome = run_soak(&opts);
+    let report = outcome.render(&opts);
+    match &out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &report) {
+                eprintln!("cannot write {path}: {e}");
+                return 2;
+            }
+            eprintln!("soak report written to {path}");
+        }
+        None => print!("{report}"),
+    }
+    if outcome.exit_code != 0 {
+        if let Err(e) = std::fs::write(&flight_out, outcome.flight_chrome_trace()) {
+            eprintln!("cannot write flight recorder to {flight_out}: {e}");
+        } else {
+            eprintln!(
+                "flight recorder: {} events ({} discarded by the ring) -> {flight_out}",
+                outcome.flight.len(),
+                outcome.flight_discarded
+            );
+        }
+    }
+    outcome.exit_code
+}
+
 /// `wbe_tool verify` with fault flags: the differential fault-injection
 /// harness over built-in workloads. Exits 1 if any workload fails
 /// (observable divergence, trap, invariant violation, or an undetected
@@ -485,6 +574,9 @@ fn main() {
             usage()
         };
         exit(ledger_diff(old, new));
+    }
+    if args.first().map(String::as_str) == Some("soak") {
+        exit(soak(&args[1..]));
     }
     if args.first().map(String::as_str) == Some("mcheck") {
         let opts = wbe_harness::mcheck::parse(&args[1..]).unwrap_or_else(|e| {

@@ -100,6 +100,9 @@ fn render_site(out: &mut String, rec: &SiteRecord) {
             "  note: null-or-same (§4.3) elides this site with W_NS"
         );
     }
+    if rec.revoked {
+        let _ = writeln!(out, "  REVOKED at runtime — {}", rec.revoke_reason);
+    }
 }
 
 /// Deliberately flips every `elide` record to `keep` — the ledger-diff
@@ -313,6 +316,39 @@ mod tests {
         assert!(!one.contains("ELIDE ("), "{one}");
         let none = explain(&ledger, Some("nope"), None);
         assert!(none.contains("no matching barrier site"), "{none}");
+    }
+
+    #[test]
+    fn explain_shows_runtime_revocations_without_diff_flips() {
+        let p = sample_program();
+        let ledger = build_ledger(&p, OptMode::Full, 100, false).unwrap();
+        let mut joined = ledger.clone();
+        let elided = joined
+            .records
+            .iter()
+            .find(|r| r.verdict == Verdict::Elide)
+            .cloned()
+            .unwrap();
+        assert_eq!(
+            joined.join_revocations([(
+                elided.method.as_str(),
+                elided.block,
+                elided.index,
+                "barrier panic mode: post-mark verify failed",
+            )]),
+            1
+        );
+        let text = explain(&joined, None, None);
+        assert!(
+            text.contains("REVOKED at runtime — barrier panic mode"),
+            "{text}"
+        );
+        // Runtime revocation is provenance, not a verdict change: the
+        // diff between the static and the joined ledger stays empty.
+        let old = parse_ledger(&ledger.to_ndjson()).unwrap();
+        let new = parse_ledger(&joined.to_ndjson()).unwrap();
+        let d = diff_ledgers(&old, &new);
+        assert!(d.is_empty(), "{d}");
     }
 
     #[test]

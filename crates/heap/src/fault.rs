@@ -40,6 +40,12 @@ pub struct FaultConfig {
     /// Number of allocations guaranteed to succeed after an injected
     /// failure, so the mutator's retry always makes progress.
     pub alloc_grace: u32,
+    /// ‰ chance the mark state is corrupted (one mark bit cleared)
+    /// right after a cycle's remark — the chaos fault the recovery
+    /// layer exists to heal. Zero in every standard schedule; the
+    /// decision point is only consulted when non-zero, so enabling it
+    /// does not perturb existing seeded streams.
+    pub corrupt_mark_pm: u16,
 }
 
 impl FaultConfig {
@@ -54,6 +60,34 @@ impl FaultConfig {
             drain_boost_factor: 16,
             alloc_fail_pm: 15,
             alloc_grace: 16,
+            corrupt_mark_pm: 0,
+        }
+    }
+
+    /// Scales the schedule for chaos-soak escalation `level` (0 = the
+    /// standard schedule). Each level multiplies the perturbation rates
+    /// (capped at 1000‰), shrinks the allocation grace window, and —
+    /// from level 1 up — enables post-remark mark-state corruption so
+    /// the recovery path is actually exercised.
+    pub fn escalate(self, level: u32) -> Self {
+        let scale = |pm: u16| -> u16 {
+            let factor = 1 + u64::from(level.min(8));
+            (u64::from(pm) * factor).min(1000) as u16
+        };
+        FaultConfig {
+            seed: self.seed,
+            defer_start_pm: scale(self.defer_start_pm),
+            early_start_pm: scale(self.early_start_pm),
+            skip_step_pm: scale(self.skip_step_pm),
+            drain_boost_pm: scale(self.drain_boost_pm),
+            drain_boost_factor: self.drain_boost_factor,
+            alloc_fail_pm: scale(self.alloc_fail_pm),
+            alloc_grace: (self.alloc_grace >> level.min(4)).max(2),
+            corrupt_mark_pm: if level == 0 {
+                self.corrupt_mark_pm
+            } else {
+                (25 * u16::try_from(level.min(8)).unwrap_or(8)).min(1000)
+            },
         }
     }
 }
@@ -73,6 +107,8 @@ pub struct FaultStats {
     pub drain_boosts: u64,
     /// Allocation failures injected.
     pub alloc_failures: u64,
+    /// Post-remark mark-state corruptions injected.
+    pub mark_corruptions: u64,
 }
 
 impl FaultStats {
@@ -83,6 +119,7 @@ impl FaultStats {
             + self.skipped_steps
             + self.drain_boosts
             + self.alloc_failures
+            + self.mark_corruptions
     }
 }
 
@@ -91,13 +128,14 @@ impl fmt::Display for FaultStats {
         write!(
             f,
             "{} faults ({} deferred starts, {} early starts, {} skipped steps, \
-             {} drain boosts, {} alloc failures) over {} decisions",
+             {} drain boosts, {} alloc failures, {} mark corruptions) over {} decisions",
             self.injected(),
             self.deferred_starts,
             self.early_starts,
             self.skipped_steps,
             self.drain_boosts,
             self.alloc_failures,
+            self.mark_corruptions,
             self.decisions
         )
     }
@@ -197,6 +235,18 @@ impl FaultPlan {
         hit
     }
 
+    /// Should the mark state be corrupted after this cycle's remark?
+    /// Never consults the decision stream while the knob is zero, so
+    /// standard (non-chaos) schedules keep bit-identical streams.
+    pub fn corrupt_post_mark(&mut self) -> bool {
+        if self.cfg.corrupt_mark_pm == 0 {
+            return false;
+        }
+        let hit = self.roll(self.cfg.corrupt_mark_pm);
+        self.stats.mark_corruptions += u64::from(hit);
+        hit
+    }
+
     /// A digest of the plan's entire history: equal digests mean equal
     /// decision streams. Used to assert seed-reproducibility.
     pub fn digest(&self) -> u64 {
@@ -208,6 +258,7 @@ impl FaultPlan {
             self.stats.skipped_steps,
             self.stats.drain_boosts,
             self.stats.alloc_failures,
+            self.stats.mark_corruptions,
         ] {
             d = (d ^ part).wrapping_mul(0x100_0000_01b3);
         }
@@ -265,6 +316,48 @@ mod tests {
         let hits = (0..n).filter(|_| p.roll(250)).count();
         let rate = hits as f64 / n as f64;
         assert!((0.2..0.3).contains(&rate), "rate {rate}");
+    }
+
+    #[test]
+    fn disabled_corruption_never_touches_the_stream() {
+        let mut plain = FaultPlan::from_seed(42);
+        let mut chaosless = FaultPlan::from_seed(42);
+        for _ in 0..500 {
+            assert!(!chaosless.corrupt_post_mark(), "knob is 0: never fires");
+            assert_eq!(plain.skip_mark_step(), chaosless.skip_mark_step());
+            assert_eq!(plain.should_fail_alloc(), chaosless.should_fail_alloc());
+        }
+        assert_eq!(
+            plain.digest(),
+            chaosless.digest(),
+            "corrupt_post_mark with pm=0 must not consume decisions"
+        );
+    }
+
+    #[test]
+    fn enabled_corruption_fires_and_counts() {
+        let mut p = FaultPlan::new(FaultConfig {
+            corrupt_mark_pm: 1000,
+            ..FaultConfig::from_seed(11)
+        });
+        assert!(p.corrupt_post_mark());
+        assert_eq!(p.stats.mark_corruptions, 1);
+        assert_eq!(p.stats.injected(), 1);
+    }
+
+    #[test]
+    fn escalate_scales_rates_and_enables_corruption() {
+        let base = FaultConfig::from_seed(3);
+        assert_eq!(base.escalate(0), base, "level 0 is the identity");
+        let l2 = base.escalate(2);
+        assert_eq!(l2.seed, base.seed, "seed never changes");
+        assert_eq!(l2.defer_start_pm, base.defer_start_pm * 3);
+        assert!(l2.corrupt_mark_pm > 0, "chaos on from level 1 up");
+        assert!(l2.alloc_grace < base.alloc_grace);
+        // Rates saturate instead of overflowing.
+        let hot = base.escalate(40);
+        assert!(hot.defer_start_pm <= 1000);
+        assert!(hot.alloc_grace >= 2, "grace floor keeps retries viable");
     }
 
     #[test]

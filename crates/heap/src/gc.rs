@@ -270,6 +270,16 @@ impl GcState {
         }
     }
 
+    /// Clears `r`'s mark bit. **Fault injection only**: this forges the
+    /// exact corruption an unsound elision produces (a reachable object
+    /// the cycle never shaded), so the chaos harness can exercise the
+    /// recovery path on demand. Never called by the collector itself.
+    pub fn clear_mark(&mut self, r: GcRef) {
+        if let Some(bit) = self.mark.get_mut(r.index()) {
+            *bit = false;
+        }
+    }
+
     /// Allocator hook. During SATB marking, new objects are allocated
     /// black (implicitly marked): they are not part of the snapshot and
     /// the marker never examines them — the key SATB advantage.

@@ -230,6 +230,23 @@ impl Heap {
             .collect()
     }
 
+    /// Chaos hook: clears the mark bit of the lowest-index marked live
+    /// object and returns it (`None` if nothing is marked). Injected by
+    /// the soak harness after a remark to forge the corruption an
+    /// unsound elision would cause; the recovery layer must then heal
+    /// it with a fresh stop-the-world re-mark. Deterministic by
+    /// construction — "lowest index" depends only on heap layout, which
+    /// is itself a pure function of the run's seed.
+    pub fn chaos_clear_mark(&mut self) -> Option<GcRef> {
+        let victim = self
+            .store
+            .iter_live()
+            .map(|(r, _)| r)
+            .find(|&r| self.gc.is_marked(r))?;
+        self.gc.clear_mark(victim);
+        Some(victim)
+    }
+
     /// References stored in statics with their static indices (for the
     /// invariant verifier's dangling-static reporting).
     pub fn static_ref_slots(&self) -> impl Iterator<Item = (usize, GcRef)> + '_ {

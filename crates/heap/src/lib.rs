@@ -51,6 +51,7 @@ pub mod gc;
 pub mod heap;
 pub mod mcheck;
 pub mod object;
+pub mod recover;
 pub mod safepoint;
 pub mod sched;
 pub mod threaded;
@@ -61,6 +62,7 @@ pub use fault::{FaultConfig, FaultPlan, FaultStats};
 pub use heap::{Heap, HeapError, HeapStats, Store};
 pub use mcheck::{CheckerConfig, FailingSchedule, McheckReport, Replay};
 pub use object::{HeapObject, ObjKind, TraceState};
-pub use safepoint::{EpochState, SatbBuffer};
+pub use recover::{RecoveryAction, RecoveryController, RecoveryPolicy, RecoveryStats};
+pub use safepoint::{EpochState, SatbBuffer, SnapshotBeforeAck};
 pub use sched::{Scenario, SchedConfig, SchedCounters, ScheduleOutcome, SchedulePolicy};
 pub use value::{FieldShape, GcRef, Value};

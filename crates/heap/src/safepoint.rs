@@ -25,8 +25,38 @@
 //! uses them directly, and the threaded demo wraps them behind its own
 //! synchronization.
 
+use std::fmt;
+
 use crate::gc::GcState;
 use crate::value::GcRef;
+
+/// Error: a snapshot was attempted before every mutator had
+/// acknowledged the armed epoch. Taking the snapshot anyway would let
+/// an unsynchronized thread run elided (barrier-free) stores against a
+/// snapshot it does not know exists — the exact unsoundness the epoch
+/// protocol prevents. Release builds surface this as an error instead
+/// of silently proceeding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SnapshotBeforeAck {
+    /// The epoch the snapshot was attempted for.
+    pub epoch: u64,
+    /// Threads that had acknowledged it.
+    pub acked: usize,
+    /// Threads the epoch waits on in total.
+    pub threads: usize,
+}
+
+impl fmt::Display for SnapshotBeforeAck {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "snapshot before full acknowledgement: epoch {} acked by {}/{} threads",
+            self.epoch, self.acked, self.threads
+        )
+    }
+}
+
+impl std::error::Error for SnapshotBeforeAck {}
 
 /// Counters for one per-thread SATB buffer.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -146,9 +176,23 @@ impl EpochState {
 
     /// Records that the snapshot was taken (all mutators had
     /// acknowledged; `begin_marking` ran).
-    pub fn snapshot_taken(&mut self) {
-        debug_assert!(self.all_acked(), "snapshot before full acknowledgement");
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotBeforeAck`] if some mutator has not acknowledged the
+    /// current epoch — a protocol violation the caller must surface
+    /// (the phase is left unchanged, so no thread observes a snapshot
+    /// it never synchronized with).
+    pub fn snapshot_taken(&mut self) -> Result<(), SnapshotBeforeAck> {
+        if !self.all_acked() {
+            return Err(SnapshotBeforeAck {
+                epoch: self.epoch,
+                acked: self.acks.iter().filter(|&&a| a == self.epoch).count(),
+                threads: self.acks.len(),
+            });
+        }
         self.phase = EpochPhase::Marking;
+        Ok(())
     }
 
     /// Ends the cycle: the remark + sweep completed and the world
@@ -247,7 +291,7 @@ mod tests {
         assert!(!e.local_marking(0), "snapshot not yet taken");
         e.ack(1);
         assert!(e.all_acked());
-        e.snapshot_taken();
+        e.snapshot_taken().unwrap();
         assert!(e.local_marking(0) && e.local_marking(1));
         e.end_cycle();
         assert!(!e.local_marking(0));
@@ -255,6 +299,28 @@ mod tests {
         assert_eq!(e.stats.armed, 1);
         assert_eq!(e.stats.acks, 2);
         assert_eq!(e.stats.gated_elisions, 1);
+    }
+
+    #[test]
+    fn premature_snapshot_is_a_real_error() {
+        let mut e = EpochState::new(3);
+        e.arm();
+        e.ack(0);
+        let err = e.snapshot_taken().unwrap_err();
+        assert_eq!(
+            err,
+            SnapshotBeforeAck {
+                epoch: 1,
+                acked: 1,
+                threads: 3
+            }
+        );
+        assert!(err.to_string().contains("1/3"));
+        assert_eq!(e.phase(), EpochPhase::Armed, "phase unchanged on rejection");
+        e.ack(1);
+        e.ack(2);
+        e.snapshot_taken().unwrap();
+        assert_eq!(e.phase(), EpochPhase::Marking);
     }
 
     #[test]
@@ -282,7 +348,7 @@ mod tests {
         h.set_field(a, 0, Value::NULL).unwrap();
         e.ack(0);
         h.gc.begin_marking(&mut h.store, &[a]);
-        e.snapshot_taken();
+        e.snapshot_taken().unwrap();
         h.gc.remark(&mut h.store, &[a]);
         e.end_cycle();
         assert!(!h.gc.is_marked(b), "b died before the snapshot");

@@ -152,6 +152,14 @@ pub struct SchedConfig {
     /// Optional PR 2 fault schedule (allocation failures, skipped and
     /// boosted mark steps) composed into the run.
     pub fault: Option<FaultConfig>,
+    /// Safepoint-watchdog deadline, in scheduler steps: how long an
+    /// armed epoch may wait for acknowledgements before the watchdog
+    /// escalates. Past the deadline an unacked mutator's next step is
+    /// forced to poll (a pacing hint); past twice the deadline the
+    /// marker performs an emergency rendezvous, abandoning the arm so
+    /// the world cannot stall. The default is far beyond any healthy
+    /// schedule, so the watchdog observes without interfering.
+    pub arm_deadline: u32,
 }
 
 impl Default for SchedConfig {
@@ -165,6 +173,7 @@ impl Default for SchedConfig {
             mark_budget: 2,
             demo_unsound: false,
             fault: None,
+            arm_deadline: 10_000,
         }
     }
 }
@@ -286,11 +295,17 @@ pub struct SchedCounters {
     pub swept: u64,
     /// SATB entries drained during stop-the-world remarks.
     pub remark_drained: u64,
+    /// Watchdog pacing hints: overdue-arm polls forced on unacked
+    /// mutators past [`SchedConfig::arm_deadline`].
+    pub watchdog_pacing: u64,
+    /// Watchdog emergency rendezvous: arms abandoned past twice the
+    /// deadline so the world cannot stall waiting for an ack.
+    pub watchdog_emergency: u64,
 }
 
 impl SchedCounters {
     /// The counters as a fixed field array (digest + reporting order).
-    pub fn fields(&self) -> [u64; 22] {
+    pub fn fields(&self) -> [u64; 24] {
         [
             self.steps,
             self.mutator_ops,
@@ -313,6 +328,8 @@ impl SchedCounters {
             self.cycles,
             self.swept,
             self.remark_drained,
+            self.watchdog_pacing,
+            self.watchdog_emergency,
             0,
         ]
     }
@@ -341,12 +358,14 @@ impl SchedCounters {
         self.cycles += other.cycles;
         self.swept += other.swept;
         self.remark_drained += other.remark_drained;
+        self.watchdog_pacing += other.watchdog_pacing;
+        self.watchdog_emergency += other.watchdog_emergency;
     }
 
     /// Mirrors the counters into the global telemetry registry under
     /// `sched.*`.
     pub fn publish(&self) {
-        let pairs: [(&str, u64); 12] = [
+        let pairs: [(&str, u64); 14] = [
             ("sched.steps", self.steps),
             ("sched.ops", self.mutator_ops),
             ("sched.elided_stores", self.elided_stores),
@@ -359,6 +378,11 @@ impl SchedCounters {
             ("sched.cycles", self.cycles),
             ("sched.swept", self.swept),
             ("sched.alloc_faults", self.alloc_faults),
+            ("sched.watchdog.pacing_hints", self.watchdog_pacing),
+            (
+                "sched.watchdog.emergency_rendezvous",
+                self.watchdog_emergency,
+            ),
         ];
         for (name, v) in pairs {
             wbe_telemetry::counter(name).add(v);
@@ -479,6 +503,9 @@ struct World {
     /// Snapshot-reachable set recorded at the current cycle's
     /// `begin_marking`, audited at its sweep.
     snapshot: Option<BTreeSet<GcRef>>,
+    /// Step at which the current epoch was armed; the watchdog measures
+    /// ack latency against this.
+    armed_at: Option<usize>,
     counters: SchedCounters,
     violations: Vec<ScheduleViolation>,
     step: usize,
@@ -531,6 +558,7 @@ impl World {
             stop_requested: false,
             shared,
             snapshot: None,
+            armed_at: None,
             counters: SchedCounters::default(),
             violations: Vec::new(),
             step: 0,
@@ -553,6 +581,27 @@ impl World {
 
     fn all_parked(&self) -> bool {
         self.mutators.iter().all(|m| m.done || m.parked)
+    }
+
+    /// Steps the current epoch has been armed without full
+    /// acknowledgement (0 when no epoch is armed).
+    fn arm_age(&self) -> usize {
+        match (self.marker, self.armed_at) {
+            (MarkerState::Arming, Some(at)) => self.step.saturating_sub(at),
+            _ => 0,
+        }
+    }
+
+    /// Watchdog level 1: past the deadline, stalled mutators are paced
+    /// (their next step polls immediately).
+    fn arm_overdue(&self) -> bool {
+        self.arm_age() > self.cfg.arm_deadline as usize
+    }
+
+    /// Watchdog level 2: past twice the deadline, the marker abandons
+    /// the arm in an emergency rendezvous rather than stall the world.
+    fn arm_emergency_due(&self) -> bool {
+        self.arm_age() > 2 * self.cfg.arm_deadline as usize
     }
 
     /// Bitmask of runnable logical threads. A thread is runnable only
@@ -578,7 +627,7 @@ impl World {
                     true
                 }
             }
-            MarkerState::Arming => self.epoch.all_acked(),
+            MarkerState::Arming => self.epoch.all_acked() || self.arm_emergency_due(),
             MarkerState::Marking => !(honor_rests && self.marker_rest),
             MarkerState::Rendezvous => self.all_parked(),
         };
@@ -638,7 +687,20 @@ impl World {
     /// full-barrier path.
     fn mutator_step(&mut self, tid: usize) {
         let retiring = self.mutators[tid].ops_done >= self.cfg.ops_per_thread;
-        if retiring || self.mutators[tid].since_poll >= self.cfg.poll_interval {
+        // Watchdog pacing hint: a thread that has left an armed epoch
+        // unacknowledged past the deadline polls now instead of at its
+        // usual cadence, bounding how long the snapshot can stall.
+        let paced = self.arm_overdue() && !self.epoch.acked(tid);
+        if paced {
+            self.counters.watchdog_pacing += 1;
+            if wbe_telemetry::tracing_enabled() {
+                wbe_telemetry::trace::event(
+                    "sched.watchdog.pacing",
+                    format!("t{tid} step {} arm age {}", self.step, self.arm_age()),
+                );
+            }
+        }
+        if retiring || paced || self.mutators[tid].since_poll >= self.cfg.poll_interval {
             // Safepoint poll: flush the local buffer, acknowledge any
             // pending epoch, honour a stop request, and (last poll)
             // retire. Entries logged before the ack are pre-snapshot;
@@ -814,6 +876,7 @@ impl World {
                         }
                     }
                     self.marker = MarkerState::Arming;
+                    self.armed_at = Some(self.step);
                 } else {
                     self.marker = MarkerState::Idle {
                         countdown: countdown - 1,
@@ -822,6 +885,25 @@ impl World {
             }
             MarkerState::Arming => {
                 if !self.epoch.all_acked() {
+                    if self.arm_emergency_due() {
+                        // Watchdog level 2: some mutator never reached a
+                        // safepoint within twice the deadline. Abandon
+                        // the arm — an emergency rendezvous back to idle
+                        // — rather than stall the world forever.
+                        self.counters.watchdog_emergency += 1;
+                        if wbe_telemetry::tracing_enabled() {
+                            wbe_telemetry::trace::event(
+                                "sched.watchdog.emergency",
+                                format!("step {} arm age {}", self.step, self.arm_age()),
+                            );
+                        }
+                        self.epoch.end_cycle();
+                        self.armed_at = None;
+                        self.marker = MarkerState::Idle {
+                            countdown: self.cfg.cycle_gap,
+                        };
+                        return;
+                    }
                     self.counters.marker_waits += 1;
                     return;
                 }
@@ -830,19 +912,25 @@ impl World {
                 let roots = self.roots();
                 if let Err(e) = self.heap.gc.try_begin_marking(&mut self.heap.store, &roots) {
                     self.violation(ViolationKind::Protocol, e.to_string());
+                    self.armed_at = None;
                     self.marker = MarkerState::Idle {
                         countdown: self.cfg.cycle_gap,
                     };
                     return;
                 }
                 self.snapshot = Some(verify::reachable_set(&self.heap, &roots));
-                self.epoch.snapshot_taken();
+                if let Err(e) = self.epoch.snapshot_taken() {
+                    // Unreachable (the all_acked gate above) but the
+                    // protocol error is reportable, not a panic.
+                    self.violation(ViolationKind::Protocol, e.to_string());
+                }
                 if wbe_telemetry::tracing_enabled() {
                     wbe_telemetry::trace::event(
                         "sched.epoch.snapshot",
                         format!("step {} roots {}", self.step, roots.len()),
                     );
                 }
+                self.armed_at = None;
                 self.marker = MarkerState::Marking;
                 self.marker_rest = true;
             }
@@ -1188,6 +1276,51 @@ mod tests {
             any_fault |= out.counters.alloc_faults > 0 || out.counters.fault_skipped_steps > 0;
         }
         assert!(any_fault, "fault plan injected nothing across 20 seeds");
+    }
+
+    #[test]
+    fn watchdog_pacing_forces_overdue_acks() {
+        // Deadline 0: an armed epoch is overdue after a single step, so
+        // any stalled mutator's next slice is forced to poll. The
+        // schedules stay sound — pacing only moves polls earlier.
+        let c = SchedConfig {
+            arm_deadline: 0,
+            ..cfg(2, Scenario::Chain)
+        };
+        let mut paced = 0;
+        for seed in 0..10u64 {
+            let out = run_schedule(&c, &SchedulePolicy::Random { seed });
+            assert!(
+                out.violations.is_empty(),
+                "seed {seed}: {:?}",
+                out.violations
+            );
+            paced += out.counters.watchdog_pacing;
+        }
+        assert!(paced > 0, "no pacing hint fired across 10 seeds");
+    }
+
+    #[test]
+    fn watchdog_emergency_abandons_stalled_arm() {
+        // Script the marker to keep running while its armed epoch is
+        // unacknowledged: with deadline 0 the arm is emergency-due one
+        // step after arming, so the marker abandons it (rather than
+        // stalling) and the world completes once the mutator runs.
+        let c = SchedConfig {
+            arm_deadline: 0,
+            ..cfg(1, Scenario::Chain)
+        };
+        let marker = marker_id(1);
+        let mut prefix = vec![marker; 8];
+        prefix.extend(std::iter::repeat_n(0u8, 60));
+        let out = run_schedule(&c, &SchedulePolicy::Scripted { prefix });
+        assert!(
+            out.counters.watchdog_emergency > 0,
+            "stalled arm was not abandoned: {:?}",
+            out.counters
+        );
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+        assert!(out.counters.cycles >= 1, "the world still completed");
     }
 
     #[test]

@@ -28,9 +28,11 @@
 //! shim used in sandboxed builds has no `Condvar`, so waits are
 //! spin-then-yield loops.
 
+use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::thread;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
@@ -38,6 +40,79 @@ use crate::gc::{CycleInProgress, PauseReport};
 use crate::heap::Heap;
 use crate::safepoint::SatbBuffer;
 use crate::value::GcRef;
+
+/// Default deadline for every protocol wait (snapshot handshake,
+/// rendezvous park, resume). Far beyond any healthy handshake; a wait
+/// that exceeds it means a thread stopped polling and the protocol
+/// surfaces [`StwError::Timeout`] instead of hanging.
+const DEFAULT_WAIT_TIMEOUT_MS: u64 = 5_000;
+
+/// Why a bounded protocol wait gave up.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StwError {
+    /// A wait exceeded the coordinator's deadline: some thread never
+    /// reached the expected safepoint state.
+    Timeout {
+        /// What the wait was for (`"parks"`, `"resume"`).
+        waiting_for: &'static str,
+        /// Backoff iterations spent before giving up.
+        spins: u64,
+    },
+    /// The marker thread panicked; its concurrent work is lost and the
+    /// cycle cannot be finished.
+    MarkerPanicked,
+}
+
+impl fmt::Display for StwError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StwError::Timeout { waiting_for, spins } => {
+                write!(
+                    f,
+                    "safepoint wait for {waiting_for} timed out after {spins} spins"
+                )
+            }
+            StwError::MarkerPanicked => f.write_str("marker thread panicked"),
+        }
+    }
+}
+
+impl std::error::Error for StwError {}
+
+/// Bounded spin-wait: a short hot spin, then yields, then exponentially
+/// backed-off sleeps (capped at ~1 ms), until a wall-clock deadline.
+/// The `parking_lot` shim used in sandboxed builds has no `Condvar`, so
+/// this ladder is the waiting primitive for the whole module.
+struct Backoff {
+    spins: u64,
+    deadline: Instant,
+}
+
+impl Backoff {
+    fn new(timeout: Duration) -> Backoff {
+        Backoff {
+            spins: 0,
+            deadline: Instant::now() + timeout,
+        }
+    }
+
+    /// One wait step. Returns `false` once the deadline has passed.
+    fn wait(&mut self) -> bool {
+        if Instant::now() >= self.deadline {
+            return false;
+        }
+        self.spins += 1;
+        if self.spins < 64 {
+            std::hint::spin_loop();
+        } else if self.spins < 256 {
+            thread::yield_now();
+        } else {
+            let exp = (self.spins - 256).min(10) as u32;
+            thread::sleep(Duration::from_micros(1 << exp));
+        }
+        true
+    }
+}
 
 /// Protocol phases, mirrored from [`crate::safepoint::EpochPhase`] with
 /// the extra stop-the-world state real threads need.
@@ -62,6 +137,10 @@ pub struct SafepointCounters {
     pub gated_elisions: u64,
     /// Spin iterations the marker spent waiting for acknowledgements.
     pub handshake_spins: u64,
+    /// Bounded waits that hit their deadline (handshake, park, or
+    /// resume) — each one a hang that previous versions spun on
+    /// forever.
+    pub watchdog_timeouts: u64,
 }
 
 /// Shared safepoint coordination for a fixed set of real mutator
@@ -80,6 +159,10 @@ pub struct SafepointCtl {
     c_flushed_entries: AtomicU64,
     c_gated: AtomicU64,
     c_handshake_spins: AtomicU64,
+    c_watchdog_timeouts: AtomicU64,
+    /// Deadline for every bounded protocol wait, in milliseconds.
+    /// Tests shrink it to exercise the timeout paths quickly.
+    wait_timeout_ms: AtomicU64,
     published: Mutex<SafepointCounters>,
 }
 
@@ -110,8 +193,33 @@ impl SafepointCtl {
             c_flushed_entries: AtomicU64::new(0),
             c_gated: AtomicU64::new(0),
             c_handshake_spins: AtomicU64::new(0),
+            c_watchdog_timeouts: AtomicU64::new(0),
+            wait_timeout_ms: AtomicU64::new(DEFAULT_WAIT_TIMEOUT_MS),
             published: Mutex::new(SafepointCounters::default()),
         })
+    }
+
+    /// Overrides the deadline for every bounded protocol wait. The
+    /// default (5 s) is generous; tests and watchdog-sensitive callers
+    /// may tighten it.
+    pub fn set_wait_timeout(&self, timeout: Duration) {
+        self.wait_timeout_ms
+            .store(timeout.as_millis() as u64, Ordering::SeqCst);
+    }
+
+    fn wait_timeout(&self) -> Duration {
+        Duration::from_millis(self.wait_timeout_ms.load(Ordering::SeqCst))
+    }
+
+    fn watchdog_timeout(&self, waiting_for: &'static str, spins: u64) -> StwError {
+        self.c_watchdog_timeouts.fetch_add(1, Ordering::SeqCst);
+        if wbe_telemetry::tracing_enabled() {
+            wbe_telemetry::trace::event(
+                "threaded.watchdog.timeout",
+                format!("waiting for {waiting_for} ({spins} spins)"),
+            );
+        }
+        StwError::Timeout { waiting_for, spins }
     }
 
     /// Claims the next mutator slot. Call once per mutator thread,
@@ -141,6 +249,7 @@ impl SafepointCtl {
             flushed_entries: self.c_flushed_entries.load(Ordering::SeqCst),
             gated_elisions: self.c_gated.load(Ordering::SeqCst),
             handshake_spins: self.c_handshake_spins.load(Ordering::SeqCst),
+            watchdog_timeouts: self.c_watchdog_timeouts.load(Ordering::SeqCst),
         }
     }
 
@@ -167,6 +276,11 @@ impl SafepointCtl {
                 "threaded.safepoint.handshake_spins",
                 now.handshake_spins,
                 prev.handshake_spins,
+            ),
+            (
+                "threaded.watchdog.timeouts",
+                now.watchdog_timeouts,
+                prev.watchdog_timeouts,
             ),
         ] {
             wbe_telemetry::counter(name).add(cur - old);
@@ -258,7 +372,14 @@ impl MutatorHandle {
     /// buffer, and parks for the duration of a stop-the-world
     /// rendezvous. Call regularly from mutator loops, **without**
     /// holding the heap lock (the poll takes it internally to flush).
-    pub fn safepoint(&mut self, heap: &Mutex<Heap>) {
+    ///
+    /// # Errors
+    ///
+    /// [`StwError::Timeout`] if a rendezvous park is never released —
+    /// the coordinator died or stalled. The thread un-parks before
+    /// returning so the coordinator (if it recovers) does not count a
+    /// ghost park.
+    pub fn safepoint(&mut self, heap: &Mutex<Heap>) -> Result<(), StwError> {
         loop {
             match self.ctl.phase.load(Ordering::SeqCst) {
                 PHASE_ARMED => {
@@ -266,14 +387,18 @@ impl MutatorHandle {
                     // Ack handshake: give the marker a chance to take
                     // the snapshot before this thread resumes.
                     thread::yield_now();
-                    return;
+                    return Ok(());
                 }
                 PHASE_STOPPING => {
                     self.flush(heap);
                     self.ctl.parked[self.tid].store(true, Ordering::SeqCst);
                     self.ctl.c_parks.fetch_add(1, Ordering::SeqCst);
+                    let mut backoff = Backoff::new(self.ctl.wait_timeout());
                     while self.ctl.phase.load(Ordering::SeqCst) == PHASE_STOPPING {
-                        thread::yield_now();
+                        if !backoff.wait() {
+                            self.ctl.parked[self.tid].store(false, Ordering::SeqCst);
+                            return Err(self.ctl.watchdog_timeout("resume", backoff.spins));
+                        }
                     }
                     self.ctl.parked[self.tid].store(false, Ordering::SeqCst);
                     // Re-poll: the world may have resumed straight into
@@ -283,7 +408,7 @@ impl MutatorHandle {
                     if self.buf.depth() > 0 {
                         self.flush(heap);
                     }
-                    return;
+                    return Ok(());
                 }
             }
         }
@@ -388,12 +513,19 @@ impl ConcurrentCycle {
             let roots = roots.to_vec();
             thread::spawn(move || {
                 // Snapshot handshake: every live mutator acks first.
+                // Bounded — a mutator that stops polling abandons the
+                // cycle (finish() reports `cycle_ran: false`) instead of
+                // spinning the marker forever.
+                let mut backoff = Backoff::new(ctl.wait_timeout());
                 while !ctl.all_acked(epoch) {
                     if stop.load(Ordering::Acquire) {
                         return 0; // finished before the handshake
                     }
                     ctl.c_handshake_spins.fetch_add(1, Ordering::SeqCst);
-                    thread::yield_now();
+                    if !backoff.wait() {
+                        let _ = ctl.watchdog_timeout("acks", backoff.spins);
+                        return 0;
+                    }
                 }
                 {
                     let mut h = heap.lock();
@@ -443,18 +575,43 @@ impl ConcurrentCycle {
     /// registered mutator to flush and park at a safepoint, joins the
     /// marker, then remarks (statics + `final_roots`) and sweeps with
     /// the world stopped before resuming it.
-    pub fn finish(mut self, final_roots: &[GcRef]) -> StwReport {
+    ///
+    /// # Errors
+    ///
+    /// * [`StwError::Timeout`] if a registered mutator never parks
+    ///   (stopped polling without retiring). The marker is stopped and
+    ///   the world resumed before returning, so the caller can retry or
+    ///   escalate; the collector may be left mid-cycle, which the next
+    ///   [`ConcurrentCycle::start`] reports.
+    /// * [`StwError::MarkerPanicked`] if the marker thread panicked;
+    ///   its concurrent work is lost.
+    pub fn finish(mut self, final_roots: &[GcRef]) -> Result<StwReport, StwError> {
         self.ctl.phase.store(PHASE_STOPPING, Ordering::SeqCst);
+        let mut backoff = Backoff::new(self.ctl.wait_timeout());
         while !self.ctl.all_parked() {
-            thread::yield_now();
+            if !backoff.wait() {
+                // A mutator never reached its safepoint. Clean up —
+                // stop the marker, resume the world — then surface the
+                // stall instead of hanging the coordinator.
+                self.stop.store(true, Ordering::Release);
+                if let Some(m) = self.marker.take() {
+                    let _ = m.join();
+                }
+                self.ctl.phase.store(PHASE_IDLE, Ordering::SeqCst);
+                let err = self.ctl.watchdog_timeout("parks", backoff.spins);
+                self.ctl.publish_metrics();
+                return Err(err);
+            }
         }
         self.stop.store(true, Ordering::Release);
-        let concurrent_units = self
-            .marker
-            .take()
-            .expect("finish called once")
-            .join()
-            .expect("marker thread panicked");
+        let concurrent_units = match self.marker.take().expect("finish called once").join() {
+            Ok(units) => units,
+            Err(_) => {
+                self.ctl.phase.store(PHASE_IDLE, Ordering::SeqCst);
+                self.ctl.publish_metrics();
+                return Err(StwError::MarkerPanicked);
+            }
+        };
         let mut report = StwReport {
             concurrent_units,
             ..StwReport::default()
@@ -472,7 +629,7 @@ impl ConcurrentCycle {
         }
         self.ctl.phase.store(PHASE_IDLE, Ordering::SeqCst);
         self.ctl.publish_metrics();
-        report
+        Ok(report)
     }
 }
 
@@ -517,7 +674,7 @@ mod tests {
             let mut h = heap.lock();
             let _ = h.alloc_object(0, &[]).unwrap();
         }
-        let report = cycle.finish(&[root]);
+        let report = cycle.finish(&[root]).unwrap();
         assert!(report.cycle_ran);
         let h = heap.lock();
         for c in children {
@@ -543,11 +700,11 @@ mod tests {
             ConcurrentCycle::start(Arc::clone(&heap), Arc::clone(&ctl), &[root], 2).unwrap_err(),
             CycleInProgress
         );
-        let report = cycle.finish(&[root]);
+        let report = cycle.finish(&[root]).unwrap();
         assert!(report.cycle_ran);
         // After a clean finish the next cycle starts fine.
         let cycle = ConcurrentCycle::start(Arc::clone(&heap), ctl, &[root], 2).unwrap();
-        cycle.finish(&[root]);
+        cycle.finish(&[root]).unwrap();
     }
 
     #[test]
@@ -583,13 +740,13 @@ mod tests {
         // Epoch armed, not yet acked: elided code must not run.
         assert!(!handle.elide_allowed());
         assert!(!handle.local_marking(&heap.lock()));
-        handle.safepoint(&heap);
+        handle.safepoint(&heap).unwrap();
         assert!(handle.elide_allowed(), "acked: elision allowed again");
         // Retire before finish: the rendezvous waits for every
         // registered mutator to park or retire, and this one lives on
         // the finishing thread.
         handle.retire(&heap);
-        let report = cycle.finish(&[root]);
+        let report = cycle.finish(&[root]).unwrap();
         assert!(report.cycle_ran, "handshake completed via the safepoint");
         let c = ctl.counters();
         assert_eq!(c.acks, 1);
@@ -609,7 +766,7 @@ mod tests {
             (a, b)
         };
         let cycle = ConcurrentCycle::start(Arc::clone(&heap), Arc::clone(&ctl), &[a], 1).unwrap();
-        handle.safepoint(&heap); // ack; snapshot may now be taken
+        handle.safepoint(&heap).unwrap(); // ack; snapshot may now be taken
         loop {
             // Wait for the marker to take the snapshot so the unlink
             // below happens during marking (needs the log to be sound).
@@ -627,13 +784,45 @@ mod tests {
             thread::yield_now();
         }
         assert_eq!(handle.buffer_stats().logged, 1, "buffered locally");
-        handle.safepoint(&heap); // flush into the collector
+        handle.safepoint(&heap).unwrap(); // flush into the collector
         handle.retire(&heap); // rendezvous must not wait on this thread
-        let report = cycle.finish(&[a]);
+        let report = cycle.finish(&[a]).unwrap();
         assert!(report.cycle_ran);
         let h = heap.lock();
         assert!(h.gc.is_marked(b), "snapshot preserved via buffered log");
         assert!(ctl.counters().flushed_entries >= 1);
+    }
+
+    #[test]
+    fn stalled_mutator_times_out_instead_of_hanging() {
+        let heap = Arc::new(Mutex::new(Heap::new(MarkStyle::Satb)));
+        let ctl = SafepointCtl::new(1);
+        let _stalled = ctl.register(); // never polls, never retires
+        ctl.set_wait_timeout(Duration::from_millis(50));
+        let root = {
+            let mut h = heap.lock();
+            h.alloc_object(0, &[]).unwrap()
+        };
+        let cycle =
+            ConcurrentCycle::start(Arc::clone(&heap), Arc::clone(&ctl), &[root], 2).unwrap();
+        let err = cycle.finish(&[root]).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                StwError::Timeout {
+                    waiting_for: "parks",
+                    ..
+                }
+            ),
+            "got {err:?}"
+        );
+        // Both the coordinator's park wait and the marker's handshake
+        // gave up (the stalled thread never acked either).
+        assert!(ctl.counters().watchdog_timeouts >= 1);
+        // The world resumed: a fresh cycle can still be started.
+        let cycle =
+            ConcurrentCycle::start(Arc::clone(&heap), Arc::clone(&ctl), &[root], 2).unwrap();
+        drop(cycle);
     }
 
     #[test]

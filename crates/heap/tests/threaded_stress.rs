@@ -54,7 +54,7 @@ fn multiple_mutators_with_safepoint_protocol_preserve_the_snapshot() {
                     if i % POLL_EVERY == 0 {
                         // Periodic safepoint poll: ack pending epochs,
                         // flush the SATB buffer.
-                        handle.safepoint(&heap);
+                        handle.safepoint(&heap).unwrap();
                     }
                     let mut h = heap.lock();
                     let n = h.alloc_object(2, &[FieldShape::Ref]).unwrap();
@@ -77,7 +77,7 @@ fn multiple_mutators_with_safepoint_protocol_preserve_the_snapshot() {
     }
 
     let before = debug::graph_stats(&heap.lock(), &[root_arr]);
-    let report = cycle.finish(&[root_arr]);
+    let report = cycle.finish(&[root_arr]).unwrap();
     assert!(report.cycle_ran, "all four mutators acked the epoch");
     let h = heap.lock();
     // Snapshot objects (the chain heads) all marked.
@@ -116,7 +116,7 @@ fn incremental_update_threaded_cycle_also_sound() {
         h.set_field(cur, 0, Value::from(n)).unwrap();
         cur = n;
     }
-    let report = cycle.finish(&[root]);
+    let report = cycle.finish(&[root]).unwrap();
     assert!(report.cycle_ran);
     let h = heap.lock();
     assert_eq!(debug::graph_stats(&h, &[root]).reachable, 201);

@@ -3,7 +3,11 @@
 use std::fmt;
 
 use wbe_heap::gc::{MarkStyle, PauseReport};
-use wbe_heap::{FaultPlan, FieldShape, GcRef, Heap, HeapError, Value};
+use wbe_heap::recover::SiteKey;
+use wbe_heap::{
+    FaultPlan, FieldShape, GcRef, Heap, HeapError, RecoveryAction, RecoveryController,
+    RecoveryPolicy, Value,
+};
 use wbe_ir::{BlockId, Cond, FieldId, Insn, InsnAddr, MethodId, Program, Terminator, Ty};
 
 use crate::barrier::{
@@ -239,6 +243,7 @@ pub struct Interp<'p> {
     class_shapes: Vec<Vec<FieldShape>>,
     allocs_since_cycle: u64,
     verify_invariants: bool,
+    recovery: Option<RecoveryController>,
     frames: Vec<Frame>,
     published: PublishedRunStats,
 }
@@ -284,6 +289,7 @@ impl<'p> Interp<'p> {
             class_shapes,
             allocs_since_cycle: 0,
             verify_invariants: false,
+            recovery: None,
             frames: Vec::new(),
             published: PublishedRunStats::default(),
         }
@@ -307,6 +313,22 @@ impl<'p> Interp<'p> {
     /// [`Trap::InvariantViolation`].
     pub fn set_verify_invariants(&mut self, on: bool) {
         self.verify_invariants = on;
+    }
+
+    /// Installs the self-healing recovery layer (see
+    /// [`wbe_heap::recover`]). With a controller in place, an
+    /// [`Trap::InvariantViolation`] or [`Trap::UnsoundElision`] first
+    /// triggers barrier panic mode + a stop-the-world re-mark instead
+    /// of killing the run; the original trap only fires after
+    /// [`RecoveryPolicy::max_attempts`] consecutive failed recoveries.
+    pub fn set_recovery(&mut self, policy: RecoveryPolicy) {
+        self.recovery = Some(RecoveryController::new(policy));
+    }
+
+    /// The recovery controller, if one is installed — stats, panic
+    /// state, and the per-site revocation table for the ledger join.
+    pub fn recovery(&self) -> Option<&RecoveryController> {
+        self.recovery.as_ref()
     }
 
     /// Declares allocation sites whose objects may live in the frame
@@ -385,6 +407,9 @@ impl<'p> Interp<'p> {
             barrier_pre_null: pre_null,
         };
         self.heap.gc.publish_metrics();
+        if let Some(rc) = self.recovery.as_mut() {
+            rc.publish_metrics();
+        }
     }
 
     fn collect_roots(&self) -> Vec<GcRef> {
@@ -465,6 +490,10 @@ impl<'p> Interp<'p> {
     /// stop-the-world collection — with optional invariant verification
     /// at both cycle boundaries. Returns the remark pause report so
     /// callers (e.g. the emergency-allocation path) can attribute it.
+    ///
+    /// With a recovery controller installed, an invariant violation is
+    /// routed through [`Interp::recover_from`] (panic mode + bounded
+    /// re-mark attempts) instead of trapping immediately.
     fn full_pause(&mut self) -> Result<PauseReport, Trap> {
         let roots = self.collect_roots();
         // From idle, open a cycle first; `Err` just means one is already
@@ -478,18 +507,9 @@ impl<'p> Interp<'p> {
             self.allocs_since_cycle = 0;
         }
         let pause = self.heap.gc.remark(&mut self.heap.store, &roots);
-        if self.verify_invariants {
-            check_invariants(
-                wbe_heap::verify::verify_post_mark(&self.heap, &roots),
-                "post-mark",
-            )?;
-        }
-        self.heap.sweep();
-        if self.verify_invariants {
-            check_invariants(
-                wbe_heap::verify::verify_post_sweep(&self.heap),
-                "post-sweep",
-            )?;
+        self.chaos_after_remark();
+        if let Err(trap) = self.finish_cycle(&roots) {
+            self.recover_from(trap, &roots)?;
         }
         self.stats.gc_cycles += 1;
         self.stats.pauses.push(pause);
@@ -506,6 +526,117 @@ impl<'p> Interp<'p> {
             );
         }
         Ok(pause)
+    }
+
+    /// The tail of a cycle: post-mark verification, sweep, post-sweep
+    /// verification. A post-mark violation returns **before** the sweep
+    /// — sweeping over a corrupt mark state would free live objects,
+    /// turning a recoverable fault into permanent dangling references.
+    fn finish_cycle(&mut self, roots: &[GcRef]) -> Result<(), Trap> {
+        if self.verify_invariants {
+            check_invariants(
+                wbe_heap::verify::verify_post_mark(&self.heap, roots),
+                "post-mark",
+            )?;
+        }
+        self.heap.sweep();
+        if self.verify_invariants {
+            check_invariants(
+                wbe_heap::verify::verify_post_sweep(&self.heap),
+                "post-sweep",
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Chaos hook: with `corrupt_mark_pm` enabled in the fault plan,
+    /// clears one mark bit right after a remark — forging exactly the
+    /// corruption an unsound elision causes, in the window where the
+    /// invariant verifier must catch it before the sweep.
+    fn chaos_after_remark(&mut self) {
+        let corrupt = self
+            .heap
+            .fault
+            .as_mut()
+            .is_some_and(|plan| plan.corrupt_post_mark());
+        if corrupt {
+            if let Some(victim) = self.heap.chaos_clear_mark() {
+                if wbe_telemetry::tracing_enabled() {
+                    wbe_telemetry::trace::event(
+                        "fault.chaos.mark_corrupted",
+                        format!("cleared mark of {victim:?}"),
+                    );
+                }
+            }
+        }
+    }
+
+    /// The recovery state machine's STW re-mark loop: on an invariant
+    /// violation with a controller installed, enter barrier panic mode,
+    /// re-mark from the roots with the world stopped, and re-verify;
+    /// repeat while attempts fail, until the controller's consecutive-
+    /// failure budget exhausts and the original trap finally fires.
+    fn recover_from(&mut self, first: Trap, roots: &[GcRef]) -> Result<(), Trap> {
+        if !matches!(first, Trap::InvariantViolation { .. }) {
+            return Err(first);
+        }
+        let Some(mut rc) = self.recovery.take() else {
+            return Err(first);
+        };
+        let mut trap = first;
+        let result = loop {
+            let reason = trap.to_string();
+            let was_panicking = rc.in_panic();
+            match rc.on_violation(&reason) {
+                RecoveryAction::Trap => {
+                    if wbe_telemetry::tracing_enabled() {
+                        wbe_telemetry::trace::event("gc.recovery.trap", reason);
+                    }
+                    break Err(trap);
+                }
+                RecoveryAction::Recover => {}
+            }
+            if wbe_telemetry::tracing_enabled() {
+                if !was_panicking {
+                    wbe_telemetry::trace::event("gc.recovery.panic", rc.panic_reason().to_string());
+                }
+                wbe_telemetry::trace::event("gc.recovery.remark", "full STW re-mark from roots");
+            }
+            // Full STW re-mark: open a fresh cycle (rebuilding the mark
+            // state from scratch) and drain it with the world stopped.
+            if self
+                .heap
+                .gc
+                .try_begin_marking(&mut self.heap.store, roots)
+                .is_ok()
+            {
+                self.allocs_since_cycle = 0;
+            }
+            let _ = self.heap.gc.remark(&mut self.heap.store, roots);
+            // Persistent corruption (the soak harness's unrecoverable
+            // mode) re-injects here and keeps the attempt failing.
+            self.chaos_after_remark();
+            match self.finish_cycle(roots) {
+                Ok(()) => {
+                    rc.recovered();
+                    if wbe_telemetry::tracing_enabled() {
+                        wbe_telemetry::trace::event(
+                            "gc.recovery.resume",
+                            "invariants re-established; mutator resumes with barriers restored",
+                        );
+                    }
+                    break Ok(());
+                }
+                Err(t @ Trap::InvariantViolation { .. }) => {
+                    rc.attempt_failed();
+                    trap = t;
+                }
+                Err(t) => break Err(t),
+            }
+        };
+        rc.publish_metrics();
+        self.recovery = Some(rc);
+        result
     }
 
     /// Allocates via `alloc`, recovering from injected
@@ -702,14 +833,37 @@ impl<'p> Interp<'p> {
             return Ok(());
         }
         if self.config.elide {
-            if let Some(kind) = self.config.elided.kind(mid, at) {
+            if let Some(ekind) = self.config.elided.kind(mid, at) {
+                let site = site_key(mid, at);
+                // Runtime revocation consult: in barrier panic mode (or
+                // with this site individually revoked) the static proof
+                // is no longer trusted — take the conservative
+                // full-barrier path instead.
+                let gated = self
+                    .recovery
+                    .as_mut()
+                    .is_some_and(|rc| !rc.elide_allowed(site));
+                if gated {
+                    let program = self.program;
+                    if let Some(rc) = self.recovery.as_mut() {
+                        // Lazily record the revocation the first time
+                        // the gated site actually executes.
+                        if !rc.site_revoked(site) {
+                            let reason = format!("barrier panic mode: {}", rc.panic_reason());
+                            rc.revoke(site, &program.method(mid).name, &reason, "invariant");
+                        }
+                    }
+                    let c = self.satb_log_barrier(old);
+                    self.stats.barrier.add_cycles(mid, at, kind, c);
+                    return Ok(());
+                }
                 // Soundness oracle: validate the static proof dynamically.
-                let ok = match kind {
+                let ok = match ekind {
                     ElisionKind::PreNull => pre_null,
                     ElisionKind::NullOrSame => pre_null || old == new,
                 };
                 if !ok {
-                    return Err(Trap::UnsoundElision { method: mid, at });
+                    return self.unsound_elision(mid, at, kind, site, old);
                 }
                 self.stats.elided_executions += 1;
                 return Ok(());
@@ -717,6 +871,51 @@ impl<'p> Interp<'p> {
         }
         let c = self.satb_log_barrier(old);
         self.stats.barrier.add_cycles(mid, at, kind, c);
+        Ok(())
+    }
+
+    /// An elided store's dynamic oracle failed: the static proof is
+    /// wrong at run time. With recovery installed, revoke the site, run
+    /// the barrier the store should have had, and heal the possibly
+    /// corrupted mark state with a stop-the-world re-mark; without one
+    /// (or once the consecutive-failure budget is exhausted) the
+    /// original [`Trap::UnsoundElision`] fires.
+    fn unsound_elision(
+        &mut self,
+        mid: MethodId,
+        at: InsnAddr,
+        kind: StoreKind,
+        site: SiteKey,
+        old: Option<GcRef>,
+    ) -> Result<(), Trap> {
+        let trap = Trap::UnsoundElision { method: mid, at };
+        let Some(mut rc) = self.recovery.take() else {
+            return Err(trap);
+        };
+        let reason = trap.to_string();
+        let was_panicking = rc.in_panic();
+        if rc.on_violation(&reason) == RecoveryAction::Trap {
+            if wbe_telemetry::tracing_enabled() {
+                wbe_telemetry::trace::event("gc.recovery.trap", reason);
+            }
+            self.recovery = Some(rc);
+            return Err(trap);
+        }
+        if wbe_telemetry::tracing_enabled() && !was_panicking {
+            wbe_telemetry::trace::event("gc.recovery.panic", reason.clone());
+        }
+        rc.revoke(site, &self.program.method(mid).name, &reason, "oracle");
+        self.recovery = Some(rc);
+        // Execute the barrier the elision skipped, then rebuild the
+        // mark state with a full STW cycle (a nested violation inside
+        // it is handled by `recover_from` against the same budget).
+        let c = self.satb_log_barrier(old);
+        self.stats.barrier.add_cycles(mid, at, kind, c);
+        self.full_pause()?;
+        if let Some(rc) = self.recovery.as_mut() {
+            rc.recovered();
+            rc.publish_metrics();
+        }
         Ok(())
     }
 
@@ -1094,6 +1293,13 @@ impl<'p> Interp<'p> {
             self.stats.stack_freed += 1;
         }
     }
+}
+
+/// Maps an interpreter store site onto the recovery layer's IR-free
+/// [`SiteKey`] — the same `(method, block, index)` triple the ledger
+/// spells as `method@B<block>[<index>]`.
+fn site_key(mid: MethodId, at: InsnAddr) -> SiteKey {
+    (u64::from(mid.0), at.block.0, at.index as u32)
 }
 
 fn check_invariants(
@@ -1656,6 +1862,190 @@ mod tests {
         );
         assert!(interp.stats.alloc_retries > 0);
         assert!(interp.stats.gc_cycles > 0);
+    }
+
+    /// Serializes the tests that assert on global `interp.gc.*` counter
+    /// deltas or inject allocation failures: they all publish into the
+    /// shared registry, and the default test runner is multi-threaded.
+    fn emergency_lock() -> std::sync::MutexGuard<'static, ()> {
+        use std::sync::{Mutex, OnceLock};
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        let lock = LOCK.get_or_init(|| Mutex::new(()));
+        lock.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn alloc_exhaustion_traps_oom_after_bounded_retries() {
+        use wbe_heap::{FaultConfig, FaultPlan};
+        let _guard = emergency_lock();
+        let (p, m) = churn_program();
+        let mut interp = Interp::new(&p, checked());
+        // Every allocation fails, with no grace window: the retry
+        // budget must exhaust instead of looping forever.
+        interp.set_fault_plan(FaultPlan::new(FaultConfig {
+            alloc_fail_pm: 1000,
+            alloc_grace: 0,
+            ..FaultConfig::from_seed(1)
+        }));
+        let err = interp.run(m, &[Value::Int(10)], 10_000).unwrap_err();
+        assert!(matches!(err, Trap::OutOfMemory { .. }), "got {err}");
+        // Ordering contract: each of the four retries first takes an
+        // emergency pause (completing a full GC cycle), and only after
+        // the post-pause allocation also fails does OOM fire.
+        assert_eq!(interp.stats.emergency_pauses, 4);
+        assert_eq!(interp.stats.alloc_retries, 4);
+        assert_eq!(interp.stats.gc_cycles, 4, "one completed cycle per retry");
+    }
+
+    #[test]
+    fn emergency_telemetry_deltas_match_run_stats() {
+        use wbe_heap::{FaultConfig, FaultPlan};
+        let _guard = emergency_lock();
+        let (p, m) = churn_program();
+        let mut interp = Interp::new(&p, checked());
+        interp.set_fault_plan(FaultPlan::new(FaultConfig {
+            alloc_fail_pm: 200,
+            alloc_grace: 8,
+            ..FaultConfig::from_seed(5)
+        }));
+        let before = wbe_telemetry::registry::global().snapshot();
+        let r = interp.run(m, &[Value::Int(150)], 1_000_000).unwrap();
+        assert_eq!(r, Some(Value::Int(150)));
+        assert!(interp.stats.emergency_pauses > 0, "fault path exercised");
+        let after = wbe_telemetry::registry::global().snapshot();
+        let delta =
+            |name: &str| after.counter(name).unwrap_or(0) - before.counter(name).unwrap_or(0);
+        assert_eq!(
+            delta("interp.gc.emergency_pauses"),
+            interp.stats.emergency_pauses,
+            "published delta mirrors the run's emergency pauses"
+        );
+        assert_eq!(delta("interp.gc.alloc_retries"), interp.stats.alloc_retries);
+        assert_eq!(delta("interp.gc.cycles"), interp.stats.gc_cycles);
+    }
+
+    #[test]
+    fn recovery_does_not_mask_oom() {
+        use wbe_heap::{FaultConfig, FaultPlan};
+        let _guard = emergency_lock();
+        let (p, m) = churn_program();
+        let mut interp = Interp::new(&p, checked());
+        interp.set_fault_plan(FaultPlan::new(FaultConfig {
+            alloc_fail_pm: 1000,
+            alloc_grace: 0,
+            ..FaultConfig::from_seed(2)
+        }));
+        interp.set_recovery(RecoveryPolicy::default());
+        interp.set_verify_invariants(true);
+        // Recovery handles invariant violations, not resource
+        // exhaustion: the emergency pauses still run first (healthy
+        // cycles, so no recovery attempt opens), then OOM fires.
+        let err = interp.run(m, &[Value::Int(10)], 10_000).unwrap_err();
+        assert!(matches!(err, Trap::OutOfMemory { .. }), "got {err}");
+        assert_eq!(interp.stats.emergency_pauses, 4);
+        let rc = interp.recovery().unwrap();
+        assert_eq!(rc.stats.attempted, 0, "no invariant violation occurred");
+        assert!(!rc.in_panic());
+    }
+
+    #[test]
+    fn chaos_corruption_recovers_and_run_completes() {
+        use wbe_heap::{FaultConfig, FaultPlan};
+        let (p, m) = churn_program();
+        let mut interp = Interp::new(&p, checked());
+        interp.set_gc_policy(GcPolicy {
+            alloc_trigger: 16,
+            step_interval: 4,
+            step_budget: 2,
+        });
+        // Corrupt the mark state after some remarks; each recovery
+        // attempt re-rolls, so with a bounded rate and a modest budget
+        // the re-mark eventually comes out clean (deterministic for
+        // this pinned seed).
+        interp.set_fault_plan(FaultPlan::new(FaultConfig {
+            corrupt_mark_pm: 400,
+            alloc_fail_pm: 0,
+            ..FaultConfig::from_seed(9)
+        }));
+        interp.set_verify_invariants(true);
+        interp.set_recovery(RecoveryPolicy { max_attempts: 5 });
+        let r = interp.run(m, &[Value::Int(400)], 1_000_000).unwrap();
+        assert_eq!(r, Some(Value::Int(400)), "run completed despite corruption");
+        let plan = interp.heap.fault.as_ref().unwrap();
+        assert!(plan.stats.mark_corruptions > 0, "chaos actually fired");
+        let rc = interp.recovery().unwrap();
+        assert!(
+            rc.stats.succeeded > 0,
+            "at least one re-mark healed the heap"
+        );
+        assert!(rc.in_panic(), "panic mode is sticky after first violation");
+        assert_eq!(rc.stats.panic_entries, 1);
+    }
+
+    #[test]
+    fn persistent_corruption_traps_after_budget() {
+        use wbe_heap::{FaultConfig, FaultPlan};
+        let (p, m) = churn_program();
+        let mut interp = Interp::new(&p, checked());
+        interp.set_gc_policy(GcPolicy {
+            alloc_trigger: 16,
+            step_interval: 4,
+            step_budget: 2,
+        });
+        // Every remark — including each recovery re-mark — corrupts:
+        // unrecoverable. The original trap must fire after K attempts.
+        interp.set_fault_plan(FaultPlan::new(FaultConfig {
+            corrupt_mark_pm: 1000,
+            alloc_fail_pm: 0,
+            ..FaultConfig::from_seed(3)
+        }));
+        interp.set_verify_invariants(true);
+        interp.set_recovery(RecoveryPolicy { max_attempts: 3 });
+        let err = interp.run(m, &[Value::Int(400)], 1_000_000).unwrap_err();
+        assert!(matches!(err, Trap::InvariantViolation { .. }), "got {err}");
+        let rc = interp.recovery().unwrap();
+        assert_eq!(rc.stats.attempted, 3, "exactly K attempts before the trap");
+        assert_eq!(rc.stats.failed, 3);
+        assert_eq!(rc.stats.succeeded, 0);
+    }
+
+    #[test]
+    fn unsound_elision_recovers_with_site_revocation() {
+        // Same maliciously-elided store as `unsound_elision_is_caught`,
+        // but with the recovery layer installed the run self-heals: the
+        // site is revoked, its barrier executes, a full STW re-mark
+        // repairs the mark state, and execution completes.
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("C");
+        let f = pb.field(c, "f", Ty::Ref(c));
+        let m = pb.method("overwrite", vec![], None, 1, |mb| {
+            let o = mb.local(0);
+            mb.new_object(c).store(o);
+            mb.load(o).load(o).putfield(f);
+            mb.load(o).const_null().putfield(f);
+            mb.return_();
+        });
+        let p = pb.finish();
+        let mut elided = ElidedBarriers::new();
+        elided.insert(m, InsnAddr::new(BlockId(0), 7));
+        let cfg = BarrierConfig::with_elision(BarrierMode::Checked, elided);
+        let mut interp = Interp::new(&p, cfg);
+        interp.set_recovery(RecoveryPolicy::default());
+        interp.run(m, &[], 100).unwrap();
+        let rc = interp.recovery().unwrap();
+        assert!(rc.in_panic());
+        assert_eq!(rc.stats.attempted, 1);
+        assert_eq!(rc.stats.succeeded, 1);
+        let rev = &rc.revocations()[0];
+        assert_eq!(rev.trigger, "oracle");
+        assert_eq!(rev.site_key(), "overwrite@B0[7]");
+        assert!(rev.reason.contains("UNSOUND ELISION"));
+        // A second run through the same site is gated, not re-judged:
+        // the revoked site takes the full-barrier path.
+        interp.run(m, &[], 100).unwrap();
+        let rc = interp.recovery().unwrap();
+        assert_eq!(rc.stats.attempted, 1, "no new attempt: site was gated");
+        assert!(rc.stats.gated_elisions > 0);
     }
 
     #[test]

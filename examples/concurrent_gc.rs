@@ -39,7 +39,7 @@ fn threaded_demo() {
         .expect("no cycle in progress");
     // Safepoint poll: acknowledge the armed epoch so the marker may
     // take its snapshot.
-    mutator.safepoint(&heap);
+    mutator.safepoint(&heap).expect("rendezvous within deadline");
 
     // Mutator: unlink the middle of the list *during marking*, with the
     // per-thread SATB buffer logging the overwritten reference.
@@ -61,12 +61,13 @@ fn threaded_demo() {
         let _ = h.alloc_object(1, &[FieldShape::Int]).unwrap();
         drop(h);
         if i % 256 == 0 {
-            mutator.safepoint(&heap); // periodic poll, like compiled code
+            // Periodic poll, like compiled code.
+            mutator.safepoint(&heap).expect("rendezvous within deadline");
         }
     }
     mutator.retire(&heap); // final flush; rendezvous won't wait on us
 
-    let report = cycle.finish(&[root]);
+    let report = cycle.finish(&[root]).expect("marker finished cleanly");
     let pause = report.pause;
     let h = heap.lock();
     println!(
