@@ -1,0 +1,103 @@
+//! Emits `BENCH_pr8.json`: the GC-aware overload-protection numbers —
+//! the pressure ladder under a light and an overloaded serve world for
+//! each request mix, with per-request latency percentiles, shed rates,
+//! ladder-rung entry counts, and the suite elision rate (which the
+//! server family rides alongside and must not change).
+//!
+//! Usage: `cargo run --release -p wbe-bench --bin bench_pr8 [-- <out.json>]`
+//! (defaults to `BENCH_pr8.json` in the current directory).
+//!
+//! Two sections:
+//!
+//! * `suite` — the Table 1 dynamic elision percentage at the standard
+//!   reduced scale (the invariant the server family must not move).
+//! * `serve` — one entry per (mix, load) pair: request accounting,
+//!   latency percentiles in scheduler steps, ladder entries per rung,
+//!   emergency STW count, and the run's determinism digest.
+
+use std::fmt::Write as _;
+
+use wbe_harness::baselines;
+use wbe_harness::serve::{run_serve_cmd, ServeOptions};
+use wbe_heap::ServeScenario;
+
+fn scenario(mix: ServeScenario, overloaded: bool) -> ServeOptions {
+    if overloaded {
+        ServeOptions {
+            mix,
+            requests: 2000,
+            arrivals_per_window: 6,
+            request_ops: 8,
+            heap_budget: 220,
+            ..ServeOptions::default()
+        }
+    } else {
+        ServeOptions {
+            mix,
+            heap_budget: 1_000_000,
+            ..ServeOptions::default()
+        }
+    }
+}
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_pr8.json".into());
+
+    let suite = baselines::measure(baselines::SCALE);
+    let mut json = String::from("{\n  \"bench\": \"pr8\",\n");
+    let _ = writeln!(
+        json,
+        "  \"suite\": {{\"pct_barriers_elided\": {:.3}}},",
+        suite.pct_elided
+    );
+    json.push_str("  \"serve\": [\n");
+    let cases: Vec<(ServeScenario, bool)> = ServeScenario::ALL
+        .into_iter()
+        .flat_map(|mix| [(mix, false), (mix, true)])
+        .collect();
+    for (i, &(mix, overloaded)) in cases.iter().enumerate() {
+        let r = run_serve_cmd(&scenario(mix, overloaded));
+        assert!(
+            r.outcome.violations.is_empty(),
+            "serve {mix} soundness violation"
+        );
+        let c = &r.outcome.counters;
+        let p = &r.outcome.pressure;
+        let _ = writeln!(
+            json,
+            "    {{\"mix\": \"{}\", \"load\": \"{}\", \"offered\": {}, \"admitted\": {}, \"shed\": {}, \"completed\": {}, \"shed_pct\": {:.3}, \"latency_p50\": {}, \"latency_p90\": {}, \"latency_p99\": {}, \"latency_max\": {}, \"stw_overlapped\": {}, \"gc_cycles\": {}, \"emergency_stw\": {}, \"pace_entries\": {}, \"throttle_entries\": {}, \"shed_entries\": {}, \"emergency_entries\": {}, \"step_downs\": {}, \"high_water\": \"{}\", \"exit_code\": {}, \"digest\": \"{:#018x}\"}}{}",
+            mix.name(),
+            if overloaded { "overloaded" } else { "light" },
+            c.offered,
+            c.admitted,
+            c.shed,
+            c.completed,
+            r.shed_pct,
+            r.latency.p50,
+            r.latency.p90,
+            r.latency.p99,
+            r.latency.max,
+            c.stw_overlapped,
+            c.cycles,
+            c.emergency_stw,
+            p.pace_entries,
+            p.throttle_entries,
+            p.shed_entries,
+            p.emergency_entries,
+            p.step_downs,
+            r.outcome.high_water.name(),
+            r.exit_code,
+            r.outcome.digest(),
+            if i + 1 < cases.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    print!("{json}");
+    eprintln!("written to {out}");
+}

@@ -16,12 +16,18 @@
 //! wbe_tool bench   --check-baselines [--update] [--baselines PATH]
 //! wbe_tool profile [--workload W]... [--top N] [--scale S]
 //!                  [--format text|ndjson] [--out F] [--slo-max-pause N]
+//!                  [--slo-p99-pause N]
 //! wbe_tool report  [workload|file.wbe ...] [--metrics-out m.json]
 //!                  [--trace-out t.ndjson] [--chrome-trace t.json]
 //!                  [--format text|ndjson] [--scale S]
 //! wbe_tool soak    [--rounds N] [--seed S] [--escalate] [--scale F]
 //!                  [--max-attempts K] [--threshold D] [--unrecoverable]
 //!                  [--format text|ndjson] [--out F] [--flight-out T]
+//! wbe_tool serve   [--tenants T] [--connections C] [--mix session|cache|churn]
+//!                  [--requests N] [--arrivals A] [--request-ops K] [--seed S]
+//!                  [--heap-budget B] [--chaos] [--overload-pm PM]
+//!                  [--slo-p99 N] [--slo-shed-pct P]
+//!                  [--format text|ndjson] [--out F] [--trace-out T]
 //! wbe_tool mcheck  [--threads N] [--schedules K] [--seed S]
 //!                  [--scenario chain|churn|shared] [--systematic]
 //!                  [--preempt-bound B] [--demo-unsound] [--fault-seed S]
@@ -53,12 +59,25 @@
 //! `bench --check-baselines` gates the standard suite's numbers against
 //! `baselines/suite.ndjson`.
 //!
+//! `serve` runs the GC-aware overload-protection world: an open-loop
+//! request generator (arrivals never slow down for the server) drives
+//! `--connections` mutator machines over the deterministic stepped
+//! scheduler while the pressure ladder defends `--heap-budget`
+//! occupancy — pacing marking earlier, throttling allocation, shedding
+//! requests, and finally forcing an emergency stop-the-world, each
+//! transition carrying a machine-readable reason. Exit 0 when the run
+//! stayed nominal and met its SLOs; 1 when the ladder engaged but SLOs
+//! held (graceful degradation — the ladder working); 2 on an SLO
+//! violation (`--slo-p99` steps, `--slo-shed-pct` percent) or a
+//! soundness violation. Equal options produce byte-identical NDJSON.
+//!
 //! `profile` joins the interpreter's per-site dynamic barrier counters
 //! with the provenance ledger: per-keep-code execution/cycle
 //! attribution with headroom estimates, the hottest kept sites, and
 //! per-phase GC pause percentiles (p50/p90/p99/max in work units).
 //! `--slo-max-pause N` turns the report into a gate: exit 1 when any
-//! stop-the-world pause exceeded `N` work units. `--format ndjson`
+//! stop-the-world pause exceeded `N` work units; `--slo-p99-pause N`
+//! gates the 99th-percentile STW pause instead (the two compose). `--format ndjson`
 //! output is deterministic (byte-identical across runs).
 
 use std::process::exit;
@@ -74,7 +93,7 @@ use wbe_opt::{compile, OptMode, PipelineConfig};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: wbe_tool <verify|dump|analyze|explain|ledger|ledger-diff|run|export|report|bench|profile|soak|mcheck> [<file.wbe|workload>] [options]\n\
+        "usage: wbe_tool <verify|dump|analyze|explain|ledger|ledger-diff|run|export|report|bench|profile|soak|serve|mcheck> [<file.wbe|workload>] [options]\n\
          verify:  <file.wbe>  — or —  [workload ...] --faults N [--seed S] [--scale F] [--demo-unsound]\n\
          analyze: [--mode A|F] [--inline N] [--nos]\n\
          explain: [--method M] [--site N] [--mode A|F] [--inline N] [--nos]\n\
@@ -85,10 +104,14 @@ fn usage() -> ! {
                   [--chrome-trace t.json] [--format text|ndjson] [--scale S]\n\
          bench:   --check-baselines [--update] [--baselines PATH]\n\
          profile: [--workload W]... [--top N] [--scale S] [--format text|ndjson]\n\
-                  [--out F] [--slo-max-pause N]   (exit 1 on SLO violation)\n\
+                  [--out F] [--slo-max-pause N] [--slo-p99-pause N]   (exit 1 on SLO violation)\n\
          soak:    [--rounds N] [--seed S] [--escalate] [--scale F] [--max-attempts K]\n\
                   [--threshold D] [--unrecoverable] [--format text|ndjson] [--out F]\n\
                   [--flight-out T]   (exit 0 clean / 1 degraded / 2 trapped)\n\
+         serve:   [--tenants T] [--connections C] [--mix session|cache|churn] [--requests N]\n\
+                  [--arrivals A] [--request-ops K] [--seed S] [--heap-budget B] [--chaos]\n\
+                  [--overload-pm PM] [--slo-p99 N] [--slo-shed-pct P] [--format text|ndjson]\n\
+                  [--out F] [--trace-out T]   (exit 0 nominal / 1 degraded / 2 SLO violated)\n\
          {}",
         wbe_harness::mcheck::USAGE
     );
@@ -363,6 +386,13 @@ fn profile(rest: &[String]) -> i32 {
                         .unwrap_or_else(|| usage()),
                 )
             }
+            "--slo-p99-pause" => {
+                opts.slo_p99_pause = Some(
+                    it.next()
+                        .and_then(|n| n.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
             "--format" => match it.next().map(String::as_str) {
                 Some("text") => ndjson = false,
                 Some("ndjson") => ndjson = true,
@@ -478,6 +508,123 @@ fn soak(rest: &[String]) -> i32 {
     outcome.exit_code
 }
 
+/// `wbe_tool serve`: the GC-aware overload-protection world. Exit 0
+/// when the run stayed nominal and met its SLOs, 1 when the pressure
+/// ladder engaged but every SLO given held, 2 on an SLO or soundness
+/// violation. `--trace-out` writes the run's trace (ladder transitions,
+/// GC phases) as Chrome trace JSON.
+fn serve(rest: &[String]) -> i32 {
+    use wbe_harness::serve::{run_serve_cmd, ServeOptions};
+    let mut opts = ServeOptions::default();
+    let mut out: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--tenants" => {
+                opts.tenants = it
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--connections" => {
+                opts.connections = it
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--mix" => {
+                opts.mix = it
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--requests" => {
+                opts.requests = it
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--arrivals" => {
+                opts.arrivals_per_window = it
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--request-ops" => {
+                opts.request_ops = it
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--seed" => {
+                opts.seed = it
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--heap-budget" => {
+                opts.heap_budget = it
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--chaos" => opts.chaos = true,
+            "--overload-pm" => {
+                opts.overload_pm = it
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--slo-p99" => {
+                opts.slo_p99 = Some(
+                    it.next()
+                        .and_then(|n| n.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--slo-shed-pct" => {
+                opts.slo_shed_pct = Some(
+                    it.next()
+                        .and_then(|n| n.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--format" => match it.next().map(String::as_str) {
+                Some("text") => opts.ndjson = false,
+                Some("ndjson") => opts.ndjson = true,
+                _ => usage(),
+            },
+            "--out" => out = Some(it.next().unwrap_or_else(|| usage()).clone()),
+            "--trace-out" => trace_out = Some(it.next().unwrap_or_else(|| usage()).clone()),
+            _ => usage(),
+        }
+    }
+    let report = run_serve_cmd(&opts);
+    let body = report.render();
+    match &out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &body) {
+                eprintln!("cannot write {path}: {e}");
+                return 2;
+            }
+            eprintln!("serve report written to {path}");
+        }
+        None => print!("{body}"),
+    }
+    if let Some(path) = &trace_out {
+        if let Err(e) = std::fs::write(path, report.trace_chrome_json()) {
+            eprintln!("cannot write trace to {path}: {e}");
+            return 2;
+        }
+        eprintln!(
+            "serve trace written to {path} ({} events)",
+            report.trace.len()
+        );
+    }
+    report.exit_code
+}
+
 /// `wbe_tool verify` with fault flags: the differential fault-injection
 /// harness over built-in workloads. Exits 1 if any workload fails
 /// (observable divergence, trap, invariant violation, or an undetected
@@ -577,6 +724,9 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("soak") {
         exit(soak(&args[1..]));
+    }
+    if args.first().map(String::as_str) == Some("serve") {
+        exit(serve(&args[1..]));
     }
     if args.first().map(String::as_str) == Some("mcheck") {
         let opts = wbe_harness::mcheck::parse(&args[1..]).unwrap_or_else(|e| {

@@ -47,6 +47,7 @@ pub mod pause;
 pub mod profile;
 pub mod rearrange_exp;
 pub mod runner;
+pub mod serve;
 pub mod soak;
 pub mod static_counts;
 pub mod table1;

@@ -58,6 +58,11 @@ pub struct ProfileOptions {
     /// Stop-the-world pause budget in work units; `None` disables the
     /// SLO gate.
     pub slo_max_pause: Option<u64>,
+    /// 99th-percentile stop-the-world pause budget in work units;
+    /// `None` disables the gate. Tail-focused: one outlier pause can
+    /// blow `--slo-max-pause` while p99 stays healthy, and vice versa,
+    /// so the two gates compose.
+    pub slo_p99_pause: Option<u64>,
 }
 
 impl Default for ProfileOptions {
@@ -67,6 +72,7 @@ impl Default for ProfileOptions {
             top: 10,
             scale: crate::baselines::SCALE,
             slo_max_pause: None,
+            slo_p99_pause: None,
         }
     }
 }
@@ -161,15 +167,30 @@ pub struct SuiteProfile {
     pub phases: Vec<PhasePercentiles>,
     /// Largest stop-the-world pause across the suite.
     pub max_stw_pause: u64,
-    /// The SLO budget the run was gated on, if any.
+    /// Largest per-phase p99 among the suite's STW phases.
+    pub p99_stw_pause: u64,
+    /// The max-pause SLO budget the run was gated on, if any.
     pub slo_max_pause: Option<u64>,
+    /// The p99-pause SLO budget the run was gated on, if any.
+    pub slo_p99_pause: Option<u64>,
 }
 
 impl SuiteProfile {
-    /// Whether the SLO gate passes (vacuously true without a budget).
+    /// Whether every SLO gate passes (vacuously true without budgets).
     pub fn slo_ok(&self) -> bool {
+        self.slo_max_ok() && self.slo_p99_ok()
+    }
+
+    /// The `--slo-max-pause` gate alone.
+    pub fn slo_max_ok(&self) -> bool {
         self.slo_max_pause
             .is_none_or(|budget| self.max_stw_pause <= budget)
+    }
+
+    /// The `--slo-p99-pause` gate alone.
+    pub fn slo_p99_ok(&self) -> bool {
+        self.slo_p99_pause
+            .is_none_or(|budget| self.p99_stw_pause <= budget)
     }
 
     /// Headroom of one keep-code: the percentage of all charged barrier
@@ -266,6 +287,12 @@ pub fn measure(opts: &ProfileOptions) -> Result<SuiteProfile, String> {
         .map(|p| p.max)
         .max()
         .unwrap_or(0);
+    let p99_stw_pause = phases
+        .iter()
+        .filter(|p| p.stw)
+        .map(|p| p.p99)
+        .max()
+        .unwrap_or(0);
     Ok(SuiteProfile {
         barrier_executions: profiles.iter().map(|p| p.barrier_executions).sum(),
         elided_executions: profiles.iter().map(|p| p.elided_executions).sum(),
@@ -275,7 +302,9 @@ pub fn measure(opts: &ProfileOptions) -> Result<SuiteProfile, String> {
         workloads: profiles,
         phases,
         max_stw_pause,
+        p99_stw_pause,
         slo_max_pause: opts.slo_max_pause,
+        slo_p99_pause: opts.slo_p99_pause,
     })
 }
 
@@ -474,10 +503,15 @@ pub fn to_ndjson(p: &SuiteProfile) -> String {
             .field_u64("elided_executions", p.elided_executions)
             .field_u64("kept_executions", p.kept_executions)
             .field_u64("barrier_cycles", p.barrier_cycles)
-            .field_u64("max_stw_pause", p.max_stw_pause);
+            .field_u64("max_stw_pause", p.max_stw_pause)
+            .field_u64("p99_stw_pause", p.p99_stw_pause);
         match p.slo_max_pause {
             Some(b) => w.field_u64("slo_max_pause", b),
             None => w.field_raw("slo_max_pause", "null"),
+        };
+        match p.slo_p99_pause {
+            Some(b) => w.field_u64("slo_p99_pause", b),
+            None => w.field_raw("slo_p99_pause", "null"),
         };
         w.field_bool("slo_ok", p.slo_ok());
     });
@@ -587,7 +621,7 @@ pub fn to_text(p: &SuiteProfile) -> String {
         );
     }
     match p.slo_max_pause {
-        Some(b) if p.slo_ok() => {
+        Some(b) if p.slo_max_ok() => {
             let _ = writeln!(
                 out,
                 "SLO OK: max STW pause {} <= budget {b}",
@@ -599,6 +633,23 @@ pub fn to_text(p: &SuiteProfile) -> String {
                 out,
                 "SLO VIOLATION: max STW pause {} > budget {b}",
                 p.max_stw_pause
+            );
+        }
+        None => {}
+    }
+    match p.slo_p99_pause {
+        Some(b) if p.slo_p99_ok() => {
+            let _ = writeln!(
+                out,
+                "SLO OK: p99 STW pause {} <= budget {b}",
+                p.p99_stw_pause
+            );
+        }
+        Some(b) => {
+            let _ = writeln!(
+                out,
+                "SLO VIOLATION: p99 STW pause {} > budget {b}",
+                p.p99_stw_pause
             );
         }
         None => {}
@@ -632,12 +683,24 @@ pub fn run_profile(opts: &ProfileOptions, ndjson: bool, out_path: Option<&str>) 
         }
         None => print!("{body}"),
     }
-    if !profile.slo_ok() {
+    let mut violated = false;
+    if !profile.slo_max_ok() {
         eprintln!(
             "SLO VIOLATION: max STW pause {} > budget {}",
             profile.max_stw_pause,
             profile.slo_max_pause.unwrap_or(0)
         );
+        violated = true;
+    }
+    if !profile.slo_p99_ok() {
+        eprintln!(
+            "SLO VIOLATION: p99 STW pause {} > budget {}",
+            profile.p99_stw_pause,
+            profile.slo_p99_pause.unwrap_or(0)
+        );
+        violated = true;
+    }
+    if violated {
         return 1;
     }
     0
@@ -731,6 +794,35 @@ mod tests {
         assert!(!measure(&opts).unwrap().slo_ok());
         opts.slo_max_pause = Some(u64::MAX);
         assert!(measure(&opts).unwrap().slo_ok());
+    }
+
+    #[test]
+    fn p99_slo_gates_independently_of_max() {
+        let mut opts = small_opts();
+        opts.workloads = vec!["jbb".into()];
+        let p = measure(&opts).unwrap();
+        assert!(p.p99_stw_pause > 0, "jbb pauses at this scale");
+        assert!(
+            p.p99_stw_pause <= p.max_stw_pause,
+            "a percentile cannot exceed the max"
+        );
+
+        // The p99 gate trips on its own with no max budget set.
+        opts.slo_p99_pause = Some(0);
+        let violated = measure(&opts).unwrap();
+        assert!(!violated.slo_p99_ok());
+        assert!(violated.slo_max_ok(), "max gate stays vacuous");
+        assert!(!violated.slo_ok());
+        // Both budgets generous: the combined gate passes, and the
+        // NDJSON carries both budgets and the verdict.
+        opts.slo_p99_pause = Some(u64::MAX);
+        opts.slo_max_pause = Some(u64::MAX);
+        let ok = measure(&opts).unwrap();
+        assert!(ok.slo_ok());
+        let nd = to_ndjson(&ok);
+        assert!(nd.contains("\"p99_stw_pause\""), "{nd}");
+        assert!(nd.contains("\"slo_p99_pause\""), "{nd}");
+        assert!(nd.contains("\"slo_ok\":true"), "{nd}");
     }
 
     #[test]

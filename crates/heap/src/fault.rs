@@ -46,6 +46,15 @@ pub struct FaultConfig {
     /// decision point is only consulted when non-zero, so enabling it
     /// does not perturb existing seeded streams.
     pub corrupt_mark_pm: u16,
+    /// ‰ chance an arrival window in the serve world turns into an
+    /// overload burst (a clump of extra requests landing at once),
+    /// driving the pressure ladder. Zero in every standard schedule;
+    /// like `corrupt_mark_pm`, the decision point is only consulted
+    /// when non-zero, so enabling it does not perturb existing seeded
+    /// streams.
+    pub overload_burst_pm: u16,
+    /// Extra requests injected per overload burst.
+    pub overload_burst_len: u32,
 }
 
 impl FaultConfig {
@@ -61,6 +70,8 @@ impl FaultConfig {
             alloc_fail_pm: 15,
             alloc_grace: 16,
             corrupt_mark_pm: 0,
+            overload_burst_pm: 0,
+            overload_burst_len: 24,
         }
     }
 
@@ -88,6 +99,8 @@ impl FaultConfig {
             } else {
                 (25 * u16::try_from(level.min(8)).unwrap_or(8)).min(1000)
             },
+            overload_burst_pm: scale(self.overload_burst_pm),
+            overload_burst_len: self.overload_burst_len,
         }
     }
 }
@@ -109,6 +122,8 @@ pub struct FaultStats {
     pub alloc_failures: u64,
     /// Post-remark mark-state corruptions injected.
     pub mark_corruptions: u64,
+    /// Overload bursts injected into serve-world arrivals.
+    pub overload_bursts: u64,
 }
 
 impl FaultStats {
@@ -120,6 +135,7 @@ impl FaultStats {
             + self.drain_boosts
             + self.alloc_failures
             + self.mark_corruptions
+            + self.overload_bursts
     }
 }
 
@@ -128,7 +144,8 @@ impl fmt::Display for FaultStats {
         write!(
             f,
             "{} faults ({} deferred starts, {} early starts, {} skipped steps, \
-             {} drain boosts, {} alloc failures, {} mark corruptions) over {} decisions",
+             {} drain boosts, {} alloc failures, {} mark corruptions, \
+             {} overload bursts) over {} decisions",
             self.injected(),
             self.deferred_starts,
             self.early_starts,
@@ -136,6 +153,7 @@ impl fmt::Display for FaultStats {
             self.drain_boosts,
             self.alloc_failures,
             self.mark_corruptions,
+            self.overload_bursts,
             self.decisions
         )
     }
@@ -247,6 +265,22 @@ impl FaultPlan {
         hit
     }
 
+    /// Should this arrival window carry an overload burst, and if so,
+    /// how many extra requests? Never consults the decision stream
+    /// while the knob is zero, so standard schedules keep bit-identical
+    /// streams.
+    pub fn overload_burst(&mut self) -> Option<u32> {
+        if self.cfg.overload_burst_pm == 0 {
+            return None;
+        }
+        if self.roll(self.cfg.overload_burst_pm) {
+            self.stats.overload_bursts += 1;
+            Some(self.cfg.overload_burst_len)
+        } else {
+            None
+        }
+    }
+
     /// A digest of the plan's entire history: equal digests mean equal
     /// decision streams. Used to assert seed-reproducibility.
     pub fn digest(&self) -> u64 {
@@ -259,6 +293,7 @@ impl FaultPlan {
             self.stats.drain_boosts,
             self.stats.alloc_failures,
             self.stats.mark_corruptions,
+            self.stats.overload_bursts,
         ] {
             d = (d ^ part).wrapping_mul(0x100_0000_01b3);
         }
@@ -358,6 +393,36 @@ mod tests {
         let hot = base.escalate(40);
         assert!(hot.defer_start_pm <= 1000);
         assert!(hot.alloc_grace >= 2, "grace floor keeps retries viable");
+    }
+
+    #[test]
+    fn disabled_overload_never_touches_the_stream() {
+        let mut plain = FaultPlan::from_seed(42);
+        let mut quiet = FaultPlan::from_seed(42);
+        for _ in 0..500 {
+            assert!(quiet.overload_burst().is_none(), "knob is 0: never fires");
+            assert_eq!(plain.skip_mark_step(), quiet.skip_mark_step());
+            assert_eq!(plain.should_fail_alloc(), quiet.should_fail_alloc());
+        }
+        assert_eq!(
+            plain.digest(),
+            quiet.digest(),
+            "overload_burst with pm=0 must not consume decisions"
+        );
+    }
+
+    #[test]
+    fn enabled_overload_fires_with_configured_length() {
+        let mut p = FaultPlan::new(FaultConfig {
+            overload_burst_pm: 1000,
+            overload_burst_len: 7,
+            ..FaultConfig::from_seed(11)
+        });
+        assert_eq!(p.overload_burst(), Some(7));
+        assert_eq!(p.stats.overload_bursts, 1);
+        assert_eq!(p.stats.injected(), 1);
+        let e = FaultConfig::from_seed(11).escalate(2);
+        assert_eq!(e.overload_burst_pm, 0, "scaling zero stays zero");
     }
 
     #[test]

@@ -51,6 +51,8 @@ pub mod gc;
 pub mod heap;
 pub mod mcheck;
 pub mod object;
+pub mod overload;
+pub mod pressure;
 pub mod recover;
 pub mod safepoint;
 pub mod sched;
@@ -62,6 +64,10 @@ pub use fault::{FaultConfig, FaultPlan, FaultStats};
 pub use heap::{Heap, HeapError, HeapStats, Store};
 pub use mcheck::{CheckerConfig, FailingSchedule, McheckReport, Replay};
 pub use object::{HeapObject, ObjKind, TraceState};
+pub use overload::{run_serve, ServeCounters, ServeOutcome, ServeScenario, ServeWorldConfig};
+pub use pressure::{
+    PressureConfig, PressureController, PressureLevel, PressureStats, PressureTransition,
+};
 pub use recover::{RecoveryAction, RecoveryController, RecoveryPolicy, RecoveryStats};
 pub use safepoint::{EpochState, SatbBuffer, SnapshotBeforeAck};
 pub use sched::{Scenario, SchedConfig, SchedCounters, ScheduleOutcome, SchedulePolicy};

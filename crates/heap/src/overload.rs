@@ -1,0 +1,1113 @@
+//! Deterministic server world: open-loop load against the pressure
+//! ladder.
+//!
+//! Where [`crate::sched`] interleaves a handful of list-churning
+//! mutators to hunt *soundness* races, this module models the workload
+//! shape ROADMAP item 4 asks for — a session-store/request-handler
+//! server — to exercise *robustness under pressure*: per-request
+//! allocation bursts, shared LRU-cache churn, and connection-table
+//! turnover, all driven by a seeded **open-loop** arrival process that
+//! does not slow down when the collector falls behind. That is exactly
+//! the regime where an unprotected heap cliff-dives into the emergency
+//! stop-the-world pause; here the [`crate::pressure::PressureController`]
+//! stands in the way with its degradation ladder:
+//!
+//! * **pacing** — the marker arms early and marks with a boosted
+//!   budget while occupancy is above the pace threshold;
+//! * **throttling** — connections lose every other work slice, halving
+//!   the allocation rate;
+//! * **shedding** — the admission queue rejects arriving requests;
+//! * **emergency** — a forced stop-the-world collection, rate-limited
+//!   by the controller's cooldown.
+//!
+//! Connections speak the same SATB safepoint protocol as the scheduler
+//! worlds (per-thread [`SatbBuffer`]s, epoch arm/ack, stop-the-world
+//! rendezvous), so the overload run is also a soundness run: the
+//! snapshot audit and heap invariant checks from [`crate::verify`] run
+//! at every cycle boundary.
+//!
+//! Everything is a pure function of [`ServeWorldConfig`]: arrivals,
+//! request mixes, scheduling choices, and fault decisions all come from
+//! SplitMix64 streams seeded by `cfg.seed`, and latency is measured in
+//! logical scheduler steps — so a run's entire outcome (counters,
+//! latency samples, ladder transitions) replays bit for bit.
+
+use std::collections::{BTreeSet, VecDeque};
+use std::fmt;
+
+use crate::fault::{FaultConfig, FaultPlan};
+use crate::gc::MarkStyle;
+use crate::heap::{Heap, HeapError};
+use crate::pressure::{PressureConfig, PressureController, PressureLevel, PressureTransition};
+use crate::safepoint::{EpochState, SatbBuffer};
+use crate::value::{FieldShape, GcRef, Value};
+use crate::verify;
+
+/// Hard cap on scheduler steps per serve run; exceeding it surfaces as
+/// a protocol violation rather than a hang.
+const STEP_CAP: usize = 4_000_000;
+
+/// Field shape of session/cache/connection nodes: `f0` = next link,
+/// `f1` = payload cross-reference.
+const NODE: [FieldShape; 2] = [FieldShape::Ref, FieldShape::Ref];
+
+/// A session chain is reset (its old nodes becoming garbage) after this
+/// many consecutive head inserts, bounding the live set so the
+/// collector has something to reclaim.
+const CHAIN_RESET: u64 = 8;
+
+/// SplitMix64 — the repo's standard deterministic stream generator.
+#[derive(Clone, Debug)]
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// FNV-1a over a byte stream (digest primitive, same as the scheduler).
+fn fnv1a(seed: u64, bytes: impl IntoIterator<Item = u8>) -> u64 {
+    let mut h = if seed == 0 {
+        0xcbf2_9ce4_8422_2325
+    } else {
+        seed
+    };
+    for b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Request-mix shape: relative weights of the three request types
+/// (session put, cache publish, connection churn).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ServeScenario {
+    /// Session-store dominated: mostly per-request allocation bursts
+    /// linked into tenant session chains.
+    #[default]
+    Session,
+    /// Shared-LRU dominated: cache publishes and evictions.
+    Cache,
+    /// Connection-table dominated: maximal churn, maximal garbage.
+    Churn,
+}
+
+impl ServeScenario {
+    /// Relative request-type weights `[session_put, cache_publish,
+    /// conn_churn]`.
+    fn weights(self) -> [u16; 3] {
+        match self {
+            ServeScenario::Session => [6, 2, 2],
+            ServeScenario::Cache => [2, 6, 2],
+            ServeScenario::Churn => [2, 2, 6],
+        }
+    }
+
+    /// The stock mix set the serve CLI accepts.
+    pub const ALL: [ServeScenario; 3] = [
+        ServeScenario::Session,
+        ServeScenario::Cache,
+        ServeScenario::Churn,
+    ];
+
+    /// Mix name as used by `wbe_tool serve --mix`.
+    pub fn name(self) -> &'static str {
+        match self {
+            ServeScenario::Session => "session",
+            ServeScenario::Cache => "cache",
+            ServeScenario::Churn => "churn",
+        }
+    }
+}
+
+impl std::str::FromStr for ServeScenario {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "session" => Ok(ServeScenario::Session),
+            "cache" => Ok(ServeScenario::Cache),
+            "churn" => Ok(ServeScenario::Churn),
+            other => Err(format!("unknown request mix `{other}`")),
+        }
+    }
+}
+
+impl fmt::Display for ServeScenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Configuration of one serve world.
+#[derive(Clone, Debug)]
+pub struct ServeWorldConfig {
+    /// Tenants (each owns a session chain slot).
+    pub tenants: usize,
+    /// Connections: the mutator logical threads requests are handled on.
+    pub connections: usize,
+    /// Request mix.
+    pub scenario: ServeScenario,
+    /// Total requests the open-loop generator offers.
+    pub requests: usize,
+    /// Scheduler steps between arrival windows (open-loop cadence —
+    /// arrivals never wait for the server).
+    pub arrival_interval: u32,
+    /// Requests arriving per window before overload bursts.
+    pub arrivals_per_window: u32,
+    /// Allocation-burst length: work units (≈ allocations) per request.
+    pub request_ops: u32,
+    /// Shared-LRU cache slots.
+    pub lru_slots: usize,
+    /// Workload ops between safepoint polls per connection.
+    pub poll_interval: u32,
+    /// Marker steps between cycles (shrunk to zero while pacing).
+    pub cycle_gap: u32,
+    /// Concurrent-marking budget per scheduled marker step (doubled
+    /// while pacing).
+    pub mark_budget: usize,
+    /// Seed for arrivals, request mixes, and scheduling choices.
+    pub seed: u64,
+    /// The pressure ladder in force.
+    pub pressure: PressureConfig,
+    /// Optional fault schedule (allocation failures, skipped/boosted
+    /// mark steps, overload bursts) composed into the run.
+    pub fault: Option<FaultConfig>,
+}
+
+impl Default for ServeWorldConfig {
+    fn default() -> Self {
+        ServeWorldConfig {
+            tenants: 4,
+            connections: 4,
+            scenario: ServeScenario::Session,
+            requests: 256,
+            arrival_interval: 8,
+            arrivals_per_window: 2,
+            request_ops: 6,
+            lru_slots: 8,
+            poll_interval: 4,
+            cycle_gap: 6,
+            mark_budget: 4,
+            seed: 0x5e12_7e00,
+            pressure: PressureConfig::default(),
+            fault: None,
+        }
+    }
+}
+
+/// Deterministic per-run counters; part of the outcome digest.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeCounters {
+    /// Scheduler steps executed.
+    pub steps: u64,
+    /// Requests offered by the open-loop generator.
+    pub offered: u64,
+    /// Requests admitted to a connection queue.
+    pub admitted: u64,
+    /// Requests rejected at admission (ladder ≥ shedding).
+    pub shed: u64,
+    /// Requests completed.
+    pub completed: u64,
+    /// Completed requests that overlapped at least one STW pause.
+    pub stw_overlapped: u64,
+    /// Request work units executed.
+    pub ops: u64,
+    /// Work slices forfeited to throttling.
+    pub throttle_stalls: u64,
+    /// Objects allocated by request handlers.
+    pub allocs: u64,
+    /// Allocation failures injected by the fault plan.
+    pub alloc_faults: u64,
+    /// Overload bursts injected into arrival windows.
+    pub overload_bursts: u64,
+    /// Elided pre-null stores executed by handlers.
+    pub elided_stores: u64,
+    /// SATB entries logged into per-connection buffers.
+    pub satb_logged: u64,
+    /// Per-connection buffer flushes.
+    pub flushes: u64,
+    /// Safepoint polls that acknowledged a new epoch.
+    pub safepoint_acks: u64,
+    /// Safepoint polls that parked for a rendezvous.
+    pub parks: u64,
+    /// Concurrent mark work units performed.
+    pub mark_work: u64,
+    /// Marking cycles completed (including emergency collections).
+    pub cycles: u64,
+    /// Forced emergency stop-the-world collections.
+    pub emergency_stw: u64,
+    /// Total STW pause cost, in remark work units.
+    pub pause_work: u64,
+    /// Objects freed by sweeps.
+    pub swept: u64,
+}
+
+impl ServeCounters {
+    /// The counters as a fixed field array (digest + reporting order).
+    pub fn fields(&self) -> [u64; 22] {
+        [
+            self.steps,
+            self.offered,
+            self.admitted,
+            self.shed,
+            self.completed,
+            self.stw_overlapped,
+            self.ops,
+            self.throttle_stalls,
+            self.allocs,
+            self.alloc_faults,
+            self.overload_bursts,
+            self.elided_stores,
+            self.satb_logged,
+            self.flushes,
+            self.safepoint_acks,
+            self.parks,
+            self.mark_work,
+            self.cycles,
+            self.emergency_stw,
+            self.pause_work,
+            self.swept,
+            0,
+        ]
+    }
+
+    /// Mirrors the counters into the global telemetry registry under
+    /// `serve.*`.
+    pub fn publish(&self) {
+        let pairs: [(&str, u64); 12] = [
+            ("serve.steps", self.steps),
+            ("serve.requests.offered", self.offered),
+            ("serve.requests.admitted", self.admitted),
+            ("serve.requests.shed", self.shed),
+            ("serve.requests.completed", self.completed),
+            ("serve.requests.stw_overlapped", self.stw_overlapped),
+            ("serve.throttle_stalls", self.throttle_stalls),
+            ("serve.allocs", self.allocs),
+            ("serve.alloc_faults", self.alloc_faults),
+            ("serve.overload_bursts", self.overload_bursts),
+            ("serve.gc.cycles", self.cycles),
+            ("serve.gc.emergency_stw", self.emergency_stw),
+        ];
+        for (name, v) in pairs {
+            wbe_telemetry::counter(name).add(v);
+        }
+    }
+}
+
+/// A soundness violation observed during a serve run (the serve world
+/// runs the same snapshot audit and invariant checks as the scheduler
+/// worlds; any entry here is a reproduction-level bug).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServeViolation {
+    /// Scheduler step at which it was detected.
+    pub step: usize,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl fmt::Display for ServeViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "step {}: {}", self.step, self.detail)
+    }
+}
+
+/// The result of one serve run.
+#[derive(Clone, Debug)]
+pub struct ServeOutcome {
+    /// Deterministic counters.
+    pub counters: ServeCounters,
+    /// Per-request latency samples, in scheduler steps, in completion
+    /// order.
+    pub latencies: Vec<u64>,
+    /// Every pressure-ladder transition, in order.
+    pub transitions: Vec<PressureTransition>,
+    /// The ladder's lifetime counters.
+    pub pressure: crate::pressure::PressureStats,
+    /// The highest rung the run reached.
+    pub high_water: PressureLevel,
+    /// Soundness violations (empty ⇔ the run is sound).
+    pub violations: Vec<ServeViolation>,
+}
+
+impl ServeOutcome {
+    /// Digest over counters, latencies, and the transition log: two
+    /// runs with equal digests executed the same world.
+    pub fn digest(&self) -> u64 {
+        let mut h = fnv1a(
+            0,
+            self.counters
+                .fields()
+                .into_iter()
+                .flat_map(u64::to_le_bytes),
+        );
+        h = fnv1a(h, self.latencies.iter().flat_map(|l| l.to_le_bytes()));
+        for t in &self.transitions {
+            h = fnv1a(h, t.reason.bytes());
+            h = fnv1a(h, t.at_observation.to_le_bytes());
+        }
+        fnv1a(h, [self.violations.len() as u8, self.high_water as u8])
+    }
+}
+
+/// One queued request.
+#[derive(Clone, Copy, Debug)]
+struct Request {
+    arrived_at: usize,
+    ops_left: u32,
+    /// Request-type index into the scenario weights.
+    kind: usize,
+    /// Tenant the request addresses.
+    tenant: usize,
+    /// STW pauses completed at admission; if more have completed by the
+    /// time the request finishes, it overlapped a pause.
+    pauses_at_admit: u64,
+}
+
+/// Per-connection logical-thread state.
+#[derive(Debug)]
+struct Connection {
+    satb: SatbBuffer,
+    queue: VecDeque<Request>,
+    since_poll: u32,
+    /// Alternates under throttling: every other slice is forfeited.
+    stalled_last: bool,
+    parked: bool,
+    /// Consecutive head inserts per tenant chain are counted globally;
+    /// this is the connection's scratch reference (a local GC root).
+    held: Option<GcRef>,
+}
+
+/// Marker logical-thread state machine (the scheduler-world protocol).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum MarkerState {
+    Idle { countdown: u32 },
+    Arming,
+    Marking,
+    Rendezvous,
+}
+
+/// The serve world: heap, epoch protocol, connections, marker, ladder.
+pub struct ServeWorld {
+    cfg: ServeWorldConfig,
+    heap: Heap,
+    epoch: EpochState,
+    conns: Vec<Connection>,
+    marker: MarkerState,
+    stop_requested: bool,
+    /// Shared root array: slots `[0..tenants)` = session-chain heads,
+    /// `[tenants..tenants+lru_slots)` = LRU cache, the rest (one per
+    /// connection) = connection-table entries.
+    shared: GcRef,
+    /// Head inserts per tenant since the chain was last reset.
+    chain_age: Vec<u64>,
+    snapshot: Option<BTreeSet<GcRef>>,
+    pressure: PressureController,
+    current_level: PressureLevel,
+    emergency_requested: bool,
+    arrivals_left: usize,
+    next_conn: usize,
+    next_lru: usize,
+    rng_arrivals: SplitMix64,
+    rng_sched: SplitMix64,
+    counters: ServeCounters,
+    latencies: Vec<u64>,
+    violations: Vec<ServeViolation>,
+    step: usize,
+    latency_hist: wbe_telemetry::Histogram,
+}
+
+impl ServeWorld {
+    /// Builds the world: tenant tables, LRU slots, and connection-table
+    /// entries are pre-allocated (bypassing the fault plan, which is
+    /// installed afterwards).
+    pub fn new(cfg: &ServeWorldConfig) -> Result<ServeWorld, HeapError> {
+        let mut heap = Heap::new(MarkStyle::Satb);
+        let slots = cfg.tenants + cfg.lru_slots + cfg.connections;
+        let shared = heap.alloc_ref_array(u32::MAX, slots as i64)?;
+        for t in 0..cfg.tenants {
+            let head = heap.alloc_object(t as u32, &NODE)?;
+            heap.set_elem(shared, t as i64, Some(head))?;
+        }
+        for c in 0..cfg.connections {
+            let entry = heap.alloc_object(u32::MAX - 1, &NODE)?;
+            heap.set_elem(
+                shared,
+                (cfg.tenants + cfg.lru_slots + c) as i64,
+                Some(entry),
+            )?;
+        }
+        heap.fault = cfg.fault.map(FaultPlan::new);
+        Ok(ServeWorld {
+            cfg: cfg.clone(),
+            heap,
+            epoch: EpochState::new(cfg.connections),
+            conns: (0..cfg.connections)
+                .map(|_| Connection {
+                    satb: SatbBuffer::new(),
+                    queue: VecDeque::new(),
+                    since_poll: 0,
+                    stalled_last: false,
+                    parked: false,
+                    held: None,
+                })
+                .collect(),
+            marker: MarkerState::Idle {
+                countdown: cfg.cycle_gap,
+            },
+            stop_requested: false,
+            shared,
+            chain_age: vec![0; cfg.tenants],
+            snapshot: None,
+            pressure: PressureController::new(cfg.pressure),
+            current_level: PressureLevel::Nominal,
+            emergency_requested: false,
+            arrivals_left: cfg.requests,
+            next_conn: 0,
+            next_lru: 0,
+            rng_arrivals: SplitMix64(cfg.seed ^ 0xa11c_0de5),
+            rng_sched: SplitMix64(cfg.seed.rotate_left(32) ^ 0x5c4e_d01e),
+            counters: ServeCounters::default(),
+            latencies: Vec::new(),
+            violations: Vec::new(),
+            step: 0,
+            latency_hist: wbe_telemetry::histogram("serve.request.latency_steps"),
+        })
+    }
+
+    fn violation(&mut self, detail: String) {
+        self.violations.push(ServeViolation {
+            step: self.step,
+            detail,
+        });
+    }
+
+    fn work_drained(&self) -> bool {
+        self.arrivals_left == 0 && self.conns.iter().all(|c| c.queue.is_empty())
+    }
+
+    fn all_parked(&self) -> bool {
+        self.conns.iter().all(|c| c.parked)
+    }
+
+    fn finished(&self) -> bool {
+        self.work_drained()
+            && matches!(self.marker, MarkerState::Idle { .. })
+            && !self.emergency_requested
+            && self.counters.cycles > 0
+    }
+
+    /// GC roots: the shared table plus every connection's held scratch.
+    fn roots(&self) -> Vec<GcRef> {
+        let mut roots = vec![self.shared];
+        roots.extend(self.conns.iter().filter_map(|c| c.held));
+        roots
+    }
+
+    /// Feeds occupancy to the ladder and latches its actuation signals
+    /// for this window.
+    fn observe_pressure(&mut self) {
+        self.current_level = self.pressure.observe(self.heap.store.live_count());
+        if self.pressure.emergency_pause_due() {
+            self.emergency_requested = true;
+        }
+        if wbe_telemetry::tracing_enabled() {
+            wbe_telemetry::trace::counter_event(
+                "serve.heap.occupancy",
+                self.heap.store.live_count() as u64,
+            );
+        }
+    }
+
+    /// One arrival window of the open-loop generator: admit (or shed)
+    /// the base arrivals plus any fault-injected overload burst.
+    fn arrival_window(&mut self) {
+        self.observe_pressure();
+        let mut n = u64::from(self.cfg.arrivals_per_window);
+        if let Some(extra) = self.heap.fault.as_mut().and_then(FaultPlan::overload_burst) {
+            self.counters.overload_bursts += 1;
+            n += u64::from(extra);
+            if wbe_telemetry::tracing_enabled() {
+                wbe_telemetry::trace::event(
+                    "serve.fault.overload_burst",
+                    format!("+{extra} requests step {}", self.step),
+                );
+            }
+        }
+        let weights = self.cfg.scenario.weights();
+        let total: u64 = weights.iter().map(|&w| u64::from(w)).sum();
+        for _ in 0..n {
+            if self.arrivals_left == 0 {
+                break;
+            }
+            self.arrivals_left -= 1;
+            self.counters.offered += 1;
+            // Request identity is drawn whether or not it is admitted,
+            // so shedding never shifts the arrival stream.
+            let mut roll = self.rng_arrivals.next() % total;
+            let mut kind = 0;
+            for (i, &w) in weights.iter().enumerate() {
+                if roll < u64::from(w) {
+                    kind = i;
+                    break;
+                }
+                roll -= u64::from(w);
+            }
+            let tenant = (self.rng_arrivals.next() % self.cfg.tenants as u64) as usize;
+            if self.current_level >= PressureLevel::Shedding {
+                self.counters.shed += 1;
+                self.pressure.note_shed();
+                continue;
+            }
+            self.counters.admitted += 1;
+            let conn = self.next_conn;
+            self.next_conn = (self.next_conn + 1) % self.cfg.connections;
+            self.conns[conn].queue.push_back(Request {
+                arrived_at: self.step,
+                ops_left: self.cfg.request_ops.max(1),
+                kind,
+                tenant,
+                pauses_at_admit: self.counters.cycles,
+            });
+        }
+    }
+
+    /// Bitmask of runnable logical threads (bit `connections` = marker).
+    fn runnable_mask(&self) -> u32 {
+        let mut mask = 0u32;
+        for (tid, c) in self.conns.iter().enumerate() {
+            let has_duty = !c.queue.is_empty() || !self.epoch.acked(tid) || self.stop_requested;
+            if has_duty && !c.parked {
+                mask |= 1 << tid;
+            }
+        }
+        let marker_runnable = self.emergency_requested
+            || match self.marker {
+                MarkerState::Idle { .. } => {
+                    if self.work_drained() {
+                        self.counters.cycles == 0
+                    } else {
+                        true
+                    }
+                }
+                MarkerState::Arming => self.epoch.all_acked(),
+                MarkerState::Marking => true,
+                MarkerState::Rendezvous => self.all_parked(),
+            };
+        if marker_runnable {
+            mask |= 1 << self.cfg.connections;
+        }
+        mask
+    }
+
+    /// SATB deletion barrier for `old`, via the per-connection buffer.
+    fn barrier_log(&mut self, tid: usize, old: GcRef) {
+        if self.epoch.local_marking(tid) {
+            self.conns[tid].satb.log(old);
+            self.counters.satb_logged += 1;
+        }
+    }
+
+    fn flush_buffer(&mut self, tid: usize) {
+        if self.conns[tid].satb.depth() == 0 {
+            return;
+        }
+        self.conns[tid].satb.flush_into(&mut self.heap.gc);
+        self.counters.flushes += 1;
+    }
+
+    /// One step of connection `tid`: a safepoint poll when one is due
+    /// (or when idle with protocol duties pending), a forfeited slice
+    /// under throttling, else one unit of request work.
+    fn connection_step(&mut self, tid: usize) {
+        let idle = self.conns[tid].queue.is_empty();
+        let poll_due = self.conns[tid].since_poll >= self.cfg.poll_interval;
+        if idle || poll_due {
+            self.conns[tid].since_poll = 0;
+            self.flush_buffer(tid);
+            if !self.epoch.acked(tid) {
+                self.epoch.ack(tid);
+                self.counters.safepoint_acks += 1;
+            }
+            if self.stop_requested {
+                self.conns[tid].parked = true;
+                self.counters.parks += 1;
+            }
+            return;
+        }
+        if self.current_level >= PressureLevel::Throttling && !self.conns[tid].stalled_last {
+            // Backpressure: forfeit this slice. The open-loop generator
+            // keeps arriving, so the queue (and latency) grows — which
+            // is the point: the mutator burns less, the marker catches
+            // up.
+            self.conns[tid].stalled_last = true;
+            self.counters.throttle_stalls += self.pressure.note_throttle_stall();
+            return;
+        }
+        self.conns[tid].stalled_last = false;
+        self.conns[tid].since_poll += 1;
+        self.counters.ops += 1;
+        let req = self.conns[tid].queue.front().copied();
+        let Some(mut req) = req else { return };
+        self.request_op(tid, &req);
+        req.ops_left -= 1;
+        if req.ops_left == 0 {
+            self.conns[tid].queue.pop_front();
+            self.counters.completed += 1;
+            let latency = (self.step - req.arrived_at) as u64;
+            self.latencies.push(latency);
+            self.latency_hist.record(latency);
+            if self.counters.cycles > req.pauses_at_admit {
+                self.counters.stw_overlapped += 1;
+            }
+        } else {
+            *self.conns[tid].queue.front_mut().expect("front exists") = req;
+        }
+    }
+
+    /// One work unit of a request: an allocation plus the store pattern
+    /// of its request type.
+    fn request_op(&mut self, tid: usize, req: &Request) {
+        let new = match self.heap.alloc_object(req.tenant as u32, &NODE) {
+            Ok(r) => r,
+            Err(HeapError::AllocationFailed) => {
+                self.counters.alloc_faults += 1;
+                return;
+            }
+            Err(e) => {
+                self.violation(format!("alloc failed: {e}"));
+                return;
+            }
+        };
+        self.counters.allocs += 1;
+        self.conns[tid].held = Some(new);
+        match req.kind {
+            // Session put: head-insert into the tenant chain. The
+            // `new.f0 = old_head` store is the paper's elidable pre-null
+            // initializing store; the slot overwrite carries the full
+            // deletion barrier. Every CHAIN_RESET inserts the chain is
+            // dropped wholesale (its nodes become garbage).
+            0 => {
+                let t = req.tenant as i64;
+                let old_head = self.heap.get_elem(self.shared, t).ok().flatten();
+                self.chain_age[req.tenant] += 1;
+                if !self.chain_age[req.tenant].is_multiple_of(CHAIN_RESET) {
+                    if let Some(h) = old_head {
+                        if self.epoch.elide_allowed(tid) {
+                            self.counters.elided_stores += 1;
+                        }
+                        let _ = self.heap.set_field(new, 0, Value::from(h));
+                    }
+                }
+                if let Some(old) = old_head {
+                    self.barrier_log(tid, old);
+                }
+                let _ = self.heap.set_elem(self.shared, t, Some(new));
+            }
+            // Cache publish: round-robin LRU slot overwrite; the
+            // evicted entry becomes garbage.
+            1 => {
+                let slot = (self.cfg.tenants + self.next_lru) as i64;
+                self.next_lru = (self.next_lru + 1) % self.cfg.lru_slots;
+                if let Ok(Some(old)) = self.heap.get_elem(self.shared, slot) {
+                    self.barrier_log(tid, old);
+                }
+                let _ = self.heap.set_elem(self.shared, slot, Some(new));
+            }
+            // Connection churn: replace this connection's table entry,
+            // cross-linking the new entry to the old (the old entry and
+            // its history die together at the next reset).
+            _ => {
+                let slot = (self.cfg.tenants + self.cfg.lru_slots + tid) as i64;
+                if let Ok(Some(old)) = self.heap.get_elem(self.shared, slot) {
+                    self.barrier_log(tid, old);
+                    let _ = self.heap.set_field(new, 1, Value::from(old));
+                }
+                let _ = self.heap.set_elem(self.shared, slot, Some(new));
+            }
+        }
+    }
+
+    /// One step of the marker's state machine, with ladder pacing: at
+    /// `Pacing` or above the idle countdown collapses (the cycle arms
+    /// now) and the marking budget doubles.
+    fn marker_step(&mut self) {
+        if self.emergency_requested {
+            self.emergency_stw();
+            return;
+        }
+        match self.marker {
+            MarkerState::Idle { countdown } => {
+                let pacing = self.current_level >= PressureLevel::Pacing;
+                if countdown == 0 || self.work_drained() || pacing {
+                    if pacing && countdown > 0 {
+                        self.pressure.note_pace_start();
+                        if wbe_telemetry::tracing_enabled() {
+                            wbe_telemetry::trace::event(
+                                "serve.pressure.pace_start",
+                                format!("cycle armed early step {}", self.step),
+                            );
+                        }
+                    }
+                    self.epoch.arm();
+                    self.marker = MarkerState::Arming;
+                } else {
+                    self.marker = MarkerState::Idle {
+                        countdown: countdown - 1,
+                    };
+                }
+            }
+            MarkerState::Arming => {
+                if !self.epoch.all_acked() {
+                    return;
+                }
+                let roots = self.roots();
+                if let Err(e) = self.heap.gc.try_begin_marking(&mut self.heap.store, &roots) {
+                    self.violation(e.to_string());
+                    self.marker = MarkerState::Idle {
+                        countdown: self.cfg.cycle_gap,
+                    };
+                    return;
+                }
+                self.snapshot = Some(verify::reachable_set(&self.heap, &roots));
+                if let Err(e) = self.epoch.snapshot_taken() {
+                    self.violation(e.to_string());
+                }
+                self.marker = MarkerState::Marking;
+            }
+            MarkerState::Marking => {
+                let mut budget = self.cfg.mark_budget;
+                if self.current_level >= PressureLevel::Pacing {
+                    budget *= 2;
+                }
+                if let Some(plan) = self.heap.fault.as_mut() {
+                    if plan.skip_mark_step() {
+                        return;
+                    }
+                    if let Some(factor) = plan.drain_pressure() {
+                        budget = budget.saturating_mul(factor);
+                    }
+                }
+                let did = self.heap.gc.mark_step(&mut self.heap.store, budget);
+                self.counters.mark_work += did as u64;
+                if did == 0 {
+                    self.stop_requested = true;
+                    self.marker = MarkerState::Rendezvous;
+                }
+            }
+            MarkerState::Rendezvous => {
+                if !self.all_parked() {
+                    return;
+                }
+                self.finish_cycle_stw(false);
+            }
+        }
+    }
+
+    /// The ladder's final rung: a forced stop-the-world collection as
+    /// one atomic step — every connection is flushed by fiat (an
+    /// emergency safepoint), a cycle is opened if none is running, and
+    /// the remark + sweep complete immediately.
+    fn emergency_stw(&mut self) {
+        self.emergency_requested = false;
+        self.pressure.note_emergency_pause();
+        self.counters.emergency_stw += 1;
+        if wbe_telemetry::tracing_enabled() {
+            wbe_telemetry::trace::event(
+                "serve.pressure.emergency_stw",
+                format!("forced collection step {}", self.step),
+            );
+        }
+        let epoch_open = !matches!(self.marker, MarkerState::Idle { .. });
+        if !self.heap.gc.is_marking() {
+            let roots = self.roots();
+            if self
+                .heap
+                .gc
+                .try_begin_marking(&mut self.heap.store, &roots)
+                .is_err()
+            {
+                // Cannot happen (not marking ⇒ a cycle can start), but
+                // the no-panic policy wants a reportable path.
+                self.violation("emergency cycle failed to open".to_string());
+                return;
+            }
+        }
+        self.finish_cycle_stw(epoch_open);
+        self.observe_pressure();
+    }
+
+    /// Stop-the-world tail of a cycle: final flushes, remark, invariant
+    /// checks, sweep, snapshot audit, resume. `end_epoch` says whether
+    /// an armed/marking epoch must be closed (false for an emergency
+    /// collection forced from marker-idle, where no epoch is open).
+    fn finish_cycle_stw(&mut self, end_epoch_override: bool) {
+        let end_epoch = end_epoch_override || !matches!(self.marker, MarkerState::Idle { .. });
+        for tid in 0..self.cfg.connections {
+            self.flush_buffer(tid);
+        }
+        let roots = self.roots();
+        let pause = self.heap.gc.remark(&mut self.heap.store, &roots);
+        self.counters.pause_work += pause.work_units() as u64;
+        self.counters.cycles += 1;
+        for v in verify::verify_post_mark(&self.heap, &roots) {
+            self.violation(v.to_string());
+        }
+        let swept = self.heap.sweep();
+        self.counters.swept += swept as u64;
+        if let Some(snapshot) = self.snapshot.take() {
+            for obj in snapshot {
+                if !self.heap.store.is_live(obj) {
+                    self.violation(format!("snapshot-reachable {obj} freed by sweep"));
+                }
+            }
+        }
+        for v in verify::verify_post_sweep(&self.heap) {
+            self.violation(v.to_string());
+        }
+        if end_epoch {
+            self.epoch.end_cycle();
+        }
+        if wbe_telemetry::tracing_enabled() {
+            wbe_telemetry::trace::event(
+                "serve.gc.stw",
+                format!(
+                    "cycle {} pause {} swept {swept} step {}",
+                    self.counters.cycles,
+                    pause.work_units(),
+                    self.step
+                ),
+            );
+        }
+        self.stop_requested = false;
+        for c in &mut self.conns {
+            c.parked = false;
+        }
+        self.marker = MarkerState::Idle {
+            countdown: self.cfg.cycle_gap,
+        };
+        self.observe_pressure();
+    }
+
+    /// Runs the world to completion.
+    fn run(mut self) -> ServeOutcome {
+        while !self.finished() {
+            if self.step >= STEP_CAP {
+                self.violation(format!("no termination after {STEP_CAP} steps"));
+                break;
+            }
+            if self.step.is_multiple_of(self.cfg.arrival_interval as usize)
+                && self.arrivals_left > 0
+            {
+                self.arrival_window();
+            }
+            let mask = self.runnable_mask();
+            if mask == 0 {
+                self.violation("no runnable thread".to_string());
+                break;
+            }
+            let n = mask.count_ones() as u64;
+            let mut k = self.rng_sched.next() % n;
+            let mut pick = self.cfg.connections;
+            for t in 0..=self.cfg.connections {
+                if mask & (1 << t) != 0 {
+                    if k == 0 {
+                        pick = t;
+                        break;
+                    }
+                    k -= 1;
+                }
+            }
+            self.counters.steps += 1;
+            if pick == self.cfg.connections {
+                self.marker_step();
+            } else {
+                self.connection_step(pick);
+            }
+            self.step += 1;
+        }
+        self.pressure.publish_metrics();
+        self.heap.gc.publish_metrics();
+        self.counters.publish();
+        ServeOutcome {
+            counters: self.counters,
+            latencies: self.latencies,
+            transitions: self.pressure.transitions().to_vec(),
+            pressure: self.pressure.stats,
+            high_water: self.pressure.high_water(),
+            violations: self.violations,
+        }
+    }
+}
+
+/// Runs one serve world to completion. Fully deterministic: equal
+/// configurations give equal outcomes, bit for bit.
+pub fn run_serve(cfg: &ServeWorldConfig) -> ServeOutcome {
+    match ServeWorld::new(cfg) {
+        Ok(world) => world.run(),
+        Err(e) => ServeOutcome {
+            counters: ServeCounters::default(),
+            latencies: Vec::new(),
+            transitions: Vec::new(),
+            pressure: crate::pressure::PressureStats::default(),
+            high_water: PressureLevel::Nominal,
+            violations: vec![ServeViolation {
+                step: 0,
+                detail: format!("world construction failed: {e}"),
+            }],
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn light() -> ServeWorldConfig {
+        ServeWorldConfig {
+            pressure: PressureConfig::with_budget(1_000_000),
+            ..ServeWorldConfig::default()
+        }
+    }
+
+    fn overloaded() -> ServeWorldConfig {
+        ServeWorldConfig {
+            requests: 2000,
+            arrivals_per_window: 6,
+            request_ops: 8,
+            scenario: ServeScenario::Session,
+            pressure: PressureConfig::with_budget(220),
+            ..ServeWorldConfig::default()
+        }
+    }
+
+    #[test]
+    fn light_load_stays_nominal_and_completes_everything() {
+        let out = run_serve(&light());
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+        assert_eq!(out.high_water, PressureLevel::Nominal);
+        assert_eq!(out.counters.shed, 0);
+        assert_eq!(out.counters.completed, out.counters.admitted);
+        assert_eq!(out.counters.offered, 256);
+        assert_eq!(out.latencies.len() as u64, out.counters.completed);
+        assert!(out.counters.cycles > 0, "GC ran");
+    }
+
+    #[test]
+    fn overload_walks_the_ladder_in_order() {
+        let out = run_serve(&overloaded());
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+        assert_eq!(out.high_water, PressureLevel::Emergency);
+        // Every rung was entered, each with its own reason, and the
+        // *first* occurrence of each ascend reason is in ladder order.
+        let order: Vec<&str> = [
+            PressureLevel::Pacing,
+            PressureLevel::Throttling,
+            PressureLevel::Shedding,
+            PressureLevel::Emergency,
+        ]
+        .iter()
+        .map(|l| l.ascend_reason())
+        .collect();
+        let firsts: Vec<usize> = order
+            .iter()
+            .map(|r| {
+                out.transitions
+                    .iter()
+                    .position(|t| t.reason == *r)
+                    .unwrap_or_else(|| panic!("rung reason {r} never fired"))
+            })
+            .collect();
+        assert!(
+            firsts.windows(2).all(|w| w[0] < w[1]),
+            "rungs out of order: {firsts:?}"
+        );
+        for l in [
+            PressureLevel::Pacing,
+            PressureLevel::Throttling,
+            PressureLevel::Shedding,
+            PressureLevel::Emergency,
+        ] {
+            assert!(out.pressure.entries(l) >= 1, "{l} never entered");
+        }
+        assert!(out.counters.shed > 0, "admission control shed requests");
+        assert!(out.counters.throttle_stalls > 0, "mutators were throttled");
+        assert!(out.pressure.pace_starts > 0, "marking was paced early");
+        assert!(out.counters.emergency_stw > 0, "final rung reached");
+    }
+
+    #[test]
+    fn same_config_same_outcome() {
+        for cfg in [light(), overloaded()] {
+            let a = run_serve(&cfg);
+            let b = run_serve(&cfg);
+            assert_eq!(a.counters, b.counters);
+            assert_eq!(a.latencies, b.latencies);
+            assert_eq!(a.transitions, b.transitions);
+            assert_eq!(a.digest(), b.digest());
+        }
+        let mut other = overloaded();
+        other.seed ^= 1;
+        assert_ne!(
+            run_serve(&overloaded()).digest(),
+            run_serve(&other).digest(),
+            "different seeds diverge"
+        );
+    }
+
+    #[test]
+    fn overload_bursts_compose_from_the_fault_plan() {
+        let cfg = ServeWorldConfig {
+            fault: Some(FaultConfig {
+                overload_burst_pm: 500,
+                overload_burst_len: 8,
+                // Quiet the other knobs so only bursts perturb the run.
+                defer_start_pm: 0,
+                early_start_pm: 0,
+                skip_step_pm: 0,
+                drain_boost_pm: 0,
+                alloc_fail_pm: 0,
+                ..FaultConfig::from_seed(77)
+            }),
+            ..light()
+        };
+        let out = run_serve(&cfg);
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+        assert!(out.counters.overload_bursts > 0, "no burst ever fired");
+        assert_eq!(run_serve(&cfg).digest(), out.digest());
+    }
+
+    #[test]
+    fn shedding_caps_queue_growth() {
+        let out = run_serve(&overloaded());
+        // Offered = admitted + shed, and everything admitted completed
+        // (the generator is finite, so queues eventually drain).
+        assert_eq!(
+            out.counters.offered,
+            out.counters.admitted + out.counters.shed
+        );
+        assert_eq!(out.counters.completed, out.counters.admitted);
+    }
+
+    #[test]
+    fn mixes_differ_but_each_is_deterministic() {
+        let mut digests = Vec::new();
+        for mix in ServeScenario::ALL {
+            let cfg = ServeWorldConfig {
+                scenario: mix,
+                ..light()
+            };
+            let out = run_serve(&cfg);
+            assert!(out.violations.is_empty(), "{mix}: {:?}", out.violations);
+            digests.push(out.digest());
+        }
+        digests.dedup();
+        assert_eq!(digests.len(), 3, "mixes produced identical worlds");
+    }
+}

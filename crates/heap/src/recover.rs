@@ -337,6 +337,79 @@ mod tests {
     }
 
     #[test]
+    fn empty_revocation_table_is_inert() {
+        let mut rc = RecoveryController::new(RecoveryPolicy::default());
+        assert!(rc.revocations().is_empty());
+        assert!(!rc.site_revoked((0, 0, 0)));
+        assert_eq!(rc.stats.revoked_sites, 0);
+        // Every site elides freely and nothing is counted as gated.
+        for site in [(0, 0, 0), (7, 3, 2), (u64::MAX, u32::MAX, u32::MAX)] {
+            assert!(rc.elide_allowed(site));
+        }
+        assert_eq!(rc.stats.gated_elisions, 0);
+        // Publishing an empty table is a no-op, not a panic.
+        rc.publish_metrics();
+        assert!(!rc.in_panic());
+        assert_eq!(rc.panic_reason(), "");
+    }
+
+    #[test]
+    fn repeated_revocation_is_idempotent_across_attempts() {
+        let mut rc = RecoveryController::new(RecoveryPolicy::default());
+        let site = (5, 2, 7);
+        rc.on_violation("first");
+        rc.revoke(site, "m", "first", "invariant");
+        rc.recovered();
+        let snapshot = rc.revocations().to_vec();
+        // Re-revoking the same site later — other attempt, other reason,
+        // other trigger — changes nothing: first revocation wins.
+        rc.on_violation("second");
+        rc.revoke(site, "m", "second", "oracle");
+        rc.revoke(site, "renamed", "third", "invariant");
+        rc.recovered();
+        assert_eq!(rc.revocations(), snapshot.as_slice());
+        assert_eq!(rc.stats.revoked_sites, 1);
+        assert_eq!(rc.revocations()[0].reason, "first");
+        assert_eq!(rc.revocations()[0].attempt, 1, "records the first attempt");
+        assert!(rc.site_revoked(site));
+    }
+
+    #[test]
+    fn revocation_during_inflight_remark_lands_in_the_open_attempt() {
+        let mut rc = RecoveryController::new(RecoveryPolicy { max_attempts: 3 });
+        // First violation + successful re-mark: attempt 1 closes.
+        rc.on_violation("warmup");
+        rc.recovered();
+        // Second violation opens attempt 2; the STW re-mark it forces
+        // discovers a bad site *while the attempt is still open*.
+        assert_eq!(
+            rc.on_violation("post-mark: lost snapshot"),
+            RecoveryAction::Recover
+        );
+        let site = (9, 4, 1);
+        rc.revoke(site, "m", "unmarked reachable during re-mark", "invariant");
+        assert_eq!(
+            rc.revocations()[0].attempt,
+            2,
+            "attributed to the open attempt"
+        );
+        // The site is gated immediately, before the attempt resolves.
+        assert!(!rc.elide_allowed(site));
+        rc.recovered();
+        // Resolution doesn't disturb the table, and the budget reset
+        // didn't clear the sticky panic or the revocation.
+        assert_eq!(rc.revocations().len(), 1);
+        assert!(rc.in_panic());
+        assert!(rc.site_revoked(site));
+        assert_eq!(rc.stats.succeeded, 2);
+        // A failed re-mark after the revocation leaves the record alone.
+        rc.on_violation("again");
+        rc.attempt_failed();
+        assert_eq!(rc.revocations().len(), 1);
+        assert_eq!(rc.stats.revoked_sites, 1);
+    }
+
+    #[test]
     fn single_site_revocation_without_panic() {
         let mut rc = RecoveryController::new(RecoveryPolicy::default());
         let bad = (0, 2, 5);

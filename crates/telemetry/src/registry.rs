@@ -275,6 +275,14 @@ pub struct Registry {
     histograms: Mutex<BTreeMap<String, Histogram>>,
 }
 
+/// Locks a metric map, recovering from poisoning: metric state is a
+/// monotone map of handles to atomics, so a panic mid-insert leaves at
+/// worst a registered-but-unreturned handle — always safe to reuse.
+/// Telemetry must never abort the process that is reporting a panic.
+fn lock_metrics<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 impl Registry {
     /// Empty registry.
     pub fn new() -> Self {
@@ -283,7 +291,7 @@ impl Registry {
 
     /// Resolves (registering on first use) the counter `name`.
     pub fn counter(&self, name: &str) -> Counter {
-        let mut map = self.counters.lock().unwrap();
+        let mut map = lock_metrics(&self.counters);
         if let Some(c) = map.get(name) {
             return c.clone();
         }
@@ -296,7 +304,7 @@ impl Registry {
 
     /// Resolves (registering on first use) the gauge `name`.
     pub fn gauge(&self, name: &str) -> Gauge {
-        let mut map = self.gauges.lock().unwrap();
+        let mut map = lock_metrics(&self.gauges);
         if let Some(g) = map.get(name) {
             return g.clone();
         }
@@ -309,7 +317,7 @@ impl Registry {
 
     /// Resolves (registering on first use) the histogram `name`.
     pub fn histogram(&self, name: &str) -> Histogram {
-        let mut map = self.histograms.lock().unwrap();
+        let mut map = lock_metrics(&self.histograms);
         if let Some(h) = map.get(name) {
             return h.clone();
         }
@@ -324,24 +332,15 @@ impl Registry {
     /// metric is read atomically; cross-metric skew is possible under
     /// concurrent writes and acceptable for reporting.)
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let counters = self
-            .counters
-            .lock()
-            .unwrap()
+        let counters = lock_metrics(&self.counters)
             .iter()
             .map(|(k, v)| (k.clone(), v.get()))
             .collect();
-        let gauges = self
-            .gauges
-            .lock()
-            .unwrap()
+        let gauges = lock_metrics(&self.gauges)
             .iter()
             .map(|(k, v)| (k.clone(), v.get()))
             .collect();
-        let histograms: BTreeMap<String, HistogramSnapshot> = self
-            .histograms
-            .lock()
-            .unwrap()
+        let histograms: BTreeMap<String, HistogramSnapshot> = lock_metrics(&self.histograms)
             .iter()
             .map(|(k, v)| (k.clone(), v.snapshot()))
             .collect();
@@ -355,13 +354,13 @@ impl Registry {
     /// Zeroes every registered metric (handles stay valid). Used by
     /// experiment runners between configurations.
     pub fn reset(&self) {
-        for c in self.counters.lock().unwrap().values() {
+        for c in lock_metrics(&self.counters).values() {
             c.cell.store(0, Ordering::Relaxed);
         }
-        for g in self.gauges.lock().unwrap().values() {
+        for g in lock_metrics(&self.gauges).values() {
             g.cell.store(0, Ordering::Relaxed);
         }
-        for h in self.histograms.lock().unwrap().values() {
+        for h in lock_metrics(&self.histograms).values() {
             let inner = &*h.inner;
             inner.count.store(0, Ordering::Relaxed);
             inner.sum.store(0, Ordering::Relaxed);
@@ -436,6 +435,32 @@ mod tests {
         g.set(9);
         g.set(3);
         assert_eq!(g.get(), 3);
+    }
+
+    #[test]
+    fn registry_survives_poisoned_locks() {
+        let _guard = crate::config::test_guard();
+        crate::configure(crate::TelemetryConfig::default());
+        let r = Registry::new();
+        r.counter("pre.poison").inc();
+        // Panic while holding each metric map's lock; the guards drop
+        // during unwind and poison all three mutexes.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _c = r.counters.lock().unwrap();
+            let _g = r.gauges.lock().unwrap();
+            let _h = r.histograms.lock().unwrap();
+            panic!("poison the registry");
+        }));
+        // Every path recovers: resolve, snapshot, reset.
+        r.counter("post.poison").add(2);
+        r.gauge("post.gauge").set(7);
+        r.histogram("post.hist").record(3);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters["pre.poison"], 1);
+        assert_eq!(snap.counters["post.poison"], 2);
+        assert_eq!(snap.gauges["post.gauge"], 7);
+        r.reset();
+        assert_eq!(r.counter("pre.poison").get(), 0);
     }
 
     #[test]

@@ -73,9 +73,11 @@ pub fn since_epoch_us() -> u64 {
 }
 
 /// Appends an event (no-op when the buffer is full; the loss is
-/// counted in [`dropped`]).
+/// counted in [`dropped`]). Recovers a poisoned buffer lock: the vec
+/// is append-only between drains, so a panic mid-push leaves it
+/// well-formed, and tracing must never abort a panicking process.
 pub fn push(ev: TraceEvent) {
-    let mut buf = buffer().lock().unwrap();
+    let mut buf = buffer().lock().unwrap_or_else(|e| e.into_inner());
     if buf.len() >= TRACE_CAP {
         DROPPED.fetch_add(1, Ordering::Relaxed);
         return;
@@ -119,8 +121,9 @@ pub fn counter_event(name: &str, value: u64) {
 }
 
 /// Removes and returns all buffered events (order of insertion).
+/// Recovers a poisoned buffer lock, like [`push`].
 pub fn drain() -> Vec<TraceEvent> {
-    std::mem::take(&mut *buffer().lock().unwrap())
+    std::mem::take(&mut *buffer().lock().unwrap_or_else(|e| e.into_inner()))
 }
 
 /// Number of events lost to the buffer cap since process start.
@@ -146,6 +149,24 @@ mod tests {
         let ev = events.iter().find(|e| e.name == "trace_test.loud").unwrap();
         assert_eq!(ev.detail, "payload");
         assert_eq!(ev.dur_us, 0);
+        crate::configure(prev);
+    }
+
+    #[test]
+    fn buffer_survives_a_poisoned_lock() {
+        let _guard = crate::config::test_guard();
+        let prev = crate::configure(crate::TelemetryConfig::all());
+        drain();
+        // Panic while holding the buffer lock: the guard drops during
+        // unwind and poisons the mutex.
+        let _ = std::panic::catch_unwind(|| {
+            let _held = buffer().lock().unwrap();
+            panic!("poison the trace buffer");
+        });
+        // Tracing keeps working: push and drain recover the lock.
+        event("trace_test.after_poison", "");
+        let events = drain();
+        assert!(events.iter().any(|e| e.name == "trace_test.after_poison"));
         crate::configure(prev);
     }
 }

@@ -34,6 +34,7 @@ pub mod javac;
 pub mod jbb;
 pub mod jess;
 pub mod mtrt;
+pub mod server;
 
 use wbe_ir::{MethodId, Program};
 
@@ -81,8 +82,17 @@ pub fn by_name(name: &str) -> Option<Workload> {
         "mtrt" => Some(mtrt::build()),
         "jack" => Some(jack::build()),
         "jbb" => Some(jbb::build()),
+        // The server family (not part of the six-workload paper suite).
+        "server" => Some(server::build()),
+        "server-churn" => Some(server::build_churn()),
         _ => None,
     }
+}
+
+/// The server workload family members measured alongside (but not part
+/// of) the standard suite.
+pub fn server_family() -> Vec<Workload> {
+    vec![server::build(), server::build_churn()]
 }
 
 #[cfg(test)]
@@ -104,6 +114,9 @@ mod tests {
     #[test]
     fn names_round_trip() {
         for name in ["jess", "db", "javac", "mtrt", "jack", "jbb"] {
+            assert_eq!(by_name(name).unwrap().name, name);
+        }
+        for name in ["server", "server-churn"] {
             assert_eq!(by_name(name).unwrap().name, name);
         }
         assert!(by_name("nope").is_none());

@@ -1,0 +1,297 @@
+//! Server workload family: session store + request handlers.
+//!
+//! ROADMAP item 4 asks for a multi-tenant request workload; this is its
+//! single-machine IR form (the multi-connection scheduled form lives in
+//! `wbe_heap::overload`). Each iteration simulates one request against
+//! a session-store server:
+//!
+//! * **session puts** — a per-request allocation burst head-inserted
+//!   into a tenant's session chain: the `new.next = old_head` store is
+//!   the paper's elidable initializing store, while the chain-head slot
+//!   overwrite is never pre-null once warm;
+//! * **cache publishes** — shared-LRU slot overwrites whose evicted
+//!   entries become garbage;
+//! * **connection churn** — connection-table entries replaced and
+//!   cross-linked to their predecessors.
+//!
+//! The family is parameterized by [`ServerParams`] — tenants,
+//! connections, and request mix — so the same program shape sweeps from
+//! laptop scale upward; table sizes are rounded to powers of two so
+//! tenant/slot selection stays a mask. Two members are registered with
+//! the suite tooling: `server` (session-heavy) and `server-churn`
+//! (turnover-heavy). Neither joins [`crate::standard_suite`] — the six
+//! Table 1 mimics and their elision-rate baseline stay untouched.
+
+use wbe_ir::builder::ProgramBuilder;
+use wbe_ir::Ty;
+
+use crate::helpers::{counted_loop, emit_library, lcg_step, Bound};
+use crate::Workload;
+
+/// Request-mix shape: ops per simulated request, `[session_puts,
+/// cache_publishes, conn_churns]`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ServerMix {
+    /// Session-store dominated (allocation bursts into tenant chains).
+    #[default]
+    Session,
+    /// Shared-LRU dominated.
+    Cache,
+    /// Connection-turnover dominated.
+    Churn,
+}
+
+impl ServerMix {
+    fn ops(self) -> [usize; 3] {
+        match self {
+            ServerMix::Session => [2, 1, 1],
+            ServerMix::Cache => [1, 3, 1],
+            ServerMix::Churn => [1, 1, 3],
+        }
+    }
+}
+
+/// Parameters of one family member.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerParams {
+    /// Tenant count (session-chain slots; rounded up to a power of
+    /// two, minimum 2).
+    pub tenants: i64,
+    /// Connection-table size (rounded up likewise).
+    pub connections: i64,
+    /// Shared-LRU cache slots (rounded up likewise).
+    pub lru_slots: i64,
+    /// Request mix.
+    pub mix: ServerMix,
+}
+
+impl Default for ServerParams {
+    fn default() -> Self {
+        ServerParams {
+            tenants: 16,
+            connections: 8,
+            lru_slots: 16,
+            mix: ServerMix::Session,
+        }
+    }
+}
+
+fn pow2(n: i64) -> i64 {
+    (n.max(2) as u64).next_power_of_two() as i64
+}
+
+/// Builds a family member from explicit parameters.
+pub fn build_with(params: ServerParams) -> Workload {
+    let tenants = pow2(params.tenants);
+    let connections = pow2(params.connections);
+    let lru = pow2(params.lru_slots);
+    let [n_put, n_pub, n_churn] = params.mix.ops();
+
+    let mut pb = ProgramBuilder::new();
+    let session = pb.class("Session");
+    let s_next = pb.field(session, "next", Ty::Ref(session));
+    let s_pads: Vec<_> = (0..4)
+        .map(|k| pb.field(session, format!("pad{k}"), Ty::Int))
+        .collect();
+    let payload = pb.class("Payload");
+    let p_link = pb.field(payload, "link", Ty::Ref(payload));
+    let _p_data = pb.field(payload, "data", Ty::Int);
+    let conn = pb.class("Conn");
+    let c_peer = pb.field(conn, "peer", Ty::Ref(conn));
+
+    let sessions = pb.static_field("sessions", Ty::RefArray(session));
+    let cache = pb.static_field("cache", Ty::RefArray(payload));
+    let conns = pb.static_field("conns", Ty::RefArray(conn));
+
+    // Session::<init>(this, prev): the head-insert link plus padding —
+    // all initializing stores; the ref store is the paper's elidable
+    // pre-null case.
+    let s_ctor = pb.declare_constructor(session, vec![Ty::Ref(session)]);
+    pb.define_method(s_ctor, 0, |mb| {
+        let this = mb.local(0);
+        let prev = mb.local(1);
+        mb.load(this).load(prev).putfield(s_next);
+        for (k, &pf) in s_pads.iter().enumerate() {
+            mb.load(this).iconst(k as i64).putfield(pf);
+        }
+        mb.return_();
+    });
+    // Payload::<init>(this, evicted): keeps a back-link to the entry it
+    // replaces (initializing ref store).
+    let p_ctor = pb.declare_constructor(payload, vec![Ty::Ref(payload)]);
+    pb.define_method(p_ctor, 0, |mb| {
+        let this = mb.local(0);
+        let old = mb.local(1);
+        mb.load(this).load(old).putfield(p_link);
+        mb.return_();
+    });
+    // Conn::<init>(this, peer): cross-link to the replaced entry.
+    let c_ctor = pb.declare_constructor(conn, vec![Ty::Ref(conn)]);
+    pb.define_method(c_ctor, 0, |mb| {
+        let this = mb.local(0);
+        let peer = mb.local(1);
+        mb.load(this).load(peer).putfield(c_peer);
+        mb.return_();
+    });
+
+    let library = emit_library(&mut pb, "server", 2);
+
+    // setup(iters): size the tables; pre-fill the connection table so
+    // churn always overwrites live (never-pre-null) slots.
+    let setup = pb.method("server_setup", vec![Ty::Int], None, 1, |mb| {
+        let iters = mb.local(0);
+        let i = mb.local(1);
+        mb.load(iters).invoke(library).pop();
+        mb.iconst(tenants)
+            .new_ref_array(session)
+            .putstatic(sessions);
+        mb.iconst(lru).new_ref_array(payload).putstatic(cache);
+        mb.iconst(connections).new_ref_array(conn).putstatic(conns);
+        counted_loop(mb, i, Bound::Const(connections), |mb| {
+            mb.getstatic(conns).load(i);
+            mb.new_object(conn).dup().const_null().invoke(c_ctor);
+            mb.aastore();
+        });
+        mb.return_();
+    });
+
+    let main = pb.method("server_main", vec![Ty::Int], None, 3, |mb| {
+        let iters = mb.local(0);
+        let i = mb.local(1);
+        let seed = mb.local(2);
+        let slot = mb.local(3);
+        mb.load(iters).invoke(setup);
+        mb.iconst(0x5e12).store(seed);
+        counted_loop(mb, i, Bound::Local(iters), |mb| {
+            lcg_step(mb, seed);
+            // Session puts: head-insert an allocation burst into the
+            // tenant chain picked by the request.
+            for put in 0..n_put {
+                mb.load(seed)
+                    .iconst(3 + 2 * put as i64)
+                    .shr()
+                    .iconst(tenants - 1)
+                    .and()
+                    .store(slot);
+                mb.getstatic(sessions).load(slot);
+                mb.new_object(session)
+                    .dup()
+                    .getstatic(sessions)
+                    .load(slot)
+                    .aaload()
+                    .invoke(s_ctor);
+                mb.aastore();
+            }
+            // Cache publishes: overwrite an LRU slot, keeping a link to
+            // the evicted entry.
+            for publish in 0..n_pub {
+                mb.load(seed)
+                    .iconst(5 + 2 * publish as i64)
+                    .shr()
+                    .iconst(lru - 1)
+                    .and()
+                    .store(slot);
+                mb.getstatic(cache).load(slot);
+                mb.new_object(payload)
+                    .dup()
+                    .getstatic(cache)
+                    .load(slot)
+                    .aaload()
+                    .invoke(p_ctor);
+                mb.aastore();
+            }
+            // Connection churn: replace a table entry, cross-linked to
+            // its predecessor.
+            for churn in 0..n_churn {
+                mb.load(seed)
+                    .iconst(7 + 2 * churn as i64)
+                    .shr()
+                    .iconst(connections - 1)
+                    .and()
+                    .store(slot);
+                mb.getstatic(conns).load(slot);
+                mb.new_object(conn)
+                    .dup()
+                    .getstatic(conns)
+                    .load(slot)
+                    .aaload()
+                    .invoke(c_ctor);
+                mb.aastore();
+            }
+        });
+        mb.return_();
+    });
+
+    let program = pb.finish();
+    debug_assert!(program.validate().is_ok());
+    Workload {
+        name: match params.mix {
+            ServerMix::Session => "server",
+            ServerMix::Cache => "server-cache",
+            ServerMix::Churn => "server-churn",
+        },
+        program,
+        entry: main,
+        default_iters: 2_400,
+    }
+}
+
+/// The default family member: session-heavy mix.
+pub fn build() -> Workload {
+    build_with(ServerParams::default())
+}
+
+/// The turnover-heavy family member.
+pub fn build_churn() -> Workload {
+    build_with(ServerParams {
+        mix: ServerMix::Churn,
+        ..ServerParams::default()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wbe_interp::{BarrierConfig, BarrierMode, ElidedBarriers, Interp, Value};
+
+    #[test]
+    fn runs_and_matches_store_census() {
+        let w = build();
+        let mut interp = Interp::new(&w.program, BarrierConfig::new(BarrierMode::Checked));
+        interp
+            .run(w.entry, &[Value::Int(200)], w.fuel_for(200))
+            .expect("server runs clean");
+        let s = interp.stats.barrier.summarize(&ElidedBarriers::new());
+        // Setup: 8 conn ctor ref stores + 8 table fills. Per iteration
+        // (mix [2,1,1]): 4 ctor ref stores, 4 slot aastores.
+        assert_eq!(s.field_total, 8 + 200 * 4);
+        assert_eq!(s.array_total, 8 + 200 * 4);
+        // Every ctor store is an initializing first write.
+        assert_eq!(s.field_potential_pre_null, s.field_total);
+    }
+
+    #[test]
+    fn family_members_differ_by_mix() {
+        let heavy = build_churn();
+        let mut interp = Interp::new(&heavy.program, BarrierConfig::new(BarrierMode::Checked));
+        interp
+            .run(heavy.entry, &[Value::Int(100)], heavy.fuel_for(100))
+            .expect("server-churn runs clean");
+        let s = interp.stats.barrier.summarize(&ElidedBarriers::new());
+        // Churn mix [1,1,3]: 5 ref field stores + 5 aastores per iter.
+        assert_eq!(s.field_total, 8 + 100 * 5);
+        assert_eq!(s.array_total, 8 + 100 * 5);
+    }
+
+    #[test]
+    fn params_round_to_powers_of_two() {
+        let w = build_with(ServerParams {
+            tenants: 5,
+            connections: 3,
+            lru_slots: 9,
+            mix: ServerMix::Cache,
+        });
+        w.program.validate().expect("rounded params validate");
+        assert_eq!(w.name, "server-cache");
+    }
+}

@@ -39,7 +39,9 @@ fn threaded_demo() {
         .expect("no cycle in progress");
     // Safepoint poll: acknowledge the armed epoch so the marker may
     // take its snapshot.
-    mutator.safepoint(&heap).expect("rendezvous within deadline");
+    mutator
+        .safepoint(&heap)
+        .expect("rendezvous within deadline");
 
     // Mutator: unlink the middle of the list *during marking*, with the
     // per-thread SATB buffer logging the overwritten reference.
@@ -62,7 +64,9 @@ fn threaded_demo() {
         drop(h);
         if i % 256 == 0 {
             // Periodic poll, like compiled code.
-            mutator.safepoint(&heap).expect("rendezvous within deadline");
+            mutator
+                .safepoint(&heap)
+                .expect("rendezvous within deadline");
         }
     }
     mutator.retire(&heap); // final flush; rendezvous won't wait on us
