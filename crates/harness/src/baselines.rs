@@ -19,7 +19,7 @@ use std::path::Path;
 
 use wbe_heap::gc::MarkStyle;
 use wbe_heap::{FaultConfig, FaultPlan, RecoveryPolicy};
-use wbe_interp::{BarrierConfig, BarrierMode, GcPolicy, Interp, Value};
+use wbe_interp::{BarrierConfig, BarrierMode, EngineKind, GcPolicy, Interp, Value};
 use wbe_opt::{OptMode, PipelineConfig};
 use wbe_telemetry::json::ObjWriter;
 
@@ -43,6 +43,10 @@ const RECOVERY_CORRUPT_PM: u16 = 400;
 /// Workload scale for the recovery probe (kept small; the probe's
 /// counters are exact, not statistical).
 const RECOVERY_SCALE: f64 = 0.02;
+
+/// Per-mutator instruction budget for the throughput probe rows (kept
+/// small; the pinned quantities are deterministic facts, not rates).
+const THROUGHPUT_OPS: u64 = 200_000;
 
 /// Relative tolerance for dynamic counts.
 const REL_TOL: f64 = 0.02;
@@ -76,6 +80,33 @@ pub struct WorkloadBaseline {
     pub top_keep_code: String,
 }
 
+/// Deterministic facts of one throughput-bench cell (workload ×
+/// engine), pinned exactly: the wall-clock rate is machine-dependent,
+/// but everything the run *computes* is not — and classic/compiled rows
+/// must be identical, folding the engine-equivalence claim into the
+/// baseline gate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ThroughputBaseline {
+    /// Benchmark workload name.
+    pub bench: String,
+    /// Engine that produced the row (`classic` or `compiled`).
+    pub engine: String,
+    /// Instructions executed.
+    pub insns: u64,
+    /// Abstract cycles charged.
+    pub cycles: u64,
+    /// Cycles charged to barriers.
+    pub barrier_cycles: u64,
+    /// Executions of elided stores.
+    pub elided: u64,
+    /// Objects allocated.
+    pub allocs: u64,
+    /// Completed GC cycles.
+    pub gc_cycles: u64,
+    /// Final world digest.
+    pub digest: u64,
+}
+
 /// The whole baseline file: per-workload rows plus suite-level facts.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct BaselineSuite {
@@ -90,6 +121,8 @@ pub struct BaselineSuite {
     pub recoveries_attempted: u64,
     /// Recovery attempts that healed the heap in the probe (exact).
     pub recoveries_succeeded: u64,
+    /// Per-engine throughput probe rows (exact), after the suite line.
+    pub throughput: Vec<ThroughputBaseline>,
 }
 
 fn bucket(v: u64) -> u64 {
@@ -128,6 +161,7 @@ pub fn measure(scale: f64) -> BaselineSuite {
         rows.push(row);
     }
     let (recoveries_attempted, recoveries_succeeded) = recovery_probe();
+    let throughput = throughput_probe();
     BaselineSuite {
         rows,
         pct_elided: if total == 0 {
@@ -138,7 +172,47 @@ pub fn measure(scale: f64) -> BaselineSuite {
         scale,
         recoveries_attempted,
         recoveries_succeeded,
+        throughput,
     }
+}
+
+/// Runs the throughput probe: the bench workloads under the realistic
+/// configuration (checked barriers + elision + deterministic GC
+/// policy), once per engine, recording only the deterministic facts.
+/// A divergence between the classic and compiled rows is an engine-
+/// equivalence regression; a divergence from the committed file is a
+/// semantic change to the workload, analysis, or runtime.
+fn throughput_probe() -> Vec<ThroughputBaseline> {
+    let mut rows = Vec::new();
+    for name in ["jess", "jbb"] {
+        let w = wbe_workloads::by_name(name).expect("bench workload exists");
+        let cfg = PipelineConfig::new(OptMode::Full, 100);
+        let (compiled, elided) = compile_workload_with(&w, &cfg);
+        let chunk = (w.default_iters / 10).max(8);
+        for kind in [EngineKind::Classic, EngineKind::Compiled] {
+            let bc = BarrierConfig::with_elision(BarrierMode::Checked, elided.clone());
+            let mut engine = kind.build(&compiled.program, bc, MarkStyle::Satb);
+            engine.set_gc_policy(crate::throughput::GC_POLICY);
+            while engine.stats().insns < THROUGHPUT_OPS {
+                engine
+                    .run(w.entry, &[Value::Int(chunk)], w.fuel_for(chunk))
+                    .unwrap_or_else(|t| panic!("throughput probe {name} trapped: {t}"));
+            }
+            let s = engine.stats();
+            rows.push(ThroughputBaseline {
+                bench: name.to_string(),
+                engine: kind.name().to_string(),
+                insns: s.insns,
+                cycles: s.cycles,
+                barrier_cycles: s.barrier_cycles,
+                elided: s.elided_executions,
+                allocs: engine.heap().stats.allocations,
+                gc_cycles: engine.heap().gc.stats.cycles,
+                digest: wbe_heap::debug::world_digest(engine.heap()),
+            });
+        }
+    }
+    rows
 }
 
 /// Measures one workload's baseline row; also returns its (total,
@@ -254,6 +328,23 @@ impl BaselineSuite {
              \"recoveries_attempted\":{},\"recoveries_succeeded\":{}}}",
             self.pct_elided, self.scale, self.recoveries_attempted, self.recoveries_succeeded
         );
+        // Throughput rows come last so adding them never moves the
+        // pre-existing lines of a committed file.
+        for t in &self.throughput {
+            let mut w = ObjWriter::new(&mut out);
+            w.field_str("workload", "__throughput__")
+                .field_str("bench", &t.bench)
+                .field_str("engine", &t.engine)
+                .field_u64("insns", t.insns)
+                .field_u64("cycles", t.cycles)
+                .field_u64("barrier_cycles", t.barrier_cycles)
+                .field_u64("elided", t.elided)
+                .field_u64("allocs", t.allocs)
+                .field_u64("gc_cycles", t.gc_cycles)
+                .field_str("digest", &format!("{:#018x}", t.digest));
+            w.finish();
+            out.push('\n');
+        }
         out
     }
 
@@ -298,6 +389,29 @@ impl BaselineSuite {
                     .and_then(|f| f.as_u64())
                     .ok_or_else(|| format!("line {}: missing integer '{k}'", lineno + 1))
             };
+            if name == "__throughput__" {
+                let get_str = |k: &str| -> Result<String, String> {
+                    v.get(k)
+                        .and_then(|f| f.as_str())
+                        .map(str::to_string)
+                        .ok_or_else(|| format!("line {}: missing '{k}'", lineno + 1))
+                };
+                let digest_hex = get_str("digest")?;
+                let digest = u64::from_str_radix(digest_hex.trim_start_matches("0x"), 16)
+                    .map_err(|e| format!("line {}: bad digest: {e}", lineno + 1))?;
+                suite.throughput.push(ThroughputBaseline {
+                    bench: get_str("bench")?,
+                    engine: get_str("engine")?,
+                    insns: get("insns")?,
+                    cycles: get("cycles")?,
+                    barrier_cycles: get("barrier_cycles")?,
+                    elided: get("elided")?,
+                    allocs: get("allocs")?,
+                    gc_cycles: get("gc_cycles")?,
+                    digest,
+                });
+                continue;
+            }
             suite.rows.push(WorkloadBaseline {
                 workload: name,
                 static_sites: get("static_sites")?,
@@ -404,6 +518,39 @@ pub fn compare(expected: &BaselineSuite, actual: &BaselineSuite) -> Vec<String> 
             "suite: recoveries_succeeded expected {}, got {}",
             expected.recoveries_succeeded, actual.recoveries_succeeded
         ));
+    }
+    // Throughput probe rows are fully deterministic: exact equality,
+    // field by field.
+    for exp in &expected.throughput {
+        let Some(act) = actual
+            .throughput
+            .iter()
+            .find(|t| t.bench == exp.bench && t.engine == exp.engine)
+        else {
+            violations.push(format!(
+                "throughput {}/{}: missing from this run",
+                exp.bench, exp.engine
+            ));
+            continue;
+        };
+        if act != exp {
+            violations.push(format!(
+                "throughput {}/{}: expected {exp:?}, got {act:?}",
+                exp.bench, exp.engine
+            ));
+        }
+    }
+    for act in &actual.throughput {
+        if !expected
+            .throughput
+            .iter()
+            .any(|t| t.bench == act.bench && t.engine == act.engine)
+        {
+            violations.push(format!(
+                "throughput {}/{}: not in the baseline file (run with --update)",
+                act.bench, act.engine
+            ));
+        }
     }
     violations
 }
@@ -516,6 +663,21 @@ mod tests {
         // attempt healed (the probe's corruption is transient).
         assert!(suite.recoveries_attempted > 0);
         assert_eq!(suite.recoveries_attempted, suite.recoveries_succeeded);
+        // Throughput rows: both engines per bench workload, and the
+        // deterministic facts agree across engines.
+        assert_eq!(suite.throughput.len(), 4);
+        assert_eq!(parsed.throughput, suite.throughput);
+        for pair in suite.throughput.chunks(2) {
+            assert_eq!(pair[0].bench, pair[1].bench);
+            assert_eq!(pair[0].engine, "classic");
+            assert_eq!(pair[1].engine, "compiled");
+            assert_eq!(
+                (pair[0].insns, pair[0].cycles, pair[0].digest),
+                (pair[1].insns, pair[1].cycles, pair[1].digest),
+                "{}: engines disagree",
+                pair[0].bench
+            );
+        }
     }
 
     #[test]
@@ -530,6 +692,7 @@ mod tests {
         perturbed.pct_elided += 10.0;
         perturbed.recoveries_attempted += 1;
         perturbed.recoveries_succeeded += 2;
+        perturbed.throughput[0].digest ^= 1;
         let violations = compare(&perturbed, &suite);
         assert!(violations.len() >= 8, "{violations:?}");
         assert!(

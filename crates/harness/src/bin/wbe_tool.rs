@@ -28,6 +28,9 @@
 //!                  [--heap-budget B] [--chaos] [--overload-pm PM]
 //!                  [--slo-p99 N] [--slo-shed-pct P]
 //!                  [--format text|ndjson] [--out F] [--trace-out T]
+//! wbe_tool throughput [--engine classic|compiled] [--mutators N]
+//!                  [--duration-ops N] [--workload W]... [--format text|ndjson]
+//!                  [--out F]
 //! wbe_tool mcheck  [--threads N] [--schedules K] [--seed S]
 //!                  [--scenario chain|churn|shared] [--systematic]
 //!                  [--preempt-bound B] [--demo-unsound] [--fault-seed S]
@@ -71,6 +74,16 @@
 //! violation (`--slo-p99` steps, `--slo-shed-pct` percent) or a
 //! soundness violation. Equal options produce byte-identical NDJSON.
 //!
+//! `throughput` measures mutator throughput under either execution
+//! engine (`--engine classic|compiled`) with `--mutators` independent
+//! mutator threads, each an isolated engine + heap executing the same
+//! deterministic instruction stream until `--duration-ops` instructions
+//! have run. The text report carries ops/sec, allocation rate, and the
+//! wall-clock barrier-overhead trio (barrier-free vs always-log kept vs
+//! always-log + elision); `--format ndjson` emits only the
+//! engine-independent facts (instruction/allocation counts, digests) —
+//! byte-identical between the two engines, which CI diffs.
+//!
 //! `profile` joins the interpreter's per-site dynamic barrier counters
 //! with the provenance ledger: per-keep-code execution/cycle
 //! attribution with headroom estimates, the hottest kept sites, and
@@ -93,7 +106,7 @@ use wbe_opt::{compile, OptMode, PipelineConfig};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: wbe_tool <verify|dump|analyze|explain|ledger|ledger-diff|run|export|report|bench|profile|soak|serve|mcheck> [<file.wbe|workload>] [options]\n\
+        "usage: wbe_tool <verify|dump|analyze|explain|ledger|ledger-diff|run|export|report|bench|profile|throughput|soak|serve|mcheck> [<file.wbe|workload>] [options]\n\
          verify:  <file.wbe>  — or —  [workload ...] --faults N [--seed S] [--scale F] [--demo-unsound]\n\
          analyze: [--mode A|F] [--inline N] [--nos]\n\
          explain: [--method M] [--site N] [--mode A|F] [--inline N] [--nos]\n\
@@ -105,6 +118,8 @@ fn usage() -> ! {
          bench:   --check-baselines [--update] [--baselines PATH]\n\
          profile: [--workload W]... [--top N] [--scale S] [--format text|ndjson]\n\
                   [--out F] [--slo-max-pause N] [--slo-p99-pause N]   (exit 1 on SLO violation)\n\
+         throughput: [--engine classic|compiled] [--mutators N] [--duration-ops N]\n\
+                  [--workload W]... [--format text|ndjson] [--out F]\n\
          soak:    [--rounds N] [--seed S] [--escalate] [--scale F] [--max-attempts K]\n\
                   [--threshold D] [--unrecoverable] [--format text|ndjson] [--out F]\n\
                   [--flight-out T]   (exit 0 clean / 1 degraded / 2 trapped)\n\
@@ -403,6 +418,73 @@ fn profile(rest: &[String]) -> i32 {
         }
     }
     wbe_harness::profile::run_profile(&opts, ndjson, out.as_deref())
+}
+
+/// `wbe_tool throughput`: the multi-mutator throughput bench. Text
+/// output carries the timings; `--format ndjson` emits only the
+/// deterministic engine-independent facts (CI diffs classic against
+/// compiled).
+fn throughput(rest: &[String]) -> i32 {
+    use wbe_harness::throughput::{render_ndjson, render_text, run_throughput, ThroughputOptions};
+    let mut opts = ThroughputOptions::default();
+    let mut out: Option<String> = None;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--engine" => {
+                opts.engine = it
+                    .next()
+                    .and_then(|s| wbe_interp::EngineKind::parse(s))
+                    .unwrap_or_else(|| usage())
+            }
+            "--mutators" => {
+                opts.mutators = it
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage())
+            }
+            "--duration-ops" => {
+                opts.duration_ops = it
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--workload" => opts
+                .workloads
+                .push(it.next().unwrap_or_else(|| usage()).clone()),
+            "--format" => match it.next().map(String::as_str) {
+                Some("text") => opts.ndjson = false,
+                Some("ndjson") => opts.ndjson = true,
+                _ => usage(),
+            },
+            "--out" => out = Some(it.next().unwrap_or_else(|| usage()).clone()),
+            _ => usage(),
+        }
+    }
+    let rows = match run_throughput(&opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let body = if opts.ndjson {
+        render_ndjson(&rows, &opts)
+    } else {
+        render_text(&rows, &opts)
+    };
+    match &out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &body) {
+                eprintln!("cannot write {path}: {e}");
+                return 2;
+            }
+            eprintln!("throughput report written to {path}");
+        }
+        None => print!("{body}"),
+    }
+    0
 }
 
 /// `wbe_tool bench`: baseline-gated suite measurement.
@@ -715,6 +797,9 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("profile") {
         exit(profile(&args[1..]));
+    }
+    if args.first().map(String::as_str) == Some("throughput") {
+        exit(throughput(&args[1..]));
     }
     if args.first().map(String::as_str) == Some("ledger-diff") {
         let (Some(old), Some(new)) = (args.get(1), args.get(2)) else {

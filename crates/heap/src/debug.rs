@@ -7,7 +7,7 @@ use std::fmt;
 
 use crate::heap::Heap;
 use crate::object::ObjKind;
-use crate::value::GcRef;
+use crate::value::{GcRef, Value};
 
 /// Aggregate heap statistics.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -51,6 +51,71 @@ impl fmt::Display for HeapSummary {
         }
         Ok(())
     }
+}
+
+/// FNV-1a over a byte stream; the digest primitive for world digests.
+fn fnv1a(seed: u64, bytes: impl IntoIterator<Item = u8>) -> u64 {
+    let mut h = if seed == 0 {
+        0xcbf2_9ce4_8422_2325
+    } else {
+        seed
+    };
+    for b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+fn value_bytes(v: Value) -> [u8; 9] {
+    let (tag, payload) = match v {
+        Value::Int(i) => (0u8, i as u64),
+        Value::Ref(None) => (1, 0),
+        Value::Ref(Some(r)) => (2, u64::from(r.0)),
+    };
+    let mut out = [0u8; 9];
+    out[0] = tag;
+    out[1..].copy_from_slice(&payload.to_le_bytes());
+    out
+}
+
+/// FNV-1a digest of the observable world: every live object's slot
+/// index, class tag, and payload (in slot order), followed by the
+/// statics. Two runs that build identical heaps produce identical
+/// digests regardless of which execution engine drove the mutator —
+/// the property the engine-equivalence tests pin.
+pub fn world_digest(heap: &Heap) -> u64 {
+    let mut h = fnv1a(0, (heap.store.live_count() as u64).to_le_bytes());
+    for (r, obj) in heap.store.iter_live() {
+        h = fnv1a(h, u64::from(r.0).to_le_bytes());
+        h = fnv1a(h, u64::from(obj.class_tag).to_le_bytes());
+        match &obj.kind {
+            ObjKind::Object(fields) => {
+                h = fnv1a(h, [0u8]);
+                for &v in fields {
+                    h = fnv1a(h, value_bytes(v));
+                }
+            }
+            ObjKind::RefArray(elems) => {
+                h = fnv1a(h, [1u8]);
+                for &e in elems {
+                    h = fnv1a(h, value_bytes(Value::Ref(e)));
+                }
+            }
+            ObjKind::IntArray(elems) => {
+                h = fnv1a(h, [2u8]);
+                for &e in elems {
+                    h = fnv1a(h, e.to_le_bytes());
+                }
+            }
+        }
+    }
+    for i in 0..heap.static_count() {
+        if let Ok(v) = heap.get_static(i) {
+            h = fnv1a(h, value_bytes(v));
+        }
+    }
+    h
 }
 
 /// Reachability statistics from a root set.

@@ -138,8 +138,10 @@ impl std::fmt::Display for GcStats {
 }
 
 /// Pre-resolved registry handles for the collector's metrics. Resolved
-/// once per [`GcState`]; publishing is a handful of relaxed atomic adds
-/// per GC cycle.
+/// lazily on the first probe that fires while metrics are enabled (see
+/// [`GcState::metrics`]), so a disabled run never touches the registry
+/// — not even to register the names. Publishing is a handful of
+/// relaxed atomic adds per GC cycle.
 #[derive(Debug)]
 struct GcMetrics {
     cycles: wbe_telemetry::Counter,
@@ -207,7 +209,9 @@ pub struct GcState {
     pub stats: GcStats,
     /// Portion of `stats` already mirrored into the registry.
     published: GcStats,
-    metrics: GcMetrics,
+    /// Lazily resolved registry handles; `None` until a probe fires
+    /// with metrics enabled.
+    metrics: Option<GcMetrics>,
 }
 
 impl GcState {
@@ -223,16 +227,32 @@ impl GcState {
             retrace: BTreeSet::new(),
             stats: GcStats::default(),
             published: GcStats::default(),
-            metrics: GcMetrics::new(),
+            metrics: None,
         }
+    }
+
+    /// The registry handles, resolving them on first use — or `None`
+    /// while metrics are disabled, in which case the caller skips the
+    /// probe entirely (one relaxed load, no registry traffic).
+    fn metrics(&mut self) -> Option<&GcMetrics> {
+        if !wbe_telemetry::metrics_enabled() {
+            return None;
+        }
+        Some(self.metrics.get_or_insert_with(GcMetrics::new))
     }
 
     /// Mirrors any statistics accrued since the last publish into the
     /// global registry (`heap.gc.*` counters). Called automatically at
     /// cycle boundaries ([`Self::remark`], [`Self::sweep`]); drivers may
-    /// call it at run end to flush mid-cycle barrier counts.
+    /// call it at run end to flush mid-cycle barrier counts. A no-op
+    /// while metrics are disabled: `published` does not advance, so the
+    /// full cumulative delta flushes on the next enabled publish.
     pub fn publish_metrics(&mut self) {
-        let (s, p, m) = (&self.stats, &self.published, &self.metrics);
+        if self.metrics().is_none() {
+            return;
+        }
+        let m = self.metrics.as_ref().expect("resolved above");
+        let (s, p) = (&self.stats, &self.published);
         m.cycles.add(s.cycles - p.cycles);
         m.satb_logs.add(s.satb_logs - p.satb_logs);
         m.dirty_marks.add(s.dirty_marks - p.dirty_marks);
@@ -409,7 +429,9 @@ impl GcState {
             self.shade(r);
         }
         // Initial-mark "pause": the root-scan work at cycle start.
-        self.metrics.pause_initial_mark.record(roots.len() as u64);
+        if let Some(m) = self.metrics() {
+            m.pause_initial_mark.record(roots.len() as u64);
+        }
         Ok(())
     }
 
@@ -473,7 +495,9 @@ impl GcState {
             break;
         }
         if done > 0 {
-            self.metrics.pause_mark_step.record(done as u64);
+            if let Some(m) = self.metrics() {
+                m.pause_mark_step.record(done as u64);
+            }
         }
         done
     }
@@ -536,11 +560,11 @@ impl GcState {
         }
         self.phase = Phase::Idle;
         self.stats.cycles += 1;
-        self.metrics
-            .pause_work_units
-            .record(pause.work_units() as u64);
-        self.metrics.pause_remark.record(pause.work_units() as u64);
-        self.metrics.pause_us.record_duration(pause_start.elapsed());
+        if let Some(m) = self.metrics() {
+            m.pause_work_units.record(pause.work_units() as u64);
+            m.pause_remark.record(pause.work_units() as u64);
+            m.pause_us.record_duration(pause_start.elapsed());
+        }
         self.publish_metrics();
         pause
     }
@@ -563,7 +587,9 @@ impl GcState {
         }
         self.stats.swept += freed as u64;
         // Sweep-slice work: every slot is examined once.
-        self.metrics.pause_sweep.record(store.capacity() as u64);
+        if let Some(m) = self.metrics() {
+            m.pause_sweep.record(store.capacity() as u64);
+        }
         self.publish_metrics();
         freed
     }

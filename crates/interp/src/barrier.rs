@@ -261,6 +261,25 @@ impl BarrierStats {
         self.sites.entry((method, addr, kind)).or_default().cycles += cycles;
     }
 
+    /// Folds a pre-aggregated per-site block into the map in one call —
+    /// the flush path for the compiled engine's flat site accumulators,
+    /// which count executions outside this `HashMap` and reconcile at
+    /// run boundaries.
+    pub fn add_site(
+        &mut self,
+        method: MethodId,
+        addr: InsnAddr,
+        kind: StoreKind,
+        executions: u64,
+        pre_null: u64,
+        cycles: u64,
+    ) {
+        let s = self.sites.entry((method, addr, kind)).or_default();
+        s.executions += executions;
+        s.pre_null += pre_null;
+        s.cycles += cycles;
+    }
+
     /// Iterates over `((method, addr, kind), stats)` for every executed
     /// site.
     pub fn iter(&self) -> impl Iterator<Item = (&(MethodId, InsnAddr, StoreKind), &SiteStats)> {

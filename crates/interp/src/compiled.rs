@@ -1,0 +1,1070 @@
+//! The compiled direct-threaded execution engine.
+//!
+//! [`CompiledEngine`] executes the flat superinstruction code produced
+//! by [`crate::translate`] over the same heap, GC driving, recovery,
+//! and statistics substrate as the classic [`Interp`] — it *contains*
+//! an `Interp` and reuses its slow paths (allocation recovery, barrier
+//! panic mode, emergency pauses), so the two engines are observably
+//! identical: same traps, same `BarrierStats`, same GC cycle and pause
+//! schedule, same world digests. What changes is the per-instruction
+//! work: one flat `Vec` index per op, pre-resolved offsets, and fused
+//! store+barrier superinstructions instead of per-execution
+//! configuration dispatch.
+//!
+//! **Frame-state localization**: the dispatch loop keeps the active
+//! frame's program counter, operand stack, and locals in loop locals
+//! (the vectors are `mem::swap`ped out of the `Frame`), so the hot path
+//! never re-borrows the frame vector per instruction. The state is
+//! swapped back in (`stash`) before every operation that can scan
+//! frames for GC roots — allocation (recovery retries and the post-
+//! allocation trigger), the deterministic GC poll, and the recovery
+//! slow paths of the fused stores — and on calls/returns, preserving
+//! the exact root sets and safepoint frame contents of the classic
+//! engine.
+//!
+//! **Hot-loop telemetry discipline**: the dispatch loop below performs
+//! no telemetry-registry calls at all — counters accumulate in plain
+//! fields and flat per-site arrays, and the single `metrics_enabled()`
+//! check lives in `publish_metrics` at run boundaries (the hoisted
+//! "enabled" check). With telemetry disabled, a run leaves the registry
+//! completely untouched; `tests/` pins that.
+//!
+//! **Safepoint/GC equivalence**: the loop counts `stats.insns` and
+//! polls the deterministic GC policy at exactly the classic engine's
+//! points (after every op, with the same `insns % step_interval`
+//! schedule, plus the post-allocation trigger), so policy-driven
+//! marking, pauses, and digests are bit-identical across engines.
+//!
+//! **Revocation generations**: elided fast paths are compiled against
+//! revocation generation 0. `wbe_heap::recover` bumps its generation
+//! counter on panic entry and on every per-site revocation; the fused
+//! elided op checks the counter and, once it moves, permanently routes
+//! through the classic guarded dispatch (`Interp::apply_barrier`),
+//! which consults the controller per site. PR 7's self-healing
+//! semantics therefore survive compilation unchanged.
+
+use std::rc::Rc;
+
+use wbe_heap::gc::MarkStyle;
+use wbe_heap::{
+    FaultPlan, GcRef, Heap, HeapError, ObjKind, PressureConfig, PressureController,
+    RecoveryController, RecoveryPolicy, Value,
+};
+use wbe_ir::{Cond, InsnAddr, MethodId, Program};
+
+use crate::barrier::{BarrierConfig, ElisionKind, StoreKind};
+use crate::cost;
+use crate::machine::{site_key, GcPolicy, Interp, RunStats, Trap};
+use crate::translate::{translate, Cell, CompiledMethod, Fuse, Op};
+
+/// Pop two ints, apply `f`, push the result — expanded in place so each
+/// arithmetic opcode is a single dispatch-table jump.
+macro_rules! binop {
+    ($counts:expr, $cost:literal, $stack:expr, $mid:expr, $at:expr, $f:expr) => {{
+        $counts.cycles += $cost;
+        let at = $at;
+        let b = pop_int($stack, $mid, at)?;
+        let a = pop_int($stack, $mid, at)?;
+        $stack.push(Value::Int($f(a, b)));
+    }};
+}
+
+/// The active frame's execution state, held in loop locals. The `Frame`
+/// at the top of `Interp::frames` holds placeholder vectors while this
+/// is live; [`stash`] swaps the real state back before any slow path
+/// that scans frames.
+struct ActiveFrame {
+    stack: Vec<Value>,
+    locals: Vec<Value>,
+}
+
+/// The instruction and cycle counters, held in loop locals (registers)
+/// instead of `RunStats` fields. [`flush_counts`] publishes them before
+/// any slow path that reads or charges the shared counters (the GC-step
+/// schedule consults `stats.insns`; pauses and pressure stalls add to
+/// `stats.cycles`); [`reload_counts`] re-syncs after.
+struct Counts {
+    insns: u64,
+    cycles: u64,
+}
+
+/// Publishes the localized counters into `RunStats`.
+#[inline(always)]
+fn flush_counts(interp: &mut Interp, c: &Counts) {
+    interp.stats.insns = c.insns;
+    interp.stats.cycles = c.cycles;
+}
+
+/// Re-reads the shared counters after a slow path may have charged
+/// cycles (pauses, pressure stalls, recovery barriers).
+#[inline(always)]
+fn reload_counts(interp: &Interp, c: &mut Counts) {
+    c.insns = interp.stats.insns;
+    c.cycles = interp.stats.cycles;
+}
+
+/// Writes the active frame state back into the top `Frame` (stack,
+/// locals, and the advanced instruction pointer), so root scans and
+/// safepoint pauses see exactly what the classic engine would.
+#[inline(always)]
+fn stash(interp: &mut Interp, af: &mut ActiveFrame, pc: usize) {
+    let top = interp.frames.last_mut().expect("frame stack non-empty");
+    std::mem::swap(&mut top.stack, &mut af.stack);
+    std::mem::swap(&mut top.locals, &mut af.locals);
+    top.ip = pc;
+}
+
+/// Takes the top `Frame`'s state into the loop locals, returning its
+/// instruction pointer. Inverse of [`stash`].
+#[inline(always)]
+fn unstash(interp: &mut Interp, af: &mut ActiveFrame) -> usize {
+    let top = interp.frames.last_mut().expect("frame stack non-empty");
+    std::mem::swap(&mut top.stack, &mut af.stack);
+    std::mem::swap(&mut top.locals, &mut af.locals);
+    top.ip
+}
+
+/// Flat per-site counters, reconciled into the shared
+/// [`crate::BarrierStats`] map at run boundaries. Indexed by the `site`
+/// slot baked into fused store ops — a `Vec` index in the hot loop
+/// where the classic engine pays a `HashMap` probe per store.
+#[derive(Clone, Copy, Debug, Default)]
+struct SiteAcc {
+    executions: u64,
+    pre_null: u64,
+    cycles: u64,
+}
+
+/// The closure-compiled / direct-threaded engine. Construct with
+/// [`CompiledEngine::new`]/[`CompiledEngine::with_style`] (same
+/// signatures as [`Interp`]), configure identically, then [`run`].
+///
+/// Methods are translated lazily, once each, on first activation;
+/// configuration setters that change translation-relevant state (the
+/// stack-allocation site set) drop the code cache.
+///
+/// [`run`]: CompiledEngine::run
+pub struct CompiledEngine<'p> {
+    interp: Interp<'p>,
+    code: Vec<Option<Rc<CompiledMethod>>>,
+    site_acc: Vec<Vec<SiteAcc>>,
+}
+
+impl<'p> CompiledEngine<'p> {
+    /// Creates a compiled engine with an SATB-style heap.
+    pub fn new(program: &'p Program, config: BarrierConfig) -> Self {
+        Self::with_style(program, config, MarkStyle::Satb)
+    }
+
+    /// Creates a compiled engine with the given marker style.
+    pub fn with_style(program: &'p Program, config: BarrierConfig, style: MarkStyle) -> Self {
+        let n = program.methods.len();
+        CompiledEngine {
+            interp: Interp::with_style(program, config, style),
+            code: vec![None; n],
+            site_acc: vec![Vec::new(); n],
+        }
+    }
+
+    /// The underlying interpreter state (heap, stats, controllers).
+    pub fn interp(&self) -> &Interp<'p> {
+        &self.interp
+    }
+
+    /// Mutable access to the underlying interpreter state.
+    pub fn interp_mut(&mut self) -> &mut Interp<'p> {
+        &mut self.interp
+    }
+
+    /// The managed heap.
+    pub fn heap(&self) -> &Heap {
+        &self.interp.heap
+    }
+
+    /// Mutable access to the managed heap.
+    pub fn heap_mut(&mut self) -> &mut Heap {
+        &mut self.interp.heap
+    }
+
+    /// Accumulated statistics (site counters are reconciled at the end
+    /// of every [`run`](CompiledEngine::run), so between runs this is
+    /// exactly what the classic engine would report).
+    pub fn stats(&self) -> &RunStats {
+        &self.interp.stats
+    }
+
+    /// Enables policy-driven concurrent marking during execution.
+    pub fn set_gc_policy(&mut self, policy: GcPolicy) {
+        self.interp.set_gc_policy(policy);
+    }
+
+    /// Installs a deterministic fault schedule (see [`wbe_heap::fault`]).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.interp.set_fault_plan(plan);
+    }
+
+    /// Enables heap-invariant verification at GC cycle boundaries.
+    pub fn set_verify_invariants(&mut self, on: bool) {
+        self.interp.set_verify_invariants(on);
+    }
+
+    /// Installs the self-healing recovery layer.
+    pub fn set_recovery(&mut self, policy: RecoveryPolicy) {
+        self.interp.set_recovery(policy);
+    }
+
+    /// The recovery controller, if installed.
+    pub fn recovery(&self) -> Option<&RecoveryController> {
+        self.interp.recovery()
+    }
+
+    /// Installs the heap-pressure controller.
+    pub fn set_pressure(&mut self, cfg: PressureConfig) {
+        self.interp.set_pressure(cfg);
+    }
+
+    /// The pressure controller, if installed.
+    pub fn pressure(&self) -> Option<&PressureController> {
+        self.interp.pressure()
+    }
+
+    /// Declares frame-arena allocation sites. Invalidates any already-
+    /// translated code: the verdict is baked into `New` ops.
+    pub fn set_stack_sites(&mut self, sites: impl IntoIterator<Item = wbe_ir::SiteId>) {
+        self.interp.set_stack_sites(sites);
+        for slot in &mut self.code {
+            *slot = None;
+        }
+        for acc in &mut self.site_acc {
+            acc.clear();
+        }
+    }
+
+    /// The barrier configuration in force.
+    pub fn config(&self) -> &BarrierConfig {
+        self.interp.config()
+    }
+
+    /// Publishes statistics deltas to the telemetry registry (the only
+    /// place the engine consults `metrics_enabled()`).
+    pub fn publish_metrics(&mut self) {
+        self.interp.publish_metrics();
+    }
+
+    fn ensure_translated(&mut self, mid: MethodId) {
+        let i = mid.index();
+        if self.code[i].is_none() {
+            let cm = translate(
+                self.interp.program,
+                mid,
+                &self.interp.config,
+                self.interp.heap.gc.style(),
+                &self.interp.stack_sites,
+            );
+            self.site_acc[i] = vec![SiteAcc::default(); cm.sites.len()];
+            self.code[i] = Some(Rc::new(cm));
+        }
+    }
+
+    /// Reconciles the flat per-site accumulators into the shared
+    /// `BarrierStats` map so totals, Table 1 summaries, and ledger
+    /// joins see exactly what the classic engine would have recorded.
+    fn flush_site_stats(&mut self) {
+        for (i, accs) in self.site_acc.iter_mut().enumerate() {
+            let Some(cm) = &self.code[i] else { continue };
+            let mid = MethodId(i as u32);
+            for (s, acc) in accs.iter_mut().enumerate() {
+                if acc.executions == 0 && acc.cycles == 0 {
+                    continue;
+                }
+                let info = cm.sites[s];
+                self.interp.stats.barrier.add_site(
+                    mid,
+                    info.addr,
+                    info.kind,
+                    acc.executions,
+                    acc.pre_null,
+                    acc.cycles,
+                );
+                *acc = SiteAcc::default();
+            }
+        }
+    }
+
+    #[inline(always)]
+    fn bump_site(&mut self, mid: MethodId, site: u32, pre_null: bool, cycles: u64) {
+        let a = &mut self.site_acc[mid.index()][site as usize];
+        a.executions += 1;
+        if pre_null {
+            a.pre_null += 1;
+        }
+        a.cycles += cycles;
+    }
+
+    /// The fused store+barrier tail: every reference store funnels here
+    /// with its translation-time [`Fuse`] verdict. Mirrors the classic
+    /// `apply_barrier`/rearrange dispatch outcome for outcome. The
+    /// recovery slow paths (stale-generation rerouting, unsound-elision
+    /// healing) can reach a full pause, so they [`stash`] the active
+    /// frame state first.
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    fn exec_ref_store(
+        &mut self,
+        mid: MethodId,
+        at: InsnAddr,
+        kind: StoreKind,
+        receiver: GcRef,
+        old: Option<GcRef>,
+        new: Option<GcRef>,
+        site: u32,
+        fuse: Fuse,
+        af: &mut ActiveFrame,
+        pc: usize,
+        counts: &mut Counts,
+    ) -> Result<(), Trap> {
+        let pre_null = old.is_none();
+        match fuse {
+            Fuse::Elided(ekind) => {
+                // Revocation-generation guard: generation 0 means no
+                // panic entry and no per-site revocation has ever
+                // happened, so the baked fast path is still valid. Once
+                // the counter moves, route through the classic guarded
+                // dispatch, which consults the controller per site and
+                // lazily records revocations — and can pause for a
+                // heal, so the frame state and counters go back first.
+                let stale = self
+                    .interp
+                    .recovery
+                    .as_ref()
+                    .is_some_and(|rc| rc.generation() != 0);
+                if stale {
+                    stash(&mut self.interp, af, pc);
+                    flush_counts(&mut self.interp, counts);
+                    let r = self.interp.apply_barrier(mid, at, kind, receiver, old, new);
+                    reload_counts(&self.interp, counts);
+                    r?;
+                    unstash(&mut self.interp, af);
+                    return Ok(());
+                }
+                self.bump_site(mid, site, pre_null, 0);
+                // Soundness oracle, baked per proof kind — the one
+                // dynamic check the fast path keeps.
+                let ok = match ekind {
+                    ElisionKind::PreNull => pre_null,
+                    ElisionKind::NullOrSame => pre_null || old == new,
+                };
+                if !ok {
+                    stash(&mut self.interp, af, pc);
+                    flush_counts(&mut self.interp, counts);
+                    let r = self
+                        .interp
+                        .unsound_elision(mid, at, kind, site_key(mid, at), old);
+                    reload_counts(&self.interp, counts);
+                    r?;
+                    unstash(&mut self.interp, af);
+                    return Ok(());
+                }
+                self.interp.stats.elided_executions += 1;
+                Ok(())
+            }
+            Fuse::KeptChecked => {
+                let marking = self.interp.heap.gc.is_marking();
+                let c = cost::checked_barrier_cost(marking, pre_null);
+                self.interp.stats.barrier_cycles += c;
+                counts.cycles += c;
+                self.bump_site(mid, site, pre_null, c);
+                if marking {
+                    if let Some(o) = old {
+                        self.interp.heap.gc.satb_log(o);
+                    }
+                }
+                Ok(())
+            }
+            Fuse::KeptAlways => {
+                let c = cost::always_log_barrier_cost(pre_null);
+                self.interp.stats.barrier_cycles += c;
+                counts.cycles += c;
+                self.bump_site(mid, site, pre_null, c);
+                if let Some(o) = old {
+                    self.interp.heap.gc.satb_log(o);
+                }
+                Ok(())
+            }
+            Fuse::KeptNone => {
+                self.bump_site(mid, site, pre_null, 0);
+                Ok(())
+            }
+            Fuse::IuDirty { mark } => {
+                self.interp.stats.barrier_cycles += 2;
+                counts.cycles += 2;
+                self.bump_site(mid, site, pre_null, 2);
+                if mark {
+                    self.interp.heap.gc.dirty(receiver);
+                }
+                Ok(())
+            }
+            Fuse::RearrangeMember => {
+                self.bump_site(mid, site, pre_null, 2);
+                self.interp.stats.rearrange_skipped += 1;
+                self.interp.stats.barrier_cycles += 2;
+                counts.cycles += 2;
+                if self.interp.heap.gc.is_marking()
+                    && self
+                        .interp
+                        .heap
+                        .gc
+                        .trace_state(&self.interp.heap.store, receiver)
+                        != wbe_heap::TraceState::Untraced
+                {
+                    self.interp.heap.gc.push_retrace(receiver);
+                    self.interp.stats.retraces_scheduled += 1;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Runs `method` with `args`, bounded by `fuel` instructions —
+    /// the compiled counterpart of [`Interp::run`], with identical
+    /// trap, fuel, statistics, and GC-driving semantics.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Trap`] on runtime failure, exactly as the classic
+    /// engine would for the same program and configuration.
+    pub fn run(
+        &mut self,
+        method: MethodId,
+        args: &[Value],
+        fuel: u64,
+    ) -> Result<Option<Value>, Trap> {
+        let m = self.interp.program.method(method);
+        if args.len() != m.sig.params.len() {
+            return Err(Trap::BadArgCount {
+                method,
+                expected: m.sig.params.len(),
+                got: args.len(),
+            });
+        }
+        let span = wbe_telemetry::span!("interp.run", "{}", m.name);
+        let result = self.run_inner(method, args, fuel);
+        if result.is_err() {
+            self.interp.frames.clear();
+        }
+        drop(span);
+        self.flush_site_stats();
+        self.interp.publish_metrics();
+        result
+    }
+
+    fn run_inner(
+        &mut self,
+        method: MethodId,
+        args: &[Value],
+        fuel: u64,
+    ) -> Result<Option<Value>, Trap> {
+        let base_depth = self.interp.frames.len();
+        self.ensure_translated(method);
+        self.interp.push_frame(method, args);
+        // The instruction/cycle counters live in registers for the
+        // duration of the dispatch loop; every exit path (including
+        // traps) funnels through this writeback, and the loop flushes
+        // them before any slow path that consults the shared fields.
+        let mut counts = Counts {
+            insns: self.interp.stats.insns,
+            cycles: self.interp.stats.cycles,
+        };
+        let result = self.dispatch(method, base_depth, fuel, &mut counts);
+        flush_counts(&mut self.interp, &counts);
+        result
+    }
+
+    fn dispatch(
+        &mut self,
+        method: MethodId,
+        base_depth: usize,
+        mut fuel: u64,
+        counts: &mut Counts,
+    ) -> Result<Option<Value>, Trap> {
+        let mut mid = method;
+        let mut code: Rc<CompiledMethod> = self.code[method.index()].clone().expect("translated");
+        // Take the entry frame's state into loop locals; the hot path
+        // below never touches `frames` again except at calls, returns,
+        // and stash points.
+        let mut af = ActiveFrame {
+            stack: Vec::new(),
+            locals: Vec::new(),
+        };
+        let mut pc = unstash(&mut self.interp, &mut af);
+        // Call-argument staging buffer, reused across every `Invoke`.
+        let mut argbuf: Vec<Value> = Vec::new();
+        // GC polling by countdown instead of a per-instruction policy
+        // load + modulo: `until_poll` reaches 0 exactly at instruction
+        // counts that are multiples of `step_interval` (the classic
+        // engine's schedule). With no policy the counter just never
+        // reaches 0 in any feasible run.
+        let interval = self.interp.gc_policy.map_or(0, |p| p.step_interval);
+        let mut until_poll: u64 = if interval == 0 {
+            u64::MAX
+        } else {
+            interval - (counts.insns % interval)
+        };
+        loop {
+            if fuel == 0 {
+                return Err(Trap::OutOfFuel);
+            }
+            // Batch: the number of instructions executable before the
+            // next fuel trap or GC-poll boundary. Both budgets are
+            // consumed up front and the instruction counter doubles as
+            // the batch countdown, so the inner loop pays one counter
+            // bump per instruction instead of a fuel check plus a poll
+            // check. Early returns (traps, base-depth returns) simply
+            // abandon the unused budget, which is unobservable. Slow
+            // paths never advance `stats.insns`, so the reloaded
+            // counter stays on course for `target`.
+            let batch = fuel.min(until_poll);
+            fuel -= batch;
+            until_poll -= batch;
+            let target = counts.insns + batch;
+            while counts.insns < target {
+                counts.insns += 1;
+
+                let cur = pc;
+                // SAFETY: every pc is in bounds by construction.
+                // Translation emits one cell per instruction plus one
+                // terminator per block; `Goto`/`If` targets are block
+                // starts; fall-through (`cur + 1`) from a non-terminator
+                // stays inside its block because every block ends with a
+                // terminator (which never falls through); frame `ip`s
+                // are stashed return addresses of `Invoke` cells (also
+                // non-terminators) or 0, and retranslation after
+                // `set_stack_sites` preserves code length.
+                let Cell { op, addr: at } = unsafe { *code.cells.get_unchecked(cur) };
+                pc = cur + 1;
+
+                // Each arm charges its cycle cost as an immediate
+                // constant — the same per-variant value
+                // `cost::insn_cost`/`term_cost` would produce (the
+                // differential-equivalence suite pins `cycles` equality
+                // against the classic engine).
+                match op {
+                    Op::Const(v) => {
+                        counts.cycles += 1;
+                        af.stack.push(Value::Int(v));
+                    }
+                    Op::ConstNull => {
+                        counts.cycles += 1;
+                        af.stack.push(Value::NULL);
+                    }
+                    Op::Load(l) => {
+                        counts.cycles += 1;
+                        let v = af.locals[l as usize];
+                        af.stack.push(v);
+                    }
+                    Op::StoreLocal(l) => {
+                        counts.cycles += 1;
+                        let v = pop_any(&mut af.stack, mid, at)?;
+                        af.locals[l as usize] = v;
+                    }
+                    Op::IInc(l, d) => {
+                        counts.cycles += 1;
+                        match &mut af.locals[l as usize] {
+                            Value::Int(i) => *i = i.wrapping_add(d),
+                            Value::Ref(_) => {
+                                return Err(Trap::TypeMismatch {
+                                    method: mid,
+                                    at,
+                                    expected: "int local",
+                                })
+                            }
+                        }
+                    }
+                    Op::Dup => {
+                        counts.cycles += 1;
+                        let v = *af.stack.last().ok_or(Trap::TypeMismatch {
+                            method: mid,
+                            at,
+                            expected: "non-empty stack",
+                        })?;
+                        af.stack.push(v);
+                    }
+                    Op::DupX1 => {
+                        counts.cycles += 1;
+                        let b = pop_any(&mut af.stack, mid, at)?;
+                        let a = pop_any(&mut af.stack, mid, at)?;
+                        af.stack.push(b);
+                        af.stack.push(a);
+                        af.stack.push(b);
+                    }
+                    Op::Discard => {
+                        counts.cycles += 1;
+                        pop_any(&mut af.stack, mid, at)?;
+                    }
+                    Op::Swap => {
+                        counts.cycles += 1;
+                        let b = pop_any(&mut af.stack, mid, at)?;
+                        let a = pop_any(&mut af.stack, mid, at)?;
+                        af.stack.push(b);
+                        af.stack.push(a);
+                    }
+                    // Binary integer ops get one arm each so dispatch stays
+                    // a single jump (no secondary match on the opcode).
+                    Op::Add => binop!(counts, 1, &mut af.stack, mid, at, |a: i64, b: i64| a
+                        .wrapping_add(b)),
+                    Op::Sub => binop!(counts, 1, &mut af.stack, mid, at, |a: i64, b: i64| a
+                        .wrapping_sub(b)),
+                    Op::Mul => binop!(counts, 3, &mut af.stack, mid, at, |a: i64, b: i64| a
+                        .wrapping_mul(b)),
+                    Op::And => binop!(counts, 1, &mut af.stack, mid, at, |a: i64, b: i64| a & b),
+                    Op::Or => binop!(counts, 1, &mut af.stack, mid, at, |a: i64, b: i64| a | b),
+                    Op::Xor => binop!(counts, 1, &mut af.stack, mid, at, |a: i64, b: i64| a ^ b),
+                    Op::Shl => binop!(counts, 1, &mut af.stack, mid, at, |a: i64, b: i64| a
+                        .wrapping_shl(b as u32 & 63)),
+                    Op::Shr => binop!(counts, 1, &mut af.stack, mid, at, |a: i64, b: i64| a
+                        .wrapping_shr(b as u32 & 63)),
+                    Op::Div => {
+                        counts.cycles += 10;
+                        let b = pop_int(&mut af.stack, mid, at)?;
+                        let a = pop_int(&mut af.stack, mid, at)?;
+                        if b == 0 {
+                            return Err(Trap::DivisionByZero { method: mid, at });
+                        }
+                        af.stack.push(Value::Int(a.wrapping_div(b)));
+                    }
+                    Op::Rem => {
+                        counts.cycles += 10;
+                        let b = pop_int(&mut af.stack, mid, at)?;
+                        let a = pop_int(&mut af.stack, mid, at)?;
+                        if b == 0 {
+                            return Err(Trap::DivisionByZero { method: mid, at });
+                        }
+                        af.stack.push(Value::Int(a.wrapping_rem(b)));
+                    }
+                    Op::Neg => {
+                        counts.cycles += 1;
+                        let a = pop_int(&mut af.stack, mid, at)?;
+                        af.stack.push(Value::Int(a.wrapping_neg()));
+                    }
+                    Op::GetField { tag, off } => {
+                        counts.cycles += 2;
+                        let obj = pop_nonnull(&mut af.stack, mid, at)?;
+                        // Single store lookup: the tag guard and the
+                        // field read share the same object borrow (trap
+                        // order matches the two-lookup classic path).
+                        let o = self.interp.heap.store.get(obj)?;
+                        if o.class_tag != tag {
+                            return Err(Trap::TypeMismatch {
+                                method: mid,
+                                at,
+                                expected: "receiver of the field's declaring class",
+                            });
+                        }
+                        let v = match &o.kind {
+                            ObjKind::Object(fields) => fields.get(off as usize).copied().ok_or(
+                                HeapError::FieldOutOfRange {
+                                    obj,
+                                    offset: off as usize,
+                                },
+                            )?,
+                            _ => return Err(HeapError::WrongKind(obj).into()),
+                        };
+                        af.stack.push(v);
+                    }
+                    Op::PutFieldInt { tag, off } => {
+                        counts.cycles += 2;
+                        let val = pop_any(&mut af.stack, mid, at)?;
+                        let obj = pop_nonnull(&mut af.stack, mid, at)?;
+                        let o = self.interp.heap.store.get_mut(obj)?;
+                        if o.class_tag != tag {
+                            return Err(Trap::TypeMismatch {
+                                method: mid,
+                                at,
+                                expected: "receiver of the field's declaring class",
+                            });
+                        }
+                        let Value::Int(_) = val else {
+                            return Err(Trap::TypeMismatch {
+                                method: mid,
+                                at,
+                                expected: "int value for int field",
+                            });
+                        };
+                        match &mut o.kind {
+                            ObjKind::Object(fields) => {
+                                let slot = fields.get_mut(off as usize).ok_or(
+                                    HeapError::FieldOutOfRange {
+                                        obj,
+                                        offset: off as usize,
+                                    },
+                                )?;
+                                *slot = val;
+                            }
+                            _ => return Err(HeapError::WrongKind(obj).into()),
+                        }
+                    }
+                    Op::PutFieldRef {
+                        tag,
+                        off,
+                        site,
+                        fuse,
+                    } => {
+                        counts.cycles += 2;
+                        let val = pop_any(&mut af.stack, mid, at)?;
+                        let obj = pop_nonnull(&mut af.stack, mid, at)?;
+                        // Tag guard and pre-value read share one lookup;
+                        // the post-barrier write stays a checked
+                        // `set_field` because the barrier slow paths can
+                        // pause (and in principle sweep), exactly like
+                        // the classic engine's ordering.
+                        let o = self.interp.heap.store.get(obj)?;
+                        if o.class_tag != tag {
+                            return Err(Trap::TypeMismatch {
+                                method: mid,
+                                at,
+                                expected: "receiver of the field's declaring class",
+                            });
+                        }
+                        let Value::Ref(new) = val else {
+                            return Err(Trap::TypeMismatch {
+                                method: mid,
+                                at,
+                                expected: "reference value for reference field",
+                            });
+                        };
+                        let old = match &o.kind {
+                            ObjKind::Object(fields) => match fields
+                                .get(off as usize)
+                                .copied()
+                                .ok_or(HeapError::FieldOutOfRange {
+                                    obj,
+                                    offset: off as usize,
+                                })? {
+                                Value::Ref(r) => r,
+                                Value::Int(_) => None,
+                            },
+                            _ => return Err(HeapError::WrongKind(obj).into()),
+                        };
+                        self.exec_ref_store(
+                            mid,
+                            at,
+                            StoreKind::Field,
+                            obj,
+                            old,
+                            new,
+                            site,
+                            fuse,
+                            &mut af,
+                            pc,
+                            counts,
+                        )?;
+                        self.interp.heap.set_field(obj, off as usize, val)?;
+                    }
+                    Op::GetStatic(s) => {
+                        counts.cycles += 2;
+                        let v = self.interp.heap.get_static(s as usize)?;
+                        af.stack.push(v);
+                    }
+                    Op::PutStaticInt(s) => {
+                        counts.cycles += 2;
+                        let val = pop_any(&mut af.stack, mid, at)?;
+                        self.interp.heap.set_static(s as usize, val)?;
+                    }
+                    Op::PutStaticRef(s) => {
+                        counts.cycles += 2;
+                        let val = pop_any(&mut af.stack, mid, at)?;
+                        // Inline SATB enqueue of the overwritten static;
+                        // never an elision candidate (see the classic
+                        // engine's PutStatic note).
+                        if let Ok(Value::Ref(Some(old))) = self.interp.heap.get_static(s as usize) {
+                            if self.interp.heap.gc.is_marking() {
+                                self.interp.heap.gc.satb_log(old);
+                            }
+                        }
+                        self.interp.heap.set_static(s as usize, val)?;
+                    }
+                    Op::AaLoad => {
+                        counts.cycles += 3;
+                        let idx = pop_int(&mut af.stack, mid, at)?;
+                        let arr = pop_nonnull(&mut af.stack, mid, at)?;
+                        let v = self.interp.heap.get_elem(arr, idx)?;
+                        af.stack.push(Value::Ref(v));
+                    }
+                    Op::AaStore { site, fuse } => {
+                        counts.cycles += 3;
+                        let val = pop_ref(&mut af.stack, mid, at)?;
+                        let idx = pop_int(&mut af.stack, mid, at)?;
+                        let arr = pop_nonnull(&mut af.stack, mid, at)?;
+                        // Bounds check before the barrier, like the classic
+                        // engine (a trapping store logs nothing).
+                        let old = self.interp.heap.get_elem(arr, idx)?;
+                        self.exec_ref_store(
+                            mid,
+                            at,
+                            StoreKind::Array,
+                            arr,
+                            old,
+                            val,
+                            site,
+                            fuse,
+                            &mut af,
+                            pc,
+                            counts,
+                        )?;
+                        self.interp.heap.set_elem(arr, idx, val)?;
+                    }
+                    Op::IaLoad => {
+                        counts.cycles += 3;
+                        let idx = pop_int(&mut af.stack, mid, at)?;
+                        let arr = pop_nonnull(&mut af.stack, mid, at)?;
+                        let v = self.interp.heap.get_int_elem(arr, idx)?;
+                        af.stack.push(Value::Int(v));
+                    }
+                    Op::IaStore => {
+                        counts.cycles += 3;
+                        let val = pop_int(&mut af.stack, mid, at)?;
+                        let idx = pop_int(&mut af.stack, mid, at)?;
+                        let arr = pop_nonnull(&mut af.stack, mid, at)?;
+                        self.interp.heap.set_int_elem(arr, idx, val)?;
+                    }
+                    Op::ArrayLength => {
+                        counts.cycles += 1;
+                        let arr = pop_nonnull(&mut af.stack, mid, at)?;
+                        let len = self.interp.heap.array_len(arr)?;
+                        af.stack.push(Value::Int(len));
+                    }
+                    Op::New { class, arena } => {
+                        counts.cycles += 12;
+                        let shapes = self.interp.class_shapes[class.index()].clone();
+                        // Allocation can pause (recovery retries, the post-
+                        // allocation trigger): run it against the synced
+                        // frame and counters so the pause sees the classic
+                        // root set and schedule, and push the new object
+                        // before driving GC so it is a root for any marking
+                        // that starts.
+                        stash(&mut self.interp, &mut af, pc);
+                        flush_counts(&mut self.interp, counts);
+                        let r = self
+                            .interp
+                            .alloc_with_recovery(mid, at, |h| h.alloc_object(class.0, &shapes));
+                        reload_counts(&self.interp, counts);
+                        let r = r?;
+                        let top = self
+                            .interp
+                            .frames
+                            .last_mut()
+                            .expect("frame stack non-empty");
+                        if arena {
+                            top.owned.push(r);
+                            self.interp.stats.stack_allocated += 1;
+                        }
+                        let top = self
+                            .interp
+                            .frames
+                            .last_mut()
+                            .expect("frame stack non-empty");
+                        top.stack.push(Value::from(r));
+                        let g = self.interp.drive_gc_after_alloc();
+                        reload_counts(&self.interp, counts);
+                        g?;
+                        pc = unstash(&mut self.interp, &mut af);
+                    }
+                    Op::NewRefArray { class } => {
+                        counts.cycles += 12;
+                        let len = pop_int(&mut af.stack, mid, at)?;
+                        stash(&mut self.interp, &mut af, pc);
+                        flush_counts(&mut self.interp, counts);
+                        let r = self
+                            .interp
+                            .alloc_with_recovery(mid, at, |h| h.alloc_ref_array(class.0, len));
+                        reload_counts(&self.interp, counts);
+                        let r = r?;
+                        self.interp
+                            .frames
+                            .last_mut()
+                            .expect("frame stack non-empty")
+                            .stack
+                            .push(Value::from(r));
+                        let g = self.interp.drive_gc_after_alloc();
+                        reload_counts(&self.interp, counts);
+                        g?;
+                        pc = unstash(&mut self.interp, &mut af);
+                    }
+                    Op::NewIntArray => {
+                        counts.cycles += 12;
+                        let len = pop_int(&mut af.stack, mid, at)?;
+                        stash(&mut self.interp, &mut af, pc);
+                        flush_counts(&mut self.interp, counts);
+                        let r = self
+                            .interp
+                            .alloc_with_recovery(mid, at, |h| h.alloc_int_array(len));
+                        reload_counts(&self.interp, counts);
+                        let r = r?;
+                        self.interp
+                            .frames
+                            .last_mut()
+                            .expect("frame stack non-empty")
+                            .stack
+                            .push(Value::from(r));
+                        let g = self.interp.drive_gc_after_alloc();
+                        reload_counts(&self.interp, counts);
+                        g?;
+                        pc = unstash(&mut self.interp, &mut af);
+                    }
+                    Op::Invoke { callee, nparams } => {
+                        counts.cycles += 5;
+                        let n = nparams as usize;
+                        if af.stack.len() < n {
+                            return Err(Trap::TypeMismatch {
+                                method: mid,
+                                at,
+                                expected: "enough stack operands for call",
+                            });
+                        }
+                        // Arguments go through a buffer reused across
+                        // calls (`split_off` would allocate per call);
+                        // it must be copied out before `stash` swaps the
+                        // caller's stack away.
+                        argbuf.clear();
+                        argbuf.extend_from_slice(&af.stack[af.stack.len() - n..]);
+                        af.stack.truncate(af.stack.len() - n);
+                        self.ensure_translated(callee);
+                        // Save the caller (return address = advanced pc),
+                        // then take the callee frame's state.
+                        stash(&mut self.interp, &mut af, pc);
+                        self.interp.push_frame(callee, &argbuf);
+                        mid = callee;
+                        code = self.code[callee.index()].clone().expect("translated");
+                        pc = unstash(&mut self.interp, &mut af);
+                    }
+                    Op::Goto { target } => {
+                        counts.cycles += 1;
+                        pc = target as usize;
+                    }
+                    Op::If { cond, then_, else_ } => {
+                        counts.cycles += 1;
+                        let taken = match cond {
+                            Cond::ICmp(cmp) => {
+                                let b = pop_int(&mut af.stack, mid, at)?;
+                                let a = pop_int(&mut af.stack, mid, at)?;
+                                cmp.eval(a, b)
+                            }
+                            Cond::IZero(cmp) => {
+                                let a = pop_int(&mut af.stack, mid, at)?;
+                                cmp.eval(a, 0)
+                            }
+                            Cond::IsNull => pop_ref(&mut af.stack, mid, at)?.is_none(),
+                            Cond::NonNull => pop_ref(&mut af.stack, mid, at)?.is_some(),
+                            Cond::RefEq | Cond::RefNe => {
+                                let b = pop_ref(&mut af.stack, mid, at)?;
+                                let a = pop_ref(&mut af.stack, mid, at)?;
+                                if matches!(cond, Cond::RefEq) {
+                                    a == b
+                                } else {
+                                    a != b
+                                }
+                            }
+                        };
+                        pc = if taken {
+                            then_ as usize
+                        } else {
+                            else_ as usize
+                        };
+                    }
+                    Op::Return => {
+                        counts.cycles += 1;
+                        // The popped frame's real stack/locals live in `af`
+                        // (the Frame holds placeholders); its arena is
+                        // freed exactly as in the classic engine.
+                        let frame = self.interp.frames.pop().expect("frame stack non-empty");
+                        self.interp.free_frame_arena(frame);
+                        if self.interp.frames.len() == base_depth {
+                            return Ok(None);
+                        }
+                        pc = unstash(&mut self.interp, &mut af);
+                        mid = self.interp.frames.last().expect("caller frame").method;
+                        code = self.code[mid.index()].clone().expect("translated");
+                    }
+                    Op::ReturnValue => {
+                        counts.cycles += 1;
+                        let v = pop_any(&mut af.stack, mid, at)?;
+                        let frame = self.interp.frames.pop().expect("frame stack non-empty");
+                        self.interp.free_frame_arena(frame);
+                        if self.interp.frames.len() == base_depth {
+                            return Ok(Some(v));
+                        }
+                        pc = unstash(&mut self.interp, &mut af);
+                        af.stack.push(v);
+                        mid = self.interp.frames.last().expect("caller frame").method;
+                        code = self.code[mid.index()].clone().expect("translated");
+                    }
+                }
+            }
+
+            // Deterministic GC poll, at exactly the classic engine's
+            // cadence: the countdown fires exactly when `stats.insns`
+            // is a multiple of the step interval.
+            if until_poll == 0 {
+                until_poll = if interval == 0 { u64::MAX } else { interval };
+                if self.interp.heap.gc.is_marking() {
+                    stash(&mut self.interp, &mut af, pc);
+                    flush_counts(&mut self.interp, counts);
+                    let g = self.interp.drive_gc_after_insn();
+                    reload_counts(&self.interp, counts);
+                    g?;
+                    pc = unstash(&mut self.interp, &mut af);
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for CompiledEngine<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompiledEngine")
+            .field(
+                "translated",
+                &self.code.iter().filter(|c| c.is_some()).count(),
+            )
+            .field("stats.insns", &self.interp.stats.insns)
+            .finish()
+    }
+}
+
+#[inline(always)]
+fn pop_any(stack: &mut Vec<Value>, mid: MethodId, at: InsnAddr) -> Result<Value, Trap> {
+    stack.pop().ok_or(Trap::TypeMismatch {
+        method: mid,
+        at,
+        expected: "non-empty stack",
+    })
+}
+
+#[inline(always)]
+fn pop_int(stack: &mut Vec<Value>, mid: MethodId, at: InsnAddr) -> Result<i64, Trap> {
+    match pop_any(stack, mid, at)? {
+        Value::Int(i) => Ok(i),
+        Value::Ref(_) => Err(Trap::TypeMismatch {
+            method: mid,
+            at,
+            expected: "int",
+        }),
+    }
+}
+
+#[inline(always)]
+fn pop_ref(stack: &mut Vec<Value>, mid: MethodId, at: InsnAddr) -> Result<Option<GcRef>, Trap> {
+    match pop_any(stack, mid, at)? {
+        Value::Ref(r) => Ok(r),
+        Value::Int(_) => Err(Trap::TypeMismatch {
+            method: mid,
+            at,
+            expected: "reference",
+        }),
+    }
+}
+
+#[inline(always)]
+fn pop_nonnull(stack: &mut Vec<Value>, mid: MethodId, at: InsnAddr) -> Result<GcRef, Trap> {
+    pop_ref(stack, mid, at)?.ok_or(Trap::NullReceiver { method: mid, at })
+}

@@ -42,12 +42,18 @@
 //! ```
 
 pub mod barrier;
+pub mod compiled;
 pub mod cost;
+pub mod engine;
 pub mod machine;
+pub mod translate;
 
 pub use barrier::{
     BarrierConfig, BarrierMode, BarrierStats, BarrierSummary, ElidedBarriers, ElisionKind,
     RearrangeRole, RearrangeSites, SiteStats, StoreKind,
 };
+pub use compiled::CompiledEngine;
+pub use engine::{Engine, EngineKind};
 pub use machine::{GcPolicy, Interp, RunStats, Trap, PAUSE_EMERGENCY};
+pub use translate::{translate, CompiledMethod, Fuse, Op};
 pub use wbe_heap::Value;

@@ -221,37 +221,55 @@ struct PublishedRunStats {
     barrier_pre_null: u64,
 }
 
-struct Frame {
-    method: MethodId,
-    block: BlockId,
-    ip: usize,
-    locals: Vec<Value>,
-    stack: Vec<Value>,
+pub(crate) struct Frame {
+    pub(crate) method: MethodId,
+    pub(crate) block: BlockId,
+    /// Instruction index within `block` for the classic engine; the
+    /// compiled engine reuses this slot as the flat program counter
+    /// (and leaves `block` at its entry value).
+    pub(crate) ip: usize,
+    pub(crate) locals: Vec<Value>,
+    pub(crate) stack: Vec<Value>,
     /// Objects allocated at stack-allocatable sites in this frame; freed
     /// when the frame pops (the §6 "escape analysis for stack
     /// allocation" client, validated dynamically: any use after free
     /// traps as a dangling reference).
-    owned: Vec<GcRef>,
+    pub(crate) owned: Vec<GcRef>,
+}
+
+/// Pre-resolved declaration facts for one field, indexed by
+/// [`FieldId`]: the declaring class tag (kept as the runtime shape
+/// guard), the payload offset, and whether the field is
+/// reference-like. Built once per interpreter so neither engine pays
+/// the per-execution `Program::field` chase that
+/// [`Interp::field_offset_checked`] used to do twice per `PutField`.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct FieldRes {
+    pub(crate) class_tag: u32,
+    pub(crate) offset: u32,
+    pub(crate) is_ref: bool,
 }
 
 /// The interpreter: owns a heap, executes methods of one program under a
 /// barrier configuration, accumulating [`RunStats`].
 pub struct Interp<'p> {
-    program: &'p Program,
+    pub(crate) program: &'p Program,
     /// The managed heap (public for tests and the harness).
     pub heap: Heap,
-    config: BarrierConfig,
+    pub(crate) config: BarrierConfig,
     /// Accumulated statistics.
     pub stats: RunStats,
-    gc_policy: Option<GcPolicy>,
+    pub(crate) gc_policy: Option<GcPolicy>,
     /// Allocation sites whose objects live in the frame arena.
-    stack_sites: std::collections::BTreeSet<wbe_ir::SiteId>,
-    class_shapes: Vec<Vec<FieldShape>>,
+    pub(crate) stack_sites: std::collections::BTreeSet<wbe_ir::SiteId>,
+    pub(crate) class_shapes: Vec<Vec<FieldShape>>,
+    /// Per-field resolved declaration facts, indexed by `FieldId`.
+    pub(crate) field_res: Vec<FieldRes>,
     allocs_since_cycle: u64,
     verify_invariants: bool,
-    recovery: Option<RecoveryController>,
+    pub(crate) recovery: Option<RecoveryController>,
     pressure: Option<PressureController>,
-    frames: Vec<Frame>,
+    pub(crate) frames: Vec<Frame>,
     published: PublishedRunStats,
 }
 
@@ -286,6 +304,15 @@ impl<'p> Interp<'p> {
                     .collect()
             })
             .collect();
+        let field_res = program
+            .fields
+            .iter()
+            .map(|fd| FieldRes {
+                class_tag: fd.class.0,
+                offset: fd.offset as u32,
+                is_ref: fd.ty.is_ref_like(),
+            })
+            .collect();
         Interp {
             program,
             heap,
@@ -294,6 +321,7 @@ impl<'p> Interp<'p> {
             gc_policy: None,
             stack_sites: std::collections::BTreeSet::new(),
             class_shapes,
+            field_res,
             allocs_since_cycle: 0,
             verify_invariants: false,
             recovery: None,
@@ -453,7 +481,7 @@ impl<'p> Interp<'p> {
         roots
     }
 
-    fn drive_gc_after_alloc(&mut self) -> Result<(), Trap> {
+    pub(crate) fn drive_gc_after_alloc(&mut self) -> Result<(), Trap> {
         self.consult_pressure()?;
         let Some(policy) = self.gc_policy else {
             return Ok(());
@@ -541,7 +569,7 @@ impl<'p> Interp<'p> {
         Ok(())
     }
 
-    fn drive_gc_after_insn(&mut self) -> Result<(), Trap> {
+    pub(crate) fn drive_gc_after_insn(&mut self) -> Result<(), Trap> {
         let Some(policy) = self.gc_policy else {
             return Ok(());
         };
@@ -728,7 +756,7 @@ impl<'p> Interp<'p> {
     /// Allocates via `alloc`, recovering from injected
     /// [`HeapError::AllocationFailed`] with an emergency full pause and a
     /// bounded number of retries.
-    fn alloc_with_recovery(
+    pub(crate) fn alloc_with_recovery(
         &mut self,
         mid: MethodId,
         at: InsnAddr,
@@ -794,7 +822,7 @@ impl<'p> Interp<'p> {
         result
     }
 
-    fn push_frame(&mut self, method: MethodId, args: &[Value]) {
+    pub(crate) fn push_frame(&mut self, method: MethodId, args: &[Value]) {
         let m = self.program.method(method);
         let mut locals = vec![Value::Int(0); m.num_locals as usize];
         locals[..args.len()].copy_from_slice(args);
@@ -897,7 +925,7 @@ impl<'p> Interp<'p> {
     /// barrier logs the pre-value; under an incremental-update heap it
     /// dirties the receiver (card marking) — elision never applies
     /// there, since IU must re-examine every modified location.
-    fn apply_barrier(
+    pub(crate) fn apply_barrier(
         &mut self,
         mid: MethodId,
         at: InsnAddr,
@@ -966,7 +994,7 @@ impl<'p> Interp<'p> {
     /// corrupted mark state with a stop-the-world re-mark; without one
     /// (or once the consecutive-failure budget is exhausted) the
     /// original [`Trap::UnsoundElision`] fires.
-    fn unsound_elision(
+    pub(crate) fn unsound_elision(
         &mut self,
         mid: MethodId,
         at: InsnAddr,
@@ -1008,7 +1036,7 @@ impl<'p> Interp<'p> {
     /// The mode-dependent SATB logging path (no elision, no per-site
     /// recording). Returns the cycles charged so callers can attribute
     /// them to the executing store site.
-    fn satb_log_barrier(&mut self, old: Option<GcRef>) -> u64 {
+    pub(crate) fn satb_log_barrier(&mut self, old: Option<GcRef>) -> u64 {
         let pre_null = old.is_none();
         match self.config.mode {
             BarrierMode::None => 0,
@@ -1036,6 +1064,11 @@ impl<'p> Interp<'p> {
         }
     }
 
+    /// Resolves a field access against the pre-built [`FieldRes`]
+    /// table. The declaration chase (`Program::field` → declaring
+    /// class, offset) is done once at construction; only the dynamic
+    /// half — the receiver's class-tag guard — runs per execution, so
+    /// a shape mismatch still traps exactly as before.
     fn field_offset_checked(
         &self,
         obj: GcRef,
@@ -1043,16 +1076,16 @@ impl<'p> Interp<'p> {
         mid: MethodId,
         at: InsnAddr,
     ) -> Result<usize, Trap> {
-        let fd = self.program.field(field);
+        let fr = &self.field_res[field.index()];
         let tag = self.heap.store.get(obj)?.class_tag;
-        if tag != fd.class.0 {
+        if tag != fr.class_tag {
             return Err(Trap::TypeMismatch {
                 method: mid,
                 at,
                 expected: "receiver of the field's declaring class",
             });
         }
-        Ok(fd.offset)
+        Ok(fr.offset as usize)
     }
 
     fn exec_insn(&mut self, insn: Insn, mid: MethodId, at: InsnAddr) -> Result<(), Trap> {
@@ -1155,8 +1188,7 @@ impl<'p> Interp<'p> {
                 let val = self.pop_any(mid, at)?;
                 let obj = self.pop_nonnull(mid, at)?;
                 let off = self.field_offset_checked(obj, f, mid, at)?;
-                let fd = self.program.field(f);
-                if fd.ty.is_ref_like() {
+                if self.field_res[f.index()].is_ref {
                     let Value::Ref(_) = val else {
                         return Err(Trap::TypeMismatch {
                             method: mid,
@@ -1373,7 +1405,7 @@ impl<'p> Interp<'p> {
 
 impl<'p> Interp<'p> {
     /// Frees a popped frame's arena objects.
-    fn free_frame_arena(&mut self, frame: Frame) {
+    pub(crate) fn free_frame_arena(&mut self, frame: Frame) {
         for r in frame.owned {
             self.heap.store.remove(r);
             self.stats.stack_freed += 1;
@@ -1384,7 +1416,7 @@ impl<'p> Interp<'p> {
 /// Maps an interpreter store site onto the recovery layer's IR-free
 /// [`SiteKey`] — the same `(method, block, index)` triple the ledger
 /// spells as `method@B<block>[<index>]`.
-fn site_key(mid: MethodId, at: InsnAddr) -> SiteKey {
+pub(crate) fn site_key(mid: MethodId, at: InsnAddr) -> SiteKey {
     (u64::from(mid.0), at.block.0, at.index as u32)
 }
 

@@ -141,3 +141,68 @@ fn fuel_is_per_run_not_global() {
     // A second run gets its own fuel budget.
     interp.run(m, &[Value::Int(100)], 600).unwrap();
 }
+
+/// Shape mismatches must survive the pre-resolved field cache, under
+/// both engines: the `FieldRes` table (and the compiled engine's baked
+/// offsets) skip the per-execution declaration chase, but the dynamic
+/// class-tag guard still runs on every access. Warm the cache with
+/// well-typed receivers first, then hand the same method a receiver of
+/// the wrong class and demand the trap — repeatedly, so a
+/// trap-then-cache-poisoning regression would also surface.
+#[test]
+fn shape_mismatch_traps_survive_field_cache() {
+    use wbe_interp::{EngineKind, Trap};
+
+    let mut pb = ProgramBuilder::new();
+    let a = pb.class("A");
+    let b = pb.class("B");
+    let fa = pb.field(a, "fa", Ty::Ref(a));
+    // B also has one ref field at offset 0, so a missed tag guard would
+    // NOT fall over the payload bounds — the trap must come from the
+    // class-tag check itself.
+    let _fb = pb.field(b, "fb", Ty::Ref(b));
+    let poke = pb.method("poke", vec![Ty::Ref(a)], None, 0, |mb| {
+        let o = mb.local(0);
+        mb.load(o).load(o).getfield(fa).putfield(fa).return_();
+    });
+    let good = pb.method("good", vec![], None, 1, |mb| {
+        let o = mb.local(0);
+        mb.new_object(a).store(o).load(o).invoke(poke).return_();
+    });
+    let bad = pb.method("bad", vec![], None, 1, |mb| {
+        let o = mb.local(0);
+        mb.new_object(b).store(o).load(o).invoke(poke).return_();
+    });
+    let p = pb.finish();
+    p.validate().unwrap();
+
+    for kind in [EngineKind::Classic, EngineKind::Compiled] {
+        let mut engine = kind.build(
+            &p,
+            BarrierConfig::new(BarrierMode::Checked),
+            MarkStyle::Satb,
+        );
+        // Warm: well-typed receivers resolve through the cache.
+        for _ in 0..3 {
+            engine
+                .run(good, &[], 1_000)
+                .unwrap_or_else(|t| panic!("{}: good run trapped: {t}", kind.name()));
+        }
+        // Mismatch traps every time, before and after more warm runs.
+        for _ in 0..3 {
+            let err = engine.run(bad, &[], 1_000).unwrap_err();
+            match err {
+                Trap::TypeMismatch { expected, .. } => assert_eq!(
+                    expected,
+                    "receiver of the field's declaring class",
+                    "{}: wrong trap detail",
+                    kind.name()
+                ),
+                other => panic!("{}: expected TypeMismatch, got {other:?}", kind.name()),
+            }
+            engine
+                .run(good, &[], 1_000)
+                .unwrap_or_else(|t| panic!("{}: post-trap good run trapped: {t}", kind.name()));
+        }
+    }
+}

@@ -64,19 +64,38 @@ pub use span::SpanGuard;
 pub use trace::TraceEvent;
 
 /// Resolves (registering on first use) a counter in the global registry.
+///
+/// With metrics disabled this returns a *detached* handle instead:
+/// writes land in a private cell nobody reads, and the registry is not
+/// touched at all (no lock, no name registration). A long-lived holder
+/// that must survive `configure` flips should re-resolve lazily at use
+/// time rather than caching a handle obtained while disabled.
 pub fn counter(name: &str) -> Counter {
-    registry::global().counter(name)
+    if metrics_enabled() {
+        registry::global().counter(name)
+    } else {
+        Counter::detached()
+    }
 }
 
 /// Resolves (registering on first use) a gauge in the global registry.
+/// Detached when metrics are disabled; see [`counter`].
 pub fn gauge(name: &str) -> Gauge {
-    registry::global().gauge(name)
+    if metrics_enabled() {
+        registry::global().gauge(name)
+    } else {
+        Gauge::detached()
+    }
 }
 
 /// Resolves (registering on first use) a histogram in the global
-/// registry.
+/// registry. Detached when metrics are disabled; see [`counter`].
 pub fn histogram(name: &str) -> Histogram {
-    registry::global().histogram(name)
+    if metrics_enabled() {
+        registry::global().histogram(name)
+    } else {
+        Histogram::detached()
+    }
 }
 
 /// Opens a phase span: `span!("analysis.fixpoint")` or, with a detail

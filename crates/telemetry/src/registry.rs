@@ -43,6 +43,15 @@ impl Counter {
     pub fn get(&self) -> u64 {
         self.cell.load(Ordering::Relaxed)
     }
+
+    /// A handle backed by a private cell, registered nowhere. Returned
+    /// by the crate-level resolvers when metrics are disabled so
+    /// callers never touch the registry on the disabled path.
+    pub(crate) fn detached() -> Self {
+        Counter {
+            cell: Arc::new(AtomicU64::new(0)),
+        }
+    }
 }
 
 impl std::fmt::Debug for Counter {
@@ -69,6 +78,13 @@ impl Gauge {
     /// Current value.
     pub fn get(&self) -> u64 {
         self.cell.load(Ordering::Relaxed)
+    }
+
+    /// Registry-less handle; see [`Counter::detached`].
+    pub(crate) fn detached() -> Self {
+        Gauge {
+            cell: Arc::new(AtomicU64::new(0)),
+        }
     }
 }
 
@@ -134,6 +150,13 @@ impl Histogram {
     #[inline]
     pub fn record_duration(&self, d: std::time::Duration) {
         self.record(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Registry-less handle; see [`Counter::detached`].
+    pub(crate) fn detached() -> Self {
+        Histogram {
+            inner: Arc::new(HistInner::default()),
+        }
     }
 
     /// Point-in-time copy of this histogram's state.
