@@ -125,6 +125,20 @@ pub struct SiteRecord {
     pub revoked: bool,
     /// Why the runtime revoked the site (empty unless `revoked`).
     pub revoke_reason: String,
+    /// Kept-barrier executions witnessed by the necessity oracle.
+    /// Zero straight out of [`ElisionLedger::build`]; joined in
+    /// afterwards via [`ElisionLedger::join_oracle`]. Like the
+    /// revocation fields, the oracle triple is serialized only when
+    /// present, so purely-static ledgers stay byte-identical.
+    pub oracle_executions: u64,
+    /// Of those, executions whose SATB enqueue was semantically
+    /// necessary (white non-null old value during active marking,
+    /// not already pending).
+    pub oracle_necessary: u64,
+    /// The runtime witness refuting (or failing to refute) this
+    /// site's keep-code, rendered — e.g. `"receiver thread-local in
+    /// 421 executions"` (empty unless joined).
+    pub oracle_witness: String,
 }
 
 impl SiteRecord {
@@ -157,6 +171,12 @@ impl SiteRecord {
         if self.revoked {
             w.field_bool("revoked", true)
                 .field_str("revoke_reason", &self.revoke_reason);
+        }
+        // Oracle-join fields follow the same additive rule.
+        if self.oracle_executions > 0 {
+            w.field_u64("oracle_executions", self.oracle_executions)
+                .field_u64("oracle_necessary", self.oracle_necessary)
+                .field_str("oracle_witness", &self.oracle_witness);
         }
         w.finish();
         out
@@ -267,6 +287,31 @@ impl ElisionLedger {
         self.records.iter().filter(|r| r.revoked).count()
     }
 
+    /// Joins dynamic necessity-oracle results into the ledger: each
+    /// `(method, block, index, executions, necessary, witness)` tuple
+    /// annotates the matching record, so `wbe_tool explain --oracle`
+    /// shows runtime evidence next to the static keep-code. Returns how
+    /// many tuples matched; unmatched tuples are ignored (a workload
+    /// subset exercises a subset of the program's sites).
+    pub fn join_oracle<'a>(
+        &mut self,
+        results: impl IntoIterator<Item = (&'a str, usize, usize, u64, u64, &'a str)>,
+    ) -> usize {
+        let mut joined = 0;
+        for (method, block, index, executions, necessary, witness) in results {
+            for rec in &mut self.records {
+                if rec.method == method && rec.block == block && rec.index == index {
+                    rec.oracle_executions = executions;
+                    rec.oracle_necessary = necessary;
+                    rec.oracle_witness = witness.to_string();
+                    joined += 1;
+                    break;
+                }
+            }
+        }
+        joined
+    }
+
     /// Number of kept/degraded records per keep-code, in deterministic
     /// code order. `Elide` records (empty code) are excluded.
     pub fn keep_code_counts(&self) -> std::collections::BTreeMap<String, usize> {
@@ -353,6 +398,9 @@ fn blank_record(
         null_or_same: false,
         revoked: false,
         revoke_reason: String::new(),
+        oracle_executions: 0,
+        oracle_necessary: 0,
+        oracle_witness: String::new(),
     }
 }
 
@@ -813,5 +861,64 @@ mod tests {
             })
             .collect();
         assert_eq!(stripped, baseline);
+    }
+
+    #[test]
+    fn oracle_join_is_additive_and_only_serialized_when_set() {
+        let p = mixed_program();
+        let cfg = AnalysisConfig::full();
+        let baseline = ElisionLedger::build(&p, &cfg).to_ndjson();
+        assert!(
+            !baseline.contains("oracle_"),
+            "static ledgers never mention the oracle"
+        );
+
+        let mut ledger = ElisionLedger::build(&p, &cfg);
+        let kept = ledger
+            .records
+            .iter()
+            .find(|r| r.verdict == Verdict::Keep)
+            .cloned()
+            .expect("mixed program has a kept site");
+        let joined = ledger.join_oracle([
+            (
+                kept.method.as_str(),
+                kept.block,
+                kept.index,
+                421,
+                0,
+                "receiver thread-local in 421 executions",
+            ),
+            ("no-such-method", 0, 0, 1, 1, "ignored"),
+        ]);
+        assert_eq!(joined, 1, "unknown sites are skipped, not errors");
+
+        let ndjson = ledger.to_ndjson();
+        let mut oracle_lines = 0;
+        for line in ndjson.lines() {
+            let v = wbe_telemetry::json::parse(line).expect("valid JSON");
+            if v.get("oracle_executions").is_some() {
+                oracle_lines += 1;
+                assert_eq!(v.get("oracle_executions").unwrap().as_u64(), Some(421));
+                assert_eq!(v.get("oracle_necessary").unwrap().as_u64(), Some(0));
+                assert_eq!(
+                    v.get("oracle_witness").unwrap().as_str().unwrap(),
+                    "receiver thread-local in 421 executions"
+                );
+            }
+        }
+        assert_eq!(oracle_lines, 1, "only the joined record carries the fields");
+
+        let stripped: String = ndjson
+            .lines()
+            .map(|l| {
+                l.replace(
+                    ",\"oracle_executions\":421,\"oracle_necessary\":0,\
+                     \"oracle_witness\":\"receiver thread-local in 421 executions\"",
+                    "",
+                ) + "\n"
+            })
+            .collect();
+        assert_eq!(stripped, baseline, "the oracle join is purely additive");
     }
 }

@@ -1,0 +1,133 @@
+//! Emits `BENCH_pr10.json`: the barrier-necessity oracle's headline
+//! numbers — the suite-wide dynamic-upper-bound elision rate against
+//! the frozen static 25.770%, per-workload necessity rates, the
+//! cross-engine byte-identity check on the oracle's NDJSON, and the
+//! runtime overhead of running with the oracle enabled (witness
+//! side-table + per-enqueue classification) versus off.
+//!
+//! Usage: `cargo run --release -p wbe-bench --bin bench_pr10 [-- <out.json>]`
+//! (defaults to `BENCH_pr10.json` in the current directory).
+//!
+//! Measurement protocol: the oracle measurement itself is fully
+//! deterministic (same numbers every run, both engines). The overhead
+//! cells are wall-clock and measured `REPS` times with oracle-off and
+//! oracle-on interleaved, best kept, so load drift hits both sides
+//! symmetrically.
+
+use std::time::{Duration, Instant};
+
+use wbe_harness::oracle::{measure, to_ndjson, OracleOptions, STATIC_ELISION_PCT};
+use wbe_harness::runner::compile_workload;
+use wbe_heap::gc::MarkStyle;
+use wbe_interp::{BarrierConfig, BarrierMode, EngineKind, GcPolicy, Value};
+use wbe_opt::OptMode;
+
+/// Interleaved repetitions per overhead cell; best wall kept.
+const REPS: usize = 5;
+
+/// One timed run in the oracle's exact configuration, toggling only
+/// the oracle itself.
+fn timed_run(kind: EngineKind, name: &str, oracle: bool) -> Duration {
+    let w = wbe_workloads::by_name(name).expect("workload exists");
+    let (compiled, elided) = compile_workload(&w, OptMode::Full, 100);
+    let bc = BarrierConfig::with_elision(BarrierMode::Checked, elided);
+    let mut eng = kind.build(&compiled.program, bc, MarkStyle::Satb);
+    eng.set_oracle(oracle);
+    eng.set_gc_policy(GcPolicy {
+        alloc_trigger: 400,
+        step_interval: 32,
+        step_budget: 4,
+    });
+    let iters = w.default_iters;
+    let start = Instant::now();
+    eng.run(w.entry, &[Value::Int(iters)], w.fuel_for(iters))
+        .unwrap_or_else(|t| panic!("workload {name} trapped: {t}"));
+    start.elapsed()
+}
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_pr10.json".into());
+
+    // The oracle suite, both engines; NDJSON must be byte-identical.
+    let classic = measure(&OracleOptions::default()).expect("classic oracle run");
+    let compiled = measure(&OracleOptions {
+        engine: EngineKind::Compiled,
+        ..OracleOptions::default()
+    })
+    .expect("compiled oracle run");
+    let classic_nd = to_ndjson(&classic);
+    let compiled_nd = to_ndjson(&compiled);
+    assert_eq!(
+        classic_nd, compiled_nd,
+        "oracle NDJSON must be engine-independent"
+    );
+
+    let mut json = String::from("{\n  \"bench\": \"pr10\",\n  \"workloads\": [\n");
+    let rows: Vec<String> = classic
+        .workloads
+        .iter()
+        .map(|w| {
+            format!(
+                "    {{\"workload\": \"{}\", \"headline\": {}, \"total_executions\": {}, \"elided_executions\": {}, \"kept_executions\": {}, \"necessary_executions\": {}, \"never_necessary_sites\": {}, \"never_necessary_executions\": {}, \"cycles_audited\": {}, \"escaped_objects\": {}, \"allocated_objects\": {}}}",
+                w.workload,
+                w.headline,
+                w.total_executions,
+                w.elided_executions,
+                w.kept_executions,
+                w.necessary_executions,
+                w.never_necessary_sites,
+                w.never_necessary_executions,
+                w.cycles_audited,
+                w.escaped_objects,
+                w.allocated_objects,
+            )
+        })
+        .collect();
+    json.push_str(&rows.join(",\n"));
+    json.push_str("\n  ],\n");
+    json.push_str(&format!(
+        "  \"suite\": {{\"static_elision_pct\": {:.3}, \"frozen_static_pct\": {STATIC_ELISION_PCT:.3}, \"dynamic_upper_bound_pct\": {:.3}, \"headroom_points\": {:.3}, \"never_necessary_sites\": {}, \"worklist_top\": {}}},\n",
+        classic.static_rate(),
+        classic.dynamic_rate(),
+        classic.headroom_points(),
+        classic.never_necessary_sites,
+        classic.worklist.len(),
+    ));
+    json.push_str(&format!(
+        "  \"engine_independence\": {{\"classic_ndjson_bytes\": {}, \"compiled_ndjson_bytes\": {}, \"identical\": true}},\n",
+        classic_nd.len(),
+        compiled_nd.len(),
+    ));
+
+    // Oracle overhead: full-iteration runs, oracle off vs on.
+    json.push_str("  \"overhead\": [\n");
+    let mut cells: Vec<String> = Vec::new();
+    for name in ["jess", "jbb"] {
+        for kind in [EngineKind::Classic, EngineKind::Compiled] {
+            let mut best: [Option<Duration>; 2] = [None, None];
+            for _ in 0..REPS {
+                for (i, oracle) in [false, true].into_iter().enumerate() {
+                    let wall = timed_run(kind, name, oracle);
+                    best[i] = Some(best[i].map_or(wall, |b| b.min(wall)));
+                }
+            }
+            let (off, on) = (best[0].unwrap(), best[1].unwrap());
+            cells.push(format!(
+                "    {{\"workload\": \"{}\", \"engine\": \"{}\", \"oracle_off_ms\": {:.3}, \"oracle_on_ms\": {:.3}, \"overhead_pct\": {:.2}}}",
+                name,
+                kind.name(),
+                off.as_secs_f64() * 1e3,
+                on.as_secs_f64() * 1e3,
+                100.0 * (on.as_secs_f64() / off.as_secs_f64().max(1e-9) - 1.0),
+            ));
+        }
+    }
+    json.push_str(&cells.join(",\n"));
+    json.push_str("\n  ]\n}\n");
+
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    println!("{json}");
+    eprintln!("wrote {out}");
+}

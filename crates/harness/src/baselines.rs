@@ -107,6 +107,32 @@ pub struct ThroughputBaseline {
     pub digest: u64,
 }
 
+/// Deterministic facts of one necessity-oracle probe cell (workload ×
+/// engine), pinned exactly. Like the throughput rows, classic and
+/// compiled cells must be identical — the oracle's verdict stream is
+/// part of the engine-equivalence contract.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OracleBaseline {
+    /// Probe workload name.
+    pub bench: String,
+    /// Engine that produced the row (`classic` or `compiled`).
+    pub engine: String,
+    /// Kept-barrier executions witnessed by the oracle.
+    pub executions: u64,
+    /// Semantically necessary SATB enqueues.
+    pub necessary: u64,
+    /// Kept sites whose barrier was never necessary.
+    pub never_sites: u64,
+    /// Necessary enqueues that were the sole snapshot witness.
+    pub sole_witness: u64,
+    /// Necessary enqueues still root-reachable at remark.
+    pub shielded: u64,
+    /// Marking cycles audited at their remark.
+    pub cycles_audited: u64,
+    /// Objects that escaped their allocating logical thread.
+    pub escaped_objects: u64,
+}
+
 /// The whole baseline file: per-workload rows plus suite-level facts.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct BaselineSuite {
@@ -123,6 +149,8 @@ pub struct BaselineSuite {
     pub recoveries_succeeded: u64,
     /// Per-engine throughput probe rows (exact), after the suite line.
     pub throughput: Vec<ThroughputBaseline>,
+    /// Per-engine necessity-oracle probe rows (exact), last.
+    pub oracle: Vec<OracleBaseline>,
 }
 
 fn bucket(v: u64) -> u64 {
@@ -162,6 +190,7 @@ pub fn measure(scale: f64) -> BaselineSuite {
     }
     let (recoveries_attempted, recoveries_succeeded) = recovery_probe();
     let throughput = throughput_probe();
+    let oracle = oracle_probe(scale);
     BaselineSuite {
         rows,
         pct_elided: if total == 0 {
@@ -173,7 +202,64 @@ pub fn measure(scale: f64) -> BaselineSuite {
         recoveries_attempted,
         recoveries_succeeded,
         throughput,
+        oracle,
     }
+}
+
+/// Runs the necessity-oracle probe: the bench workloads under the
+/// baseline configuration with the oracle enabled, once per engine.
+/// Every pinned quantity is exact — the oracle's verdicts are a pure
+/// function of the deterministic execution, and classic/compiled rows
+/// must match, folding the oracle side of engine equivalence into the
+/// baseline gate.
+fn oracle_probe(scale: f64) -> Vec<OracleBaseline> {
+    let mut rows = Vec::new();
+    for name in ["jess", "jbb"] {
+        let w = wbe_workloads::by_name(name).expect("bench workload exists");
+        let cfg = PipelineConfig::new(OptMode::Full, 100);
+        let (compiled, elided) = compile_workload_with(&w, &cfg);
+        let iters = ((w.default_iters as f64 * scale) as i64).max(8);
+        for kind in [EngineKind::Classic, EngineKind::Compiled] {
+            let bc = BarrierConfig::with_elision(BarrierMode::Checked, elided.clone());
+            let mut engine = kind.build(&compiled.program, bc, MarkStyle::Satb);
+            engine.set_oracle(true);
+            engine.set_gc_policy(GcPolicy {
+                alloc_trigger: 400,
+                step_interval: 32,
+                step_budget: 4,
+            });
+            engine
+                .run(w.entry, &[Value::Int(iters)], w.fuel_for(iters))
+                .unwrap_or_else(|t| panic!("oracle probe {name} trapped: {t}"));
+            let o = engine.oracle().expect("probe enabled the oracle");
+            let (mut necessary, mut sole, mut shielded, mut never) = (0, 0, 0, 0);
+            for sn in o.sites.values() {
+                necessary += sn.necessary;
+                sole += sn.sole_witness;
+                shielded += sn.shielded;
+                if sn.never_necessary() {
+                    never += 1;
+                }
+            }
+            let witness = engine
+                .heap()
+                .witness
+                .as_ref()
+                .expect("oracle enables witnesses");
+            rows.push(OracleBaseline {
+                bench: name.to_string(),
+                engine: kind.name().to_string(),
+                executions: o.total_executions(),
+                necessary,
+                never_sites: never,
+                sole_witness: sole,
+                shielded,
+                cycles_audited: o.cycles_audited,
+                escaped_objects: witness.escaped_objects(),
+            });
+        }
+    }
+    rows
 }
 
 /// Runs the throughput probe: the bench workloads under the realistic
@@ -345,6 +431,22 @@ impl BaselineSuite {
             w.finish();
             out.push('\n');
         }
+        // Oracle rows likewise append after everything older.
+        for o in &self.oracle {
+            let mut w = ObjWriter::new(&mut out);
+            w.field_str("workload", "__oracle__")
+                .field_str("bench", &o.bench)
+                .field_str("engine", &o.engine)
+                .field_u64("executions", o.executions)
+                .field_u64("necessary", o.necessary)
+                .field_u64("never_sites", o.never_sites)
+                .field_u64("sole_witness", o.sole_witness)
+                .field_u64("shielded", o.shielded)
+                .field_u64("cycles_audited", o.cycles_audited)
+                .field_u64("escaped_objects", o.escaped_objects);
+            w.finish();
+            out.push('\n');
+        }
         out
     }
 
@@ -409,6 +511,26 @@ impl BaselineSuite {
                     allocs: get("allocs")?,
                     gc_cycles: get("gc_cycles")?,
                     digest,
+                });
+                continue;
+            }
+            if name == "__oracle__" {
+                let get_str = |k: &str| -> Result<String, String> {
+                    v.get(k)
+                        .and_then(|f| f.as_str())
+                        .map(str::to_string)
+                        .ok_or_else(|| format!("line {}: missing '{k}'", lineno + 1))
+                };
+                suite.oracle.push(OracleBaseline {
+                    bench: get_str("bench")?,
+                    engine: get_str("engine")?,
+                    executions: get("executions")?,
+                    necessary: get("necessary")?,
+                    never_sites: get("never_sites")?,
+                    sole_witness: get("sole_witness")?,
+                    shielded: get("shielded")?,
+                    cycles_audited: get("cycles_audited")?,
+                    escaped_objects: get("escaped_objects")?,
                 });
                 continue;
             }
@@ -552,6 +674,38 @@ pub fn compare(expected: &BaselineSuite, actual: &BaselineSuite) -> Vec<String> 
             ));
         }
     }
+    // Oracle probe rows are fully deterministic: exact equality.
+    for exp in &expected.oracle {
+        let Some(act) = actual
+            .oracle
+            .iter()
+            .find(|o| o.bench == exp.bench && o.engine == exp.engine)
+        else {
+            violations.push(format!(
+                "oracle {}/{}: missing from this run",
+                exp.bench, exp.engine
+            ));
+            continue;
+        };
+        if act != exp {
+            violations.push(format!(
+                "oracle {}/{}: expected {exp:?}, got {act:?}",
+                exp.bench, exp.engine
+            ));
+        }
+    }
+    for act in &actual.oracle {
+        if !expected
+            .oracle
+            .iter()
+            .any(|o| o.bench == act.bench && o.engine == act.engine)
+        {
+            violations.push(format!(
+                "oracle {}/{}: not in the baseline file (run with --update)",
+                act.bench, act.engine
+            ));
+        }
+    }
     violations
 }
 
@@ -678,6 +832,25 @@ mod tests {
                 pair[0].bench
             );
         }
+        // Oracle rows: both engines per bench workload, byte-for-byte
+        // identical necessity verdicts.
+        assert_eq!(suite.oracle.len(), 4);
+        assert_eq!(parsed.oracle, suite.oracle);
+        for pair in suite.oracle.chunks(2) {
+            assert_eq!(pair[0].bench, pair[1].bench);
+            assert_eq!(pair[0].engine, "classic");
+            assert_eq!(pair[1].engine, "compiled");
+            assert!(
+                pair[0].executions > 0,
+                "{}: no kept barriers",
+                pair[0].bench
+            );
+            assert!(pair[0].necessary <= pair[0].executions);
+            let (mut a, mut b) = (pair[0].clone(), pair[1].clone());
+            a.engine.clear();
+            b.engine.clear();
+            assert_eq!(a, b, "{}: oracle engines disagree", pair[0].bench);
+        }
     }
 
     #[test]
@@ -693,8 +866,9 @@ mod tests {
         perturbed.recoveries_attempted += 1;
         perturbed.recoveries_succeeded += 2;
         perturbed.throughput[0].digest ^= 1;
+        perturbed.oracle[0].necessary += 1;
         let violations = compare(&perturbed, &suite);
-        assert!(violations.len() >= 8, "{violations:?}");
+        assert!(violations.len() >= 9, "{violations:?}");
         assert!(
             violations.iter().any(|v| v.contains("kept_cycles")),
             "{violations:?}"

@@ -9,7 +9,7 @@
 //! wbe_tool run     <file.wbe|workload> <method> [int args...] [--elide] [--fuel N]
 //! wbe_tool export  <workload>                      print a workload as .wbe text
 //! wbe_tool explain <file.wbe|workload> [--method M] [--site N]
-//!                  [--mode A|F] [--inline N] [--nos]
+//!                  [--mode A|F] [--inline N] [--nos] [--oracle F.ndjson]
 //! wbe_tool ledger  <file.wbe|workload> [--out l.ndjson] [--demo-flip]
 //!                  [--mode A|F] [--inline N] [--nos]
 //! wbe_tool ledger-diff <old.ndjson> <new.ndjson>
@@ -17,6 +17,8 @@
 //! wbe_tool profile [--workload W]... [--top N] [--scale S]
 //!                  [--format text|ndjson] [--out F] [--slo-max-pause N]
 //!                  [--slo-p99-pause N]
+//! wbe_tool oracle  [--workload W]... [--engine classic|compiled]
+//!                  [--scale S] [--top N] [--format text|ndjson] [--out F]
 //! wbe_tool report  [workload|file.wbe ...] [--metrics-out m.json]
 //!                  [--trace-out t.ndjson] [--chrome-trace t.json]
 //!                  [--format text|ndjson] [--scale S]
@@ -87,11 +89,52 @@
 //! `profile` joins the interpreter's per-site dynamic barrier counters
 //! with the provenance ledger: per-keep-code execution/cycle
 //! attribution with headroom estimates, the hottest kept sites, and
-//! per-phase GC pause percentiles (p50/p90/p99/max in work units).
-//! `--slo-max-pause N` turns the report into a gate: exit 1 when any
-//! stop-the-world pause exceeded `N` work units; `--slo-p99-pause N`
-//! gates the 99th-percentile STW pause instead (the two compose). `--format ndjson`
+//! per-phase GC pause percentiles (p50/p90/p99/p99.9/max in work
+//! units). `--slo-max-pause N` turns the report into a gate: exit 1
+//! when any stop-the-world pause exceeded `N` work units;
+//! `--slo-p99-pause N` gates the 99th-percentile STW pause instead
+//! (the two compose). `--format ndjson`
 //! output is deterministic (byte-identical across runs).
+//!
+//! `oracle` is the third observability plane, joining the static
+//! ledger (what the analysis decided) and the cost profiler (what the
+//! kept barriers cost) with *necessity*: which kept-barrier executions
+//! actually contributed to marking. Every kept barrier in either
+//! engine reports its SATB enqueue verdict (necessary, or vacuous —
+//! marking idle, null old value, already marked, duplicate), each
+//! marking cycle is audited against a snapshot-reachability check at
+//! remark, and a heap side-table of runtime witnesses (thread escape,
+//! observed nulls) supplies the refutation for each never-necessary
+//! site. The report gives per-site necessity rates, the suite-wide
+//! dynamic-upper-bound elision rate next to the frozen static 25.770%,
+//! and a ranked worklist of kept sites no execution ever needed.
+//! `--format ndjson` is deterministic *and engine-independent*:
+//! classic and compiled runs of the same seed emit byte-identical
+//! files (CI diffs them). `explain --oracle F.ndjson` joins such a
+//! file back onto the static ledger, rendering each site's measured
+//! necessity next to its keep-code.
+//!
+//! ## Exit codes
+//!
+//! One contract across every gate-style subcommand; 0 is always
+//! success and 2 is always "the tool could not run the check"
+//! (usage, I/O, unknown workload), never a finding. 1 is the gate
+//! firing while the run itself stayed sound — except `serve`, whose
+//! ladder makes degradation the *expected* defense (so 1) and reserves
+//! 2 for SLO/soundness failure.
+//!
+//! | command | 0 | 1 | 2 |
+//! |---------|---|---|---|
+//! | `verify <file>` | valid + type-checks | invalid | usage |
+//! | `verify --faults` | all schedules sound | divergence/violation | usage/unknown workload |
+//! | `ledger-diff` | no regression | regression | usage/IO/parse |
+//! | `bench --check-baselines` | baselines hold | drift | usage/IO/parse |
+//! | `profile` | SLOs met | pause SLO violated | usage/run error |
+//! | `oracle` | report produced | — | usage/run error |
+//! | `throughput` | report produced | — | usage/run error |
+//! | `mcheck` | all schedules sound | violation found | usage |
+//! | `soak` | clean | degraded > threshold | unrecovered trap |
+//! | `serve` | nominal, SLOs met | ladder engaged, SLOs held | SLO/soundness violation |
 
 use std::process::exit;
 
@@ -106,28 +149,37 @@ use wbe_opt::{compile, OptMode, PipelineConfig};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: wbe_tool <verify|dump|analyze|explain|ledger|ledger-diff|run|export|report|bench|profile|throughput|soak|serve|mcheck> [<file.wbe|workload>] [options]\n\
+        "usage: wbe_tool <verify|dump|analyze|explain|ledger|ledger-diff|run|export|report|bench|profile|oracle|throughput|soak|serve|mcheck> [<file.wbe|workload>] [options]\n\
          verify:  <file.wbe>  — or —  [workload ...] --faults N [--seed S] [--scale F] [--demo-unsound]\n\
          analyze: [--mode A|F] [--inline N] [--nos]\n\
-         explain: [--method M] [--site N] [--mode A|F] [--inline N] [--nos]\n\
+         explain: [--method M] [--site N] [--mode A|F] [--inline N] [--nos] [--oracle F.ndjson]\n\
          ledger:  [--out l.ndjson] [--demo-flip] [--mode A|F] [--inline N] [--nos]\n\
-         ledger-diff: <old.ndjson> <new.ndjson>   (exit 1 on regression)\n\
+         ledger-diff: <old.ndjson> <new.ndjson>\n\
          run:     <method> [int args...] [--elide] [--fuel N]\n\
          report:  [workload|file.wbe ...] [--metrics-out m.json] [--trace-out t.ndjson]\n\
                   [--chrome-trace t.json] [--format text|ndjson] [--scale S]\n\
          bench:   --check-baselines [--update] [--baselines PATH]\n\
          profile: [--workload W]... [--top N] [--scale S] [--format text|ndjson]\n\
-                  [--out F] [--slo-max-pause N] [--slo-p99-pause N]   (exit 1 on SLO violation)\n\
+                  [--out F] [--slo-max-pause N] [--slo-p99-pause N]\n\
+         oracle:  [--workload W]... [--engine classic|compiled] [--scale S] [--top N]\n\
+                  [--format text|ndjson] [--out F]\n\
          throughput: [--engine classic|compiled] [--mutators N] [--duration-ops N]\n\
                   [--workload W]... [--format text|ndjson] [--out F]\n\
          soak:    [--rounds N] [--seed S] [--escalate] [--scale F] [--max-attempts K]\n\
                   [--threshold D] [--unrecoverable] [--format text|ndjson] [--out F]\n\
-                  [--flight-out T]   (exit 0 clean / 1 degraded / 2 trapped)\n\
+                  [--flight-out T]\n\
          serve:   [--tenants T] [--connections C] [--mix session|cache|churn] [--requests N]\n\
                   [--arrivals A] [--request-ops K] [--seed S] [--heap-budget B] [--chaos]\n\
                   [--overload-pm PM] [--slo-p99 N] [--slo-shed-pct P] [--format text|ndjson]\n\
-                  [--out F] [--trace-out T]   (exit 0 nominal / 1 degraded / 2 SLO violated)\n\
-         {}",
+                  [--out F] [--trace-out T]\n\
+         {}\n\
+         exit codes — 0 success, 2 tool could not run (usage/IO/unknown workload):\n\
+           verify <file>:   1 invalid          verify --faults: 1 divergence found\n\
+           ledger-diff:     1 regression       bench:           1 baseline drift\n\
+           profile:         1 pause SLO violated                mcheck: 1 violation found\n\
+           soak:            1 degraded > threshold, 2 unrecovered trap\n\
+           serve:           1 ladder engaged (SLOs held), 2 SLO/soundness violation\n\
+           oracle, throughput, run, report: no exit-1 findings",
         wbe_harness::mcheck::USAGE
     );
     exit(2)
@@ -292,6 +344,7 @@ struct LedgerArgs {
     site: Option<usize>,
     out: Option<String>,
     demo_flip: bool,
+    oracle: Option<String>,
 }
 
 fn parse_ledger_args(rest: &[String]) -> LedgerArgs {
@@ -303,6 +356,7 @@ fn parse_ledger_args(rest: &[String]) -> LedgerArgs {
         site: None,
         out: None,
         demo_flip: false,
+        oracle: None,
     };
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
@@ -329,6 +383,7 @@ fn parse_ledger_args(rest: &[String]) -> LedgerArgs {
             }
             "--out" => a.out = Some(it.next().unwrap_or_else(|| usage()).clone()),
             "--demo-flip" => a.demo_flip = true,
+            "--oracle" => a.oracle = Some(it.next().unwrap_or_else(|| usage()).clone()),
             _ => usage(),
         }
     }
@@ -418,6 +473,49 @@ fn profile(rest: &[String]) -> i32 {
         }
     }
     wbe_harness::profile::run_profile(&opts, ndjson, out.as_deref())
+}
+
+/// `wbe_tool oracle`: the barrier-necessity oracle — per-site necessity
+/// verdicts for every executed kept barrier, the dynamic-upper-bound
+/// elision rate, and the ranked never-necessary worklist.
+fn oracle(rest: &[String]) -> i32 {
+    let mut opts = wbe_harness::oracle::OracleOptions::default();
+    let mut ndjson = false;
+    let mut out: Option<String> = None;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workload" => opts
+                .workloads
+                .push(it.next().unwrap_or_else(|| usage()).clone()),
+            "--engine" => {
+                opts.engine = it
+                    .next()
+                    .and_then(|s| wbe_interp::EngineKind::parse(s))
+                    .unwrap_or_else(|| usage())
+            }
+            "--scale" => {
+                opts.scale = it
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--top" => {
+                opts.top = it
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--format" => match it.next().map(String::as_str) {
+                Some("text") => ndjson = false,
+                Some("ndjson") => ndjson = true,
+                _ => usage(),
+            },
+            "--out" => out = Some(it.next().unwrap_or_else(|| usage()).clone()),
+            _ => usage(),
+        }
+    }
+    wbe_harness::oracle::run_oracle(&opts, ndjson, out.as_deref())
 }
 
 /// `wbe_tool throughput`: the multi-mutator throughput bench. Text
@@ -798,6 +896,9 @@ fn main() {
     if args.first().map(String::as_str) == Some("profile") {
         exit(profile(&args[1..]));
     }
+    if args.first().map(String::as_str) == Some("oracle") {
+        exit(oracle(&args[1..]));
+    }
     if args.first().map(String::as_str) == Some("throughput") {
         exit(throughput(&args[1..]));
     }
@@ -857,7 +958,28 @@ fn main() {
         "explain" => {
             check(&program, source);
             let a = parse_ledger_args(rest);
-            let ledger = build_ledger_or_exit(&program, &a);
+            let mut ledger = build_ledger_or_exit(&program, &a);
+            if let Some(path) = &a.oracle {
+                let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                    eprintln!("cannot read {path}: {e}");
+                    exit(2)
+                });
+                let rows = wbe_harness::ledger::parse_oracle_sites(&text).unwrap_or_else(|e| {
+                    eprintln!("{path}: {e}");
+                    exit(2)
+                });
+                let joined = ledger.join_oracle(rows.iter().map(|r| {
+                    (
+                        r.method.as_str(),
+                        r.block,
+                        r.index,
+                        r.executions,
+                        r.necessary,
+                        r.witness.as_str(),
+                    )
+                }));
+                eprintln!("joined {joined}/{} oracle site records", rows.len());
+            }
             print!(
                 "{}",
                 wbe_harness::ledger::explain(&ledger, a.method.as_deref(), a.site)

@@ -103,6 +103,18 @@ fn render_site(out: &mut String, rec: &SiteRecord) {
     if rec.revoked {
         let _ = writeln!(out, "  REVOKED at runtime — {}", rec.revoke_reason);
     }
+    if rec.oracle_executions > 0 {
+        let _ = writeln!(
+            out,
+            "  oracle: {}/{} kept executions necessary ({:.3}%)",
+            rec.oracle_necessary,
+            rec.oracle_executions,
+            100.0 * rec.oracle_necessary as f64 / rec.oracle_executions as f64
+        );
+        if rec.oracle_necessary == 0 && !rec.oracle_witness.is_empty() {
+            let _ = writeln!(out, "  refuting witness: {}", rec.oracle_witness);
+        }
+    }
 }
 
 /// Deliberately flips every `elide` record to `keep` — the ledger-diff
@@ -116,6 +128,81 @@ pub fn demo_flip(ledger: &mut ElisionLedger) {
             rec.keep_detail = "deliberately flipped for the negative control".to_string();
         }
     }
+}
+
+/// One oracle `site` record parsed back from `wbe_tool oracle --format
+/// ndjson` output: the slice [`ElisionLedger::join_oracle`] consumes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OracleSiteRow {
+    /// Post-inlining method name.
+    pub method: String,
+    /// Block id of the store site.
+    pub block: usize,
+    /// Instruction index within the block.
+    pub index: usize,
+    /// Kept-barrier executions the oracle witnessed.
+    pub executions: u64,
+    /// Of those, semantically necessary SATB enqueues.
+    pub necessary: u64,
+    /// Rendered refuting witness (empty unless never-necessary).
+    pub witness: String,
+}
+
+/// Parses oracle NDJSON, keeping only `record == "site"` lines, and
+/// aggregates repeated sites (the same site observed under several
+/// workloads) by summing counts and keeping the first non-empty
+/// witness. `Err` names the bad line.
+pub fn parse_oracle_sites(ndjson: &str) -> Result<Vec<OracleSiteRow>, String> {
+    let mut by_site: BTreeMap<(String, usize, usize), OracleSiteRow> = BTreeMap::new();
+    for (lineno, line) in ndjson.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v =
+            wbe_telemetry::json::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        if v.get("record").and_then(|f| f.as_str()) != Some("site") {
+            continue;
+        }
+        let site = v
+            .get("site")
+            .and_then(|f| f.as_str())
+            .ok_or_else(|| format!("line {}: missing 'site'", lineno + 1))?;
+        // Site identity renders as `method@B<block>[<index>]`.
+        let (method, block, index) = (|| {
+            let (method, rest) = site.rsplit_once("@B")?;
+            let (block, index) = rest.strip_suffix(']')?.split_once('[')?;
+            Some((method.to_string(), block.parse().ok()?, index.parse().ok()?))
+        })()
+        .ok_or_else(|| format!("line {}: malformed site '{site}'", lineno + 1))?;
+        let get_u64 = |k: &str| -> Result<u64, String> {
+            v.get(k)
+                .and_then(|f| f.as_u64())
+                .ok_or_else(|| format!("line {}: missing integer field '{k}'", lineno + 1))
+        };
+        let executions = get_u64("executions")?;
+        let necessary = get_u64("necessary")?;
+        let witness = v
+            .get("witness")
+            .and_then(|f| f.as_str())
+            .unwrap_or("")
+            .to_string();
+        let row = by_site
+            .entry((method.clone(), block, index))
+            .or_insert_with(|| OracleSiteRow {
+                method,
+                block,
+                index,
+                executions: 0,
+                necessary: 0,
+                witness: String::new(),
+            });
+        row.executions += executions;
+        row.necessary += necessary;
+        if row.witness.is_empty() {
+            row.witness = witness;
+        }
+    }
+    Ok(by_site.into_values().collect())
 }
 
 /// One parsed site from an NDJSON ledger: just what the diff needs.
@@ -349,6 +436,56 @@ mod tests {
         let new = parse_ledger(&joined.to_ndjson()).unwrap();
         let d = diff_ledgers(&old, &new);
         assert!(d.is_empty(), "{d}");
+    }
+
+    #[test]
+    fn oracle_sites_parse_aggregate_and_render_in_explain() {
+        let p = sample_program();
+        let mut ledger = build_ledger(&p, OptMode::Full, 100, false).unwrap();
+        let kept = ledger
+            .records
+            .iter()
+            .find(|r| r.verdict == Verdict::Keep)
+            .cloned()
+            .unwrap();
+        // The same site reported under two workloads: counts sum, the
+        // first non-empty witness sticks.
+        let ndjson = format!(
+            "{{\"record\":\"workload\",\"workload\":\"a\"}}\n\
+             {{\"record\":\"site\",\"workload\":\"a\",\"site\":\"{m}@B{b}[{i}]\",\
+               \"executions\":300,\"necessary\":0,\"witness\":\"\"}}\n\
+             {{\"record\":\"site\",\"workload\":\"b\",\"site\":\"{m}@B{b}[{i}]\",\
+               \"executions\":100,\"necessary\":0,\
+               \"witness\":\"receiver thread-local in 100 executions\"}}\n",
+            m = kept.method,
+            b = kept.block,
+            i = kept.index
+        );
+        let rows = parse_oracle_sites(&ndjson).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].executions, 400);
+        assert_eq!(rows[0].witness, "receiver thread-local in 100 executions");
+        let joined = ledger.join_oracle(rows.iter().map(|r| {
+            (
+                r.method.as_str(),
+                r.block,
+                r.index,
+                r.executions,
+                r.necessary,
+                r.witness.as_str(),
+            )
+        }));
+        assert_eq!(joined, 1);
+        let text = explain(&ledger, None, None);
+        assert!(
+            text.contains("oracle: 0/400 kept executions necessary (0.000%)"),
+            "{text}"
+        );
+        assert!(
+            text.contains("refuting witness: receiver thread-local in 100 executions"),
+            "{text}"
+        );
+        assert!(parse_oracle_sites("{\"record\":\"site\",\"site\":\"oops\"}").is_err());
     }
 
     #[test]

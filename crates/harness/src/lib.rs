@@ -43,6 +43,7 @@ pub mod fig2;
 pub mod fig3;
 pub mod ledger;
 pub mod mcheck;
+pub mod oracle;
 pub mod pause;
 pub mod profile;
 pub mod rearrange_exp;

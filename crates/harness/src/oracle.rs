@@ -1,0 +1,771 @@
+//! The elision-headroom observatory: joins the runtime necessity
+//! oracle ([`wbe_interp::oracle`]) with the static provenance ledger.
+//!
+//! The static ledger says *why* each barrier stayed (PR 5); the cost
+//! profiler says *what it costs* (PR 6). This third plane says *whether
+//! it was ever needed*: every kept-barrier execution carries a
+//! necessity verdict (necessary, or vacuous by marking-idle / null-old
+//! / already-marked / duplicate), and every necessary enqueue is
+//! audited against snapshot reachability at the remark rendezvous.
+//! Joining verdicts against keep-codes on `(method, block, index)`
+//! yields:
+//!
+//! * a per-site **necessity rate** next to the static keep-code;
+//! * the suite-wide **dynamic-upper-bound elision rate** — the fraction
+//!   of barrier executions a *perfect* analysis could have elided on
+//!   these executions (statically elided executions plus every kept
+//!   execution at a never-necessary site) — against the frozen static
+//!   25.770%;
+//! * a ranked **worklist** of never-necessary kept sites, each
+//!   annotated with the runtime witness refuting its keep-code
+//!   (receiver observed thread-local, pre-value observed always null,
+//!   or the dominant vacuity class) — the target list for the
+//!   interprocedural-precision roadmap item.
+//!
+//! Determinism: workloads run under the same pinned GC policy and scale
+//! as the baseline gate, all aggregation goes through ordered maps, and
+//! the NDJSON carries no timestamps and no engine name — `--engine
+//! classic` and `--engine compiled` must produce byte-identical bytes
+//! (CI diffs them), which folds the engine-equivalence claim into the
+//! oracle's own output.
+
+use std::collections::BTreeMap;
+
+use wbe_heap::gc::MarkStyle;
+use wbe_interp::{BarrierConfig, BarrierMode, EngineKind, GcPolicy, StoreKind, Value};
+use wbe_opt::{OptMode, PipelineConfig};
+use wbe_telemetry::json::ObjWriter;
+
+use crate::runner::compile_workload_with;
+
+/// The frozen suite-wide *static* elision rate (percent) the dynamic
+/// upper bound is reported against — `pct_elided` in
+/// `baselines/suite.ndjson`, unchanged since PR 1.
+pub const STATIC_ELISION_PCT: f64 = 25.770;
+
+/// Oracle run configuration (mirrors the `wbe_tool oracle` flags).
+#[derive(Clone, Debug)]
+pub struct OracleOptions {
+    /// Workloads to run (empty = standard suite + server family, the
+    /// same set the baseline gate measures).
+    pub workloads: Vec<String>,
+    /// Which engine executes the workloads.
+    pub engine: EngineKind,
+    /// Iteration scale (same meaning as the baseline gate's scale).
+    pub scale: f64,
+    /// Maximum ranked worklist rows to emit.
+    pub top: usize,
+}
+
+impl Default for OracleOptions {
+    fn default() -> Self {
+        OracleOptions {
+            workloads: Vec::new(),
+            engine: EngineKind::Classic,
+            scale: crate::baselines::SCALE,
+            top: 10,
+        }
+    }
+}
+
+/// One kept site's joined static + dynamic record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SiteOracleRow {
+    /// Stable site identity (`method@B<block>[<index>]`).
+    pub site: String,
+    /// `"field"` or `"array"`.
+    pub kind: &'static str,
+    /// The static keep-code blocking elision at this site.
+    pub keep_code: String,
+    /// Kept-barrier executions witnessed.
+    pub executions: u64,
+    /// Executions whose SATB enqueue was semantically necessary.
+    pub necessary: u64,
+    /// Vacuous: marking idle.
+    pub marking_idle: u64,
+    /// Vacuous: null old value.
+    pub null_old: u64,
+    /// Vacuous: old value already marked.
+    pub already_marked: u64,
+    /// Vacuous: old value already pending in the SATB log.
+    pub duplicate: u64,
+    /// Necessary enqueues that were the sole snapshot witness.
+    pub sole_witness: u64,
+    /// Necessary enqueues still root-reachable at remark.
+    pub shielded: u64,
+    /// Executions whose pre-value was null (all executions, not just
+    /// those during marking — the interpreter's per-site counter).
+    pub pre_null: u64,
+    /// Executions whose receiver had already escaped its allocating
+    /// logical thread.
+    pub receiver_escaped: u64,
+    /// The refuting witness for never-necessary sites (empty when some
+    /// execution was necessary).
+    pub witness: String,
+}
+
+impl SiteOracleRow {
+    /// True if no execution ever needed this site's enqueue.
+    #[must_use]
+    pub fn never_necessary(&self) -> bool {
+        self.executions > 0 && self.necessary == 0
+    }
+}
+
+/// One ranked worklist entry: a never-necessary kept site and the
+/// runtime witness refuting its keep-code.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WorklistRow {
+    /// Workload the evidence comes from.
+    pub workload: String,
+    /// Site identity.
+    pub site: String,
+    /// The static keep-code the witness refutes.
+    pub keep_code: String,
+    /// Kept executions wasted at this site.
+    pub executions: u64,
+    /// The refuting witness, rendered.
+    pub witness: String,
+}
+
+/// The oracle's view of one workload run.
+#[derive(Clone, Debug)]
+pub struct WorkloadOracle {
+    /// Workload name.
+    pub workload: String,
+    /// Whether this workload feeds the headline rates (the six Table 1
+    /// mimics do; server-family rows ride along without moving the
+    /// frozen static number, exactly as in the baseline gate).
+    pub headline: bool,
+    /// Total dynamic barrier executions (kept + elided).
+    pub total_executions: u64,
+    /// Executions at statically elided sites.
+    pub elided_executions: u64,
+    /// Executions at kept sites (all witnessed by the oracle).
+    pub kept_executions: u64,
+    /// Of those, semantically necessary enqueues.
+    pub necessary_executions: u64,
+    /// Kept executions at never-necessary sites — elidable by a
+    /// perfect analysis on these executions.
+    pub never_necessary_executions: u64,
+    /// Never-necessary kept sites.
+    pub never_necessary_sites: u64,
+    /// Per-site joined rows, in deterministic site order.
+    pub sites: Vec<SiteOracleRow>,
+    /// Marking cycles the oracle audited at their remark.
+    pub cycles_audited: u64,
+    /// Necessary-enqueued refs found live-but-unmarked after remark
+    /// (zero unless fault injection corrupted a cycle).
+    pub audit_violations: u64,
+    /// Objects the witness table saw allocated.
+    pub allocated_objects: u64,
+    /// Of those, objects that ever escaped their allocating thread.
+    pub escaped_objects: u64,
+}
+
+/// The whole oracle run: per-workload results plus suite rollups.
+#[derive(Clone, Debug)]
+pub struct SuiteOracle {
+    /// Engine that produced the run (reported in text output only —
+    /// NDJSON omits it so both engines' bytes can be diffed).
+    pub engine: &'static str,
+    /// One result per workload, in run order.
+    pub workloads: Vec<WorkloadOracle>,
+    /// Headline totals (Table 1 workloads only, unless explicit
+    /// workloads were requested).
+    pub total_executions: u64,
+    /// Headline executions at elided sites.
+    pub elided_executions: u64,
+    /// Headline executions at kept sites.
+    pub kept_executions: u64,
+    /// Headline necessary enqueues.
+    pub necessary_executions: u64,
+    /// Headline kept executions at never-necessary sites.
+    pub never_necessary_executions: u64,
+    /// Ranked worklist of never-necessary kept sites (all workloads),
+    /// at most `top` rows.
+    pub worklist: Vec<WorklistRow>,
+    /// Never-necessary kept sites across all workloads.
+    pub never_necessary_sites: u64,
+}
+
+impl SuiteOracle {
+    /// The measured static elision rate (percent) of the headline
+    /// workloads — should reproduce [`STATIC_ELISION_PCT`] on the
+    /// default set.
+    #[must_use]
+    pub fn static_rate(&self) -> f64 {
+        pct(self.elided_executions, self.total_executions)
+    }
+
+    /// The dynamic-upper-bound elision rate (percent): executions a
+    /// perfect analysis could have elided on these runs.
+    #[must_use]
+    pub fn dynamic_rate(&self) -> f64 {
+        pct(
+            self.elided_executions + self.never_necessary_executions,
+            self.total_executions,
+        )
+    }
+
+    /// Measured headroom (points) between the upper bound and the
+    /// static rate.
+    #[must_use]
+    pub fn headroom_points(&self) -> f64 {
+        self.dynamic_rate() - self.static_rate()
+    }
+}
+
+fn pct(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        100.0 * num as f64 / den as f64
+    }
+}
+
+/// Runs the oracle over the requested workloads. `Err` names an
+/// unknown workload or a trapped run.
+pub fn measure(opts: &OracleOptions) -> Result<SuiteOracle, String> {
+    let _guard = crate::registry_lock();
+    wbe_telemetry::configure(wbe_telemetry::TelemetryConfig {
+        metrics: true,
+        tracing: wbe_telemetry::tracing_enabled(),
+    });
+    // (workload, feeds-the-headline-rates) pairs: the default set is
+    // the baseline gate's — six Table 1 mimics feeding the rates, the
+    // server family riding along.
+    let workloads: Vec<(wbe_workloads::Workload, bool)> = if opts.workloads.is_empty() {
+        wbe_workloads::standard_suite()
+            .into_iter()
+            .map(|w| (w, true))
+            .chain(
+                wbe_workloads::server_family()
+                    .into_iter()
+                    .map(|w| (w, false)),
+            )
+            .collect()
+    } else {
+        opts.workloads
+            .iter()
+            .map(|n| {
+                wbe_workloads::by_name(n)
+                    .map(|w| (w, true))
+                    .ok_or_else(|| format!("unknown workload '{n}'"))
+            })
+            .collect::<Result<_, _>>()?
+    };
+
+    let mut results = Vec::new();
+    for (w, headline) in &workloads {
+        results.push(oracle_workload(w, *headline, opts.engine, opts.scale)?);
+    }
+
+    // The ranked worklist: never-necessary sites from every workload,
+    // most wasted executions first (tie: workload, then site).
+    let mut worklist: Vec<WorklistRow> = results
+        .iter()
+        .flat_map(|r| {
+            r.sites
+                .iter()
+                .filter(|s| s.never_necessary())
+                .map(|s| WorklistRow {
+                    workload: r.workload.clone(),
+                    site: s.site.clone(),
+                    keep_code: s.keep_code.clone(),
+                    executions: s.executions,
+                    witness: s.witness.clone(),
+                })
+        })
+        .collect();
+    let never_necessary_sites = worklist.len() as u64;
+    worklist.sort_by(|a, b| {
+        b.executions
+            .cmp(&a.executions)
+            .then_with(|| a.workload.cmp(&b.workload))
+            .then_with(|| a.site.cmp(&b.site))
+    });
+    worklist.truncate(opts.top);
+
+    let headline = |f: &dyn Fn(&WorkloadOracle) -> u64| -> u64 {
+        results.iter().filter(|r| r.headline).map(f).sum()
+    };
+    Ok(SuiteOracle {
+        engine: opts.engine.name(),
+        total_executions: headline(&|r| r.total_executions),
+        elided_executions: headline(&|r| r.elided_executions),
+        kept_executions: headline(&|r| r.kept_executions),
+        necessary_executions: headline(&|r| r.necessary_executions),
+        never_necessary_executions: headline(&|r| r.never_necessary_executions),
+        worklist,
+        never_necessary_sites,
+        workloads: results,
+    })
+}
+
+/// Renders the refuting witness for a never-necessary kept site.
+/// Escape-based keep-codes are refuted by observed thread-locality,
+/// nullness-based codes by observed all-null pre-values; otherwise the
+/// dominant vacuity class is the evidence.
+fn refuting_witness(row: &SiteOracleRow, dominant: &str) -> String {
+    let escape_code = row.keep_code.contains("escape") || row.keep_code.contains("unknown");
+    if escape_code && row.receiver_escaped == 0 {
+        let what = if row.kind == "array" {
+            "array"
+        } else {
+            "receiver"
+        };
+        return format!("{what} thread-local in all {} executions", row.executions);
+    }
+    if row.keep_code.contains("non-null") && row.pre_null == row.executions {
+        return format!("pre-value null in all {} executions", row.executions);
+    }
+    format!(
+        "enqueue vacuous in all {} executions (dominant: {dominant})",
+        row.executions
+    )
+}
+
+fn oracle_workload(
+    w: &wbe_workloads::Workload,
+    headline: bool,
+    engine: EngineKind,
+    scale: f64,
+) -> Result<WorkloadOracle, String> {
+    wbe_telemetry::registry::global().reset();
+    let cfg = PipelineConfig::new(OptMode::Full, 100).with_ledger();
+    let (compiled, elided) = compile_workload_with(w, &cfg);
+    let ledger = compiled.ledger.as_ref().expect("full mode builds a ledger");
+    let ledger_index = ledger.index();
+    let iters = ((w.default_iters as f64 * scale) as i64).max(8);
+    let bc = BarrierConfig::with_elision(BarrierMode::Checked, elided.clone());
+    let mut eng = engine.build(&compiled.program, bc, MarkStyle::Satb);
+    eng.set_oracle(true);
+    eng.set_gc_policy(GcPolicy {
+        alloc_trigger: 400,
+        step_interval: 32,
+        step_budget: 4,
+    });
+    eng.run(w.entry, &[Value::Int(iters)], w.fuel_for(iters))
+        .map_err(|t| format!("workload {} trapped: {t}", w.name))?;
+
+    // Per-site dynamic counters keyed like the oracle's SiteKey, for
+    // the pre-null join.
+    let mut dyn_stats: BTreeMap<(u64, u32, u32), (u64, u64)> = BTreeMap::new();
+    let mut elided_executions = 0u64;
+    for (&(mid, addr, _), stats) in eng.stats().barrier.iter() {
+        if elided.contains(mid, addr) {
+            elided_executions += stats.executions;
+            continue;
+        }
+        let key = (u64::from(mid.0), addr.block.0, addr.index as u32);
+        let e = dyn_stats.entry(key).or_insert((0, 0));
+        e.0 += stats.executions;
+        e.1 += stats.pre_null;
+    }
+
+    let oracle = eng.oracle().expect("oracle was enabled");
+    let mut sites = Vec::new();
+    let mut necessary_executions = 0u64;
+    let mut never_necessary_executions = 0u64;
+    let mut never_necessary_sites = 0u64;
+    let mut kept_witnessed = 0u64;
+    for (&key, sn) in &oracle.sites {
+        let mid = wbe_ir::MethodId(key.0 as u32);
+        let method = compiled.program.method(mid).name.as_str();
+        let (block, index) = (key.1 as usize, key.2 as usize);
+        let keep_code = ledger_index
+            .get(&(method, block, index))
+            .filter(|rec| !rec.keep_code.is_empty())
+            .map_or_else(
+                || crate::profile::UNATTRIBUTED.to_string(),
+                |rec| rec.keep_code.clone(),
+            );
+        let (_, pre_null) = dyn_stats.get(&key).copied().unwrap_or((0, 0));
+        let mut row = SiteOracleRow {
+            site: format!("{method}@B{block}[{index}]"),
+            kind: match sn.kind {
+                Some(StoreKind::Array) => "array",
+                _ => "field",
+            },
+            keep_code,
+            executions: sn.executions,
+            necessary: sn.necessary,
+            marking_idle: sn.marking_idle,
+            null_old: sn.null_old,
+            already_marked: sn.already_marked,
+            duplicate: sn.duplicate,
+            sole_witness: sn.sole_witness,
+            shielded: sn.shielded,
+            pre_null,
+            receiver_escaped: sn.receiver_escaped,
+            witness: String::new(),
+        };
+        kept_witnessed += sn.executions;
+        necessary_executions += sn.necessary;
+        if row.never_necessary() {
+            never_necessary_sites += 1;
+            never_necessary_executions += sn.executions;
+            row.witness = refuting_witness(&row, sn.dominant());
+        }
+        sites.push(row);
+    }
+
+    let (total_executions, _) = eng.stats().barrier.totals();
+    let kept_executions = total_executions - elided_executions;
+    debug_assert_eq!(
+        kept_executions, kept_witnessed,
+        "{}: every kept execution must carry a verdict",
+        w.name
+    );
+    let witness = eng
+        .heap()
+        .witness
+        .as_ref()
+        .expect("oracle enables witnesses");
+    // Sole/shielded are assigned at each cycle's remark audit, so a run
+    // that ends inside an open marking cycle leaves that cycle's
+    // necessary enqueues unaudited: sole + shielded ≤ necessary, with
+    // equality when the last cycle closed before the run did.
+    let (oracle_sole, oracle_shielded) = sites
+        .iter()
+        .fold((0, 0), |(s, h), r| (s + r.sole_witness, h + r.shielded));
+    debug_assert!(oracle_sole + oracle_shielded <= necessary_executions);
+    Ok(WorkloadOracle {
+        workload: w.name.to_string(),
+        headline,
+        total_executions,
+        elided_executions,
+        kept_executions,
+        necessary_executions,
+        never_necessary_executions,
+        never_necessary_sites,
+        sites,
+        cycles_audited: oracle.cycles_audited,
+        audit_violations: oracle.audit_violations,
+        allocated_objects: witness.allocated_objects(),
+        escaped_objects: witness.escaped_objects(),
+    })
+}
+
+/// Renders the run as NDJSON: per-workload summary + site rows (run
+/// order), then the ranked worklist, then the closing `suite` line.
+/// Deliberately engine-free and timestamp-free: classic and compiled
+/// runs of the same seed must be byte-identical.
+pub fn to_ndjson(o: &SuiteOracle) -> String {
+    let mut out = String::new();
+    let mut line = |f: &dyn Fn(&mut ObjWriter<'_>)| {
+        let mut s = String::new();
+        let mut w = ObjWriter::new(&mut s);
+        f(&mut w);
+        w.finish();
+        out.push_str(&s);
+        out.push('\n');
+    };
+    for wo in &o.workloads {
+        line(&|w| {
+            w.field_str("record", "workload")
+                .field_str("workload", &wo.workload)
+                .field_bool("headline", wo.headline)
+                .field_u64("total_executions", wo.total_executions)
+                .field_u64("elided_executions", wo.elided_executions)
+                .field_u64("kept_executions", wo.kept_executions)
+                .field_u64("necessary_executions", wo.necessary_executions)
+                .field_u64("never_necessary_executions", wo.never_necessary_executions)
+                .field_u64("never_necessary_sites", wo.never_necessary_sites)
+                .field_u64("cycles_audited", wo.cycles_audited)
+                .field_u64("audit_violations", wo.audit_violations)
+                .field_u64("allocated_objects", wo.allocated_objects)
+                .field_u64("escaped_objects", wo.escaped_objects);
+        });
+        for s in &wo.sites {
+            line(&|w| {
+                w.field_str("record", "site")
+                    .field_str("workload", &wo.workload)
+                    .field_str("site", &s.site)
+                    .field_str("kind", s.kind)
+                    .field_str("keep_code", &s.keep_code)
+                    .field_u64("executions", s.executions)
+                    .field_u64("necessary", s.necessary)
+                    .field_raw(
+                        "necessity_pct",
+                        &format!("{:.3}", pct(s.necessary, s.executions)),
+                    )
+                    .field_u64("marking_idle", s.marking_idle)
+                    .field_u64("null_old", s.null_old)
+                    .field_u64("already_marked", s.already_marked)
+                    .field_u64("duplicate", s.duplicate)
+                    .field_u64("sole_witness", s.sole_witness)
+                    .field_u64("shielded", s.shielded)
+                    .field_u64("pre_null", s.pre_null)
+                    .field_u64("receiver_escaped", s.receiver_escaped)
+                    .field_bool("never_necessary", s.never_necessary())
+                    .field_str("witness", &s.witness);
+            });
+        }
+    }
+    for (rank, r) in o.worklist.iter().enumerate() {
+        line(&|w| {
+            w.field_str("record", "worklist")
+                .field_u64("rank", rank as u64 + 1)
+                .field_str("workload", &r.workload)
+                .field_str("site", &r.site)
+                .field_str("keep_code", &r.keep_code)
+                .field_u64("executions", r.executions)
+                .field_str("witness", &r.witness);
+        });
+    }
+    line(&|w| {
+        w.field_str("record", "suite")
+            .field_u64("total_executions", o.total_executions)
+            .field_u64("elided_executions", o.elided_executions)
+            .field_u64("kept_executions", o.kept_executions)
+            .field_u64("necessary_executions", o.necessary_executions)
+            .field_u64("never_necessary_executions", o.never_necessary_executions)
+            .field_u64("never_necessary_sites", o.never_necessary_sites)
+            .field_raw("static_elision_pct", &format!("{:.3}", o.static_rate()))
+            .field_raw(
+                "dynamic_upper_bound_pct",
+                &format!("{:.3}", o.dynamic_rate()),
+            )
+            .field_raw("headroom_points", &format!("{:.3}", o.headroom_points()));
+    });
+    out
+}
+
+/// Renders the run as a human-readable report.
+pub fn to_text(o: &SuiteOracle) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "barrier-necessity oracle ({} engine)", o.engine);
+    for wo in &o.workloads {
+        let _ = writeln!(
+            out,
+            "{}: {} executions ({} elided, {} kept), {} necessary, \
+             {} never-necessary sites ({} executions), {} cycles audited{}",
+            wo.workload,
+            wo.total_executions,
+            wo.elided_executions,
+            wo.kept_executions,
+            wo.necessary_executions,
+            wo.never_necessary_sites,
+            wo.never_necessary_executions,
+            wo.cycles_audited,
+            if wo.audit_violations > 0 {
+                format!(", {} AUDIT VIOLATIONS", wo.audit_violations)
+            } else {
+                String::new()
+            }
+        );
+        let _ = writeln!(
+            out,
+            "  witnesses: {}/{} objects escaped their allocating thread",
+            wo.escaped_objects, wo.allocated_objects
+        );
+        for s in wo.sites.iter().filter(|s| s.necessary > 0) {
+            let _ = writeln!(
+                out,
+                "  {:<44} {:<24} {:>8} execs {:>6.3}% necessary ({} sole, {} shielded)",
+                s.site,
+                s.keep_code,
+                s.executions,
+                pct(s.necessary, s.executions),
+                s.sole_witness,
+                s.shielded
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "suite: {} executions, {} elided, {} kept, {} necessary",
+        o.total_executions, o.elided_executions, o.kept_executions, o.necessary_executions
+    );
+    let _ = writeln!(
+        out,
+        "  static elision rate:       {:>7.3}% (frozen baseline {STATIC_ELISION_PCT:.3}%)",
+        o.static_rate()
+    );
+    let _ = writeln!(
+        out,
+        "  dynamic upper bound:       {:>7.3}% (+{:.3} points of measured headroom)",
+        o.dynamic_rate(),
+        o.headroom_points()
+    );
+    let _ = writeln!(
+        out,
+        "  never-necessary kept sites: {} (worklist below)",
+        o.never_necessary_sites
+    );
+    for (rank, r) in o.worklist.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  #{:<2} {:<10} {:<44} {:<24} {:>8} execs — {}",
+            rank + 1,
+            r.workload,
+            r.site,
+            r.keep_code,
+            r.executions,
+            r.witness
+        );
+    }
+    out
+}
+
+/// The `wbe_tool oracle` driver: measures, renders, and writes or
+/// prints the result. Returns the process exit code (0 report
+/// produced, 2 configuration/run error).
+pub fn run_oracle(opts: &OracleOptions, ndjson: bool, out_path: Option<&str>) -> i32 {
+    let suite = match measure(opts) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("oracle: {e}");
+            return 2;
+        }
+    };
+    let body = if ndjson {
+        to_ndjson(&suite)
+    } else {
+        to_text(&suite)
+    };
+    match out_path {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &body) {
+                eprintln!("cannot write {path}: {e}");
+                return 2;
+            }
+            eprintln!("oracle report written to {path}");
+        }
+        None => print!("{body}"),
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_opts() -> OracleOptions {
+        OracleOptions {
+            scale: 0.05,
+            ..OracleOptions::default()
+        }
+    }
+
+    #[test]
+    fn every_kept_execution_carries_a_verdict() {
+        let o = measure(&small_opts()).unwrap();
+        assert_eq!(o.workloads.len(), 8, "six Table 1 mimics + server family");
+        for wo in &o.workloads {
+            let site_execs: u64 = wo.sites.iter().map(|s| s.executions).sum();
+            assert_eq!(site_execs, wo.kept_executions, "{}", wo.workload);
+            assert_eq!(
+                wo.kept_executions + wo.elided_executions,
+                wo.total_executions,
+                "{}",
+                wo.workload
+            );
+            let verdicts: u64 = wo
+                .sites
+                .iter()
+                .map(|s| s.necessary + s.marking_idle + s.null_old + s.already_marked + s.duplicate)
+                .sum();
+            assert_eq!(verdicts, wo.kept_executions, "{}", wo.workload);
+            assert_eq!(wo.audit_violations, 0, "{}", wo.workload);
+            assert!(
+                !wo.sites
+                    .iter()
+                    .any(|s| s.keep_code == crate::profile::UNATTRIBUTED),
+                "{}: verdicts lost ledger provenance",
+                wo.workload
+            );
+        }
+    }
+
+    #[test]
+    fn dynamic_upper_bound_exceeds_the_frozen_static_rate() {
+        let o = measure(&OracleOptions::default()).unwrap();
+        // The measured static rate reproduces the frozen headline.
+        assert!(
+            (o.static_rate() - STATIC_ELISION_PCT).abs() < 0.5,
+            "measured static rate {:.3} drifted from the frozen {STATIC_ELISION_PCT}",
+            o.static_rate()
+        );
+        assert!(
+            o.dynamic_rate() > STATIC_ELISION_PCT,
+            "dynamic upper bound {:.3} must exceed the static rate",
+            o.dynamic_rate()
+        );
+        assert!(!o.worklist.is_empty(), "worklist must be non-empty");
+        assert!(
+            o.worklist
+                .iter()
+                .any(|r| r.keep_code == "receiver-may-escape" || r.keep_code == "array-may-escape"),
+            "worklist must name escape-kept sites: {:?}",
+            o.worklist
+        );
+        for r in &o.worklist {
+            assert!(
+                !r.witness.is_empty(),
+                "{}: worklist rows carry evidence",
+                r.site
+            );
+        }
+    }
+
+    #[test]
+    fn ndjson_is_deterministic_and_engine_independent() {
+        let mut opts = small_opts();
+        opts.workloads = vec!["jbb".into(), "jess".into()];
+        let classic = to_ndjson(&measure(&opts).unwrap());
+        let classic2 = to_ndjson(&measure(&opts).unwrap());
+        assert_eq!(classic, classic2, "oracle NDJSON must be deterministic");
+        opts.engine = EngineKind::Compiled;
+        let compiled = to_ndjson(&measure(&opts).unwrap());
+        assert_eq!(
+            classic, compiled,
+            "classic and compiled engines must produce byte-identical verdicts"
+        );
+        let mut kinds = std::collections::BTreeSet::new();
+        for l in classic.lines() {
+            let v = wbe_telemetry::json::parse(l).expect("valid JSON");
+            kinds.insert(v.get("record").unwrap().as_str().unwrap().to_string());
+        }
+        for k in ["workload", "site", "worklist", "suite"] {
+            assert!(kinds.contains(k), "missing record kind {k}");
+        }
+    }
+
+    #[test]
+    fn necessary_enqueues_split_into_sole_and_shielded() {
+        // jbb allocates enough to run real marking cycles at small
+        // scale, so some barriers fire mid-cycle.
+        let mut opts = small_opts();
+        opts.workloads = vec!["jbb".into()];
+        let o = measure(&opts).unwrap();
+        let wo = &o.workloads[0];
+        assert!(wo.cycles_audited > 0, "jbb must run marking cycles");
+        let (mut audited, mut necessary) = (0u64, 0u64);
+        for s in &wo.sites {
+            assert!(
+                s.sole_witness + s.shielded <= s.necessary,
+                "{}: audited enqueues cannot exceed necessary ones",
+                s.site
+            );
+            audited += s.sole_witness + s.shielded;
+            necessary += s.necessary;
+        }
+        assert!(
+            necessary == 0 || audited > 0,
+            "with marking cycles closing, some necessary enqueues get audited"
+        );
+    }
+
+    #[test]
+    fn unknown_workload_is_an_error() {
+        let opts = OracleOptions {
+            workloads: vec!["nope".into()],
+            ..OracleOptions::default()
+        };
+        assert!(measure(&opts).is_err());
+    }
+}

@@ -37,6 +37,10 @@ pub struct PauseRow {
     pub p50_pause: u64,
     /// 99th-percentile remark pause (work units, histogram estimate).
     pub p99_pause: u64,
+    /// 99.9th-percentile remark pause (work units, histogram estimate).
+    pub p999_pause: u64,
+    /// Pause samples behind the percentile estimates (one per remark).
+    pub samples: u64,
     /// Max remark pause (work units).
     pub max_pause: usize,
 }
@@ -91,6 +95,8 @@ pub fn run(scale: f64) -> PauseReport {
             },
             p50_pause: hist.quantile(0.50),
             p99_pause: hist.quantile(0.99),
+            p999_pause: hist.quantile(0.999),
+            samples: hist.count,
             max_pause: hist.max as usize,
         });
     }
@@ -101,14 +107,21 @@ impl fmt::Display for PauseReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "{:<20} {:>7} {:>12} {:>7} {:>7} {:>11}",
-            "marker style", "cycles", "mean pause", "p50", "p99", "max pause"
+            "{:<20} {:>7} {:>7} {:>12} {:>7} {:>7} {:>7} {:>11}",
+            "marker style", "cycles", "samples", "mean pause", "p50", "p99", "p99.9", "max pause"
         )?;
         for r in &self.rows {
             writeln!(
                 f,
-                "{:<20} {:>7} {:>12.1} {:>7} {:>7} {:>11}",
-                r.style, r.cycles, r.mean_pause, r.p50_pause, r.p99_pause, r.max_pause
+                "{:<20} {:>7} {:>7} {:>12.1} {:>7} {:>7} {:>7} {:>11}",
+                r.style,
+                r.cycles,
+                r.samples,
+                r.mean_pause,
+                r.p50_pause,
+                r.p99_pause,
+                r.p999_pause,
+                r.max_pause
             )?;
         }
         writeln!(f, "incremental/satb mean-pause ratio: {:.1}x", self.ratio())

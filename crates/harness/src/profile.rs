@@ -120,6 +120,8 @@ pub struct PhasePercentiles {
     pub p90: u64,
     /// 99th percentile.
     pub p99: u64,
+    /// 99.9th percentile (equals max until a phase has ≥1000 pauses).
+    pub p999: u64,
     /// Largest pause.
     pub max: u64,
 }
@@ -233,6 +235,7 @@ fn percentiles(phase: &'static str, stw: bool, h: &HistogramSnapshot) -> PhasePe
         p50: h.quantile(0.50),
         p90: h.quantile(0.90),
         p99: h.quantile(0.99),
+        p999: h.quantile(0.999),
         max: h.max,
     }
 }
@@ -524,9 +527,11 @@ fn emit_phase(w: &mut ObjWriter<'_>, workload: &str, ph: &PhasePercentiles) {
         .field_str("phase", ph.phase)
         .field_bool("stw", ph.stw)
         .field_u64("count", ph.count)
+        .field_u64("samples", ph.count)
         .field_u64("p50", ph.p50)
         .field_u64("p90", ph.p90)
         .field_u64("p99", ph.p99)
+        .field_u64("p999", ph.p999)
         .field_u64("max", ph.max);
 }
 
@@ -578,13 +583,14 @@ pub fn to_text(p: &SuiteProfile) -> String {
         for ph in &wp.phases {
             let _ = writeln!(
                 out,
-                "    {:<13}{} count {:>6}  p50 {:>6}  p90 {:>6}  p99 {:>6}  max {:>6}",
+                "    {:<13}{} count {:>6}  p50 {:>6}  p90 {:>6}  p99 {:>6}  p99.9 {:>6}  max {:>6}",
                 ph.phase,
                 if ph.stw { " [STW]" } else { "      " },
                 ph.count,
                 ph.p50,
                 ph.p90,
                 ph.p99,
+                ph.p999,
                 ph.max
             );
         }
@@ -610,13 +616,14 @@ pub fn to_text(p: &SuiteProfile) -> String {
     for ph in &p.phases {
         let _ = writeln!(
             out,
-            "    {:<13}{} count {:>6}  p50 {:>6}  p90 {:>6}  p99 {:>6}  max {:>6}",
+            "    {:<13}{} count {:>6}  p50 {:>6}  p90 {:>6}  p99 {:>6}  p99.9 {:>6}  max {:>6}",
             ph.phase,
             if ph.stw { " [STW]" } else { "      " },
             ph.count,
             ph.p50,
             ph.p90,
             ph.p99,
+            ph.p999,
             ph.max
         );
     }

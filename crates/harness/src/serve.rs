@@ -136,6 +136,8 @@ pub struct LatencyProfile {
     pub p90: u64,
     /// 99th percentile.
     pub p99: u64,
+    /// 99.9th percentile (equals max below 1000 completed requests).
+    pub p999: u64,
     /// Worst request.
     pub max: u64,
 }
@@ -148,6 +150,7 @@ impl LatencyProfile {
             p50: snap.quantile(0.50),
             p90: snap.quantile(0.90),
             p99: snap.quantile(0.99),
+            p999: snap.quantile(0.999),
             max: snap.max,
         }
     }
@@ -220,7 +223,9 @@ impl ServeReport {
             .field_u64("latency_p50", self.latency.p50)
             .field_u64("latency_p90", self.latency.p90)
             .field_u64("latency_p99", self.latency.p99)
+            .field_u64("latency_p999", self.latency.p999)
             .field_u64("latency_max", self.latency.max)
+            .field_u64("latency_samples", self.latency.count)
             .field_u64("gc_cycles", c.cycles)
             .field_u64("emergency_stw", c.emergency_stw)
             .field_u64("throttle_stalls", c.throttle_stalls)
@@ -261,11 +266,12 @@ impl ServeReport {
         );
         let _ = writeln!(
             out,
-            "  latency (steps): p50={} p90={} p99={} max={} over {} requests \
+            "  latency (steps): p50={} p90={} p99={} p999={} max={} over {} requests \
              ({} overlapped a pause)",
             self.latency.p50,
             self.latency.p90,
             self.latency.p99,
+            self.latency.p999,
             self.latency.max,
             self.latency.count,
             c.stw_overlapped

@@ -358,6 +358,16 @@ impl GcState {
         !self.grey.is_empty() || !self.satb_buf.is_empty()
     }
 
+    /// True if `r` sits in the undrained SATB log. A barrier enqueue of
+    /// an already-pending ref is a *duplicate*: dropping it would have
+    /// been harmless, since the earlier entry already guarantees the
+    /// snapshot obligation. The necessity oracle uses this to classify
+    /// vacuous enqueues; real barriers never bother checking (a linear
+    /// scan per store would defeat their purpose).
+    pub fn satb_pending(&self, r: GcRef) -> bool {
+        self.satb_buf.contains(&r)
+    }
+
     /// Incremental-update mutator barrier payload: record that `obj` was
     /// modified so the collector re-examines it.
     pub fn dirty(&mut self, obj: GcRef) {

@@ -6,6 +6,7 @@ use crate::fault::FaultPlan;
 use crate::gc::{GcState, MarkStyle};
 use crate::object::{HeapObject, ObjKind, TraceState};
 use crate::value::{FieldShape, GcRef, Value};
+use crate::witness::WitnessTable;
 
 /// Errors from heap accessors.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -170,6 +171,11 @@ pub struct Heap {
     /// Optional deterministic fault schedule. When present, allocations
     /// consult it and may fail with [`HeapError::AllocationFailed`].
     pub fault: Option<FaultPlan>,
+    /// Optional runtime witness side-table (see [`crate::witness`]).
+    /// When present, allocations and reference stores record escape
+    /// and provenance facts; absent (the default), every hook is a
+    /// single `Option` check.
+    pub witness: Option<WitnessTable>,
 }
 
 impl Heap {
@@ -181,6 +187,16 @@ impl Heap {
             statics: Vec::new(),
             stats: HeapStats::default(),
             fault: None,
+            witness: None,
+        }
+    }
+
+    /// Installs an empty [`WitnessTable`]; subsequent allocations and
+    /// reference stores are witnessed. Idempotent — an existing table
+    /// (and its accumulated facts) is kept.
+    pub fn enable_witnesses(&mut self) {
+        if self.witness.is_none() {
+            self.witness = Some(WitnessTable::new());
         }
     }
 
@@ -216,6 +232,9 @@ impl Heap {
             .statics
             .get_mut(i)
             .ok_or(HeapError::StaticOutOfRange(i))? = v;
+        if let (Some(w), Value::Ref(val)) = (self.witness.as_mut(), v) {
+            w.note_static_store(val);
+        }
         Ok(())
     }
 
@@ -271,10 +290,14 @@ impl Heap {
 
     fn finish_alloc(&mut self, obj: HeapObject) -> GcRef {
         let words = obj.size_words() as u64;
+        let tag = obj.class_tag;
         let r = self.store.insert(obj);
         self.stats.allocations += 1;
         self.stats.words_allocated += words;
         self.gc.on_allocate(r);
+        if let Some(w) = self.witness.as_mut() {
+            w.note_alloc(r, tag);
+        }
         r
     }
 
@@ -362,6 +385,12 @@ impl Heap {
                     .get_mut(offset)
                     .ok_or(HeapError::FieldOutOfRange { obj: r, offset })?;
                 *slot = v;
+                // Witness only reference stores (both engines funnel
+                // their reference-field writes through here; int writes
+                // take engine-specific paths and carry no escape fact).
+                if let (Some(w), Value::Ref(val)) = (self.witness.as_mut(), v) {
+                    w.note_ref_store(r, val);
+                }
                 Ok(())
             }
             _ => Err(HeapError::WrongKind(r)),
@@ -404,6 +433,9 @@ impl Heap {
                 let len = elems.len();
                 let i = Self::check_index(r, index, len)?;
                 elems[i] = v;
+                if let Some(w) = self.witness.as_mut() {
+                    w.note_ref_store(r, v);
+                }
                 Ok(())
             }
             _ => Err(HeapError::WrongKind(r)),

@@ -59,6 +59,7 @@ pub mod sched;
 pub mod threaded;
 pub mod value;
 pub mod verify;
+pub mod witness;
 
 pub use fault::{FaultConfig, FaultPlan, FaultStats};
 pub use heap::{Heap, HeapError, HeapStats, Store};
@@ -72,3 +73,4 @@ pub use recover::{RecoveryAction, RecoveryController, RecoveryPolicy, RecoverySt
 pub use safepoint::{EpochState, SatbBuffer, SnapshotBeforeAck};
 pub use sched::{Scenario, SchedConfig, SchedCounters, ScheduleOutcome, SchedulePolicy};
 pub use value::{FieldShape, GcRef, Value};
+pub use witness::{ClassWitness, WitnessTable};

@@ -507,6 +507,86 @@ mod tests {
     }
 
     #[test]
+    fn each_rung_engages_exactly_at_its_threshold() {
+        // One object below each threshold must NOT engage the rung;
+        // the exact threshold must. Budget 1000 keeps the percentage
+        // arithmetic exact (60% = 600 objects, no truncation).
+        let cases = [
+            (PressureLevel::Pacing, 60usize),
+            (PressureLevel::Throttling, 75),
+            (PressureLevel::Shedding, 85),
+            (PressureLevel::Emergency, 95),
+        ];
+        for (level, pct) in cases {
+            let threshold = pct * 10; // of budget 1000
+            let mut pc = PressureController::new(PressureConfig::with_budget(1000));
+            assert!(
+                pc.observe(threshold - 1) < level,
+                "{level}: {} must stay below",
+                threshold - 1
+            );
+            let mut pc = PressureController::new(PressureConfig::with_budget(1000));
+            assert_eq!(
+                pc.observe(threshold),
+                level,
+                "{level}: exact threshold {threshold} engages"
+            );
+            assert_eq!(pc.config().threshold(level), threshold);
+        }
+    }
+
+    #[test]
+    fn step_down_fires_exactly_one_object_past_the_hysteresis_margin() {
+        // Budget 1000, throttle threshold 750, hysteresis 50: the
+        // step-down condition is `occupancy + 50 < 750`, so 700 holds
+        // the rung and 699 releases it.
+        let mut pc = PressureController::new(PressureConfig::with_budget(1000));
+        pc.observe(750);
+        assert_eq!(pc.level(), PressureLevel::Throttling);
+        assert_eq!(
+            pc.observe(700),
+            PressureLevel::Throttling,
+            "at margin: hold"
+        );
+        assert_eq!(pc.stats.step_downs, 0);
+        assert_eq!(pc.observe(699), PressureLevel::Pacing, "past margin: down");
+        assert_eq!(pc.stats.step_downs, 1);
+    }
+
+    #[test]
+    fn cooldown_boundary_is_inclusive_and_reentry_restarts_it() {
+        let mut pc = PressureController::new(PressureConfig {
+            emergency_cooldown: 3,
+            ..PressureConfig::with_budget(100)
+        });
+        pc.observe(99);
+        pc.note_emergency_pause();
+        // Cooldown 3: due again exactly when 3 observations have passed
+        // since the pause, not one earlier.
+        pc.observe(99);
+        pc.observe(99);
+        assert!(!pc.emergency_pause_due(), "2 observations: still cooling");
+        pc.observe(99);
+        assert!(pc.emergency_pause_due(), "3 observations: due again");
+        // Taking the second pause restarts the window from zero.
+        pc.note_emergency_pause();
+        assert!(!pc.emergency_pause_due());
+        pc.observe(99);
+        pc.observe(99);
+        assert!(!pc.emergency_pause_due());
+        pc.observe(99);
+        assert!(pc.emergency_pause_due());
+        // Leaving the emergency rung also suppresses pauses regardless
+        // of the cooldown state.
+        for _ in 0..4 {
+            pc.observe(10);
+        }
+        assert!(pc.level() < PressureLevel::Emergency);
+        assert!(!pc.emergency_pause_due());
+        assert_eq!(pc.stats.emergency_pauses, 2);
+    }
+
+    #[test]
     fn actuator_notes_count() {
         let mut pc = ctl();
         pc.observe(76);

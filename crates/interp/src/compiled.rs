@@ -228,6 +228,18 @@ impl<'p> CompiledEngine<'p> {
         self.interp.pressure()
     }
 
+    /// Enables (or disables) the barrier-necessity oracle.
+    pub fn set_oracle(&mut self, on: bool) {
+        self.interp.set_oracle(on);
+    }
+
+    /// The oracle state, if enabled. No accumulator flush is needed:
+    /// oracle verdicts are recorded directly on the shared interpreter
+    /// at every hook, never batched like the site cycle counters.
+    pub fn oracle(&self) -> Option<&crate::oracle::OracleState> {
+        self.interp.oracle()
+    }
+
     /// Declares frame-arena allocation sites. Invalidates any already-
     /// translated code: the verdict is baked into `New` ops.
     pub fn set_stack_sites(&mut self, sites: impl IntoIterator<Item = wbe_ir::SiteId>) {
@@ -374,6 +386,8 @@ impl<'p> CompiledEngine<'p> {
                 self.interp.stats.barrier_cycles += c;
                 counts.cycles += c;
                 self.bump_site(mid, site, pre_null, c);
+                self.interp
+                    .oracle_note_kept(mid, at, kind, Some(receiver), old);
                 if marking {
                     if let Some(o) = old {
                         self.interp.heap.gc.satb_log(o);
@@ -386,6 +400,8 @@ impl<'p> CompiledEngine<'p> {
                 self.interp.stats.barrier_cycles += c;
                 counts.cycles += c;
                 self.bump_site(mid, site, pre_null, c);
+                self.interp
+                    .oracle_note_kept(mid, at, kind, Some(receiver), old);
                 if let Some(o) = old {
                     self.interp.heap.gc.satb_log(o);
                 }

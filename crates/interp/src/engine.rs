@@ -19,6 +19,7 @@ use wbe_ir::{MethodId, SiteId};
 
 use crate::compiled::CompiledEngine;
 use crate::machine::{GcPolicy, Interp, RunStats, Trap};
+use crate::oracle::OracleState;
 
 /// A mutator-execution engine over the shared heap/GC substrate.
 ///
@@ -66,6 +67,13 @@ pub trait Engine {
 
     /// Publishes statistics deltas to the telemetry registry.
     fn publish_metrics(&mut self);
+
+    /// Enables the barrier-necessity oracle (and the heap witness
+    /// table it reads). See [`crate::oracle`].
+    fn set_oracle(&mut self, on: bool);
+
+    /// The oracle state, if enabled.
+    fn oracle(&self) -> Option<&OracleState>;
 }
 
 impl Engine for Interp<'_> {
@@ -116,6 +124,14 @@ impl Engine for Interp<'_> {
     fn publish_metrics(&mut self) {
         Interp::publish_metrics(self);
     }
+
+    fn set_oracle(&mut self, on: bool) {
+        Interp::set_oracle(self, on);
+    }
+
+    fn oracle(&self) -> Option<&OracleState> {
+        Interp::oracle(self)
+    }
 }
 
 impl Engine for CompiledEngine<'_> {
@@ -165,6 +181,14 @@ impl Engine for CompiledEngine<'_> {
 
     fn publish_metrics(&mut self) {
         CompiledEngine::publish_metrics(self);
+    }
+
+    fn set_oracle(&mut self, on: bool) {
+        CompiledEngine::set_oracle(self, on);
+    }
+
+    fn oracle(&self) -> Option<&OracleState> {
+        CompiledEngine::oracle(self)
     }
 }
 

@@ -46,6 +46,7 @@ pub mod compiled;
 pub mod cost;
 pub mod engine;
 pub mod machine;
+pub mod oracle;
 pub mod translate;
 
 pub use barrier::{
@@ -55,5 +56,6 @@ pub use barrier::{
 pub use compiled::CompiledEngine;
 pub use engine::{Engine, EngineKind};
 pub use machine::{GcPolicy, Interp, RunStats, Trap, PAUSE_EMERGENCY};
+pub use oracle::{NecessityVerdict, OracleState, SiteNecessity};
 pub use translate::{translate, CompiledMethod, Fuse, Op};
 pub use wbe_heap::Value;

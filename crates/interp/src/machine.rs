@@ -14,6 +14,7 @@ use crate::barrier::{
     BarrierConfig, BarrierMode, BarrierStats, ElisionKind, RearrangeRole, StoreKind,
 };
 use crate::cost;
+use crate::oracle::{NecessityVerdict, OracleState};
 
 /// Registry histogram key for emergency (allocation-failure) pause
 /// sizes, in remark work units. Complements the per-phase keys under
@@ -269,6 +270,7 @@ pub struct Interp<'p> {
     verify_invariants: bool,
     pub(crate) recovery: Option<RecoveryController>,
     pressure: Option<PressureController>,
+    oracle: Option<OracleState>,
     pub(crate) frames: Vec<Frame>,
     published: PublishedRunStats,
 }
@@ -326,6 +328,7 @@ impl<'p> Interp<'p> {
             verify_invariants: false,
             recovery: None,
             pressure: None,
+            oracle: None,
             frames: Vec::new(),
             published: PublishedRunStats::default(),
         }
@@ -383,6 +386,26 @@ impl<'p> Interp<'p> {
     /// transition log, and `gc.pressure.*` counters.
     pub fn pressure(&self) -> Option<&PressureController> {
         self.pressure.as_ref()
+    }
+
+    /// Enables (or disables) the barrier-necessity oracle (see
+    /// [`crate::oracle`]). Enabling also installs the heap's runtime
+    /// witness table, since the oracle's refutation report reads it.
+    pub fn set_oracle(&mut self, on: bool) {
+        if on {
+            self.heap.enable_witnesses();
+            if self.oracle.is_none() {
+                self.oracle = Some(OracleState::new());
+            }
+        } else {
+            self.oracle = None;
+        }
+    }
+
+    /// The oracle state, if enabled — per-site necessity verdicts and
+    /// the remark-audit counters.
+    pub fn oracle(&self) -> Option<&OracleState> {
+        self.oracle.as_ref()
     }
 
     /// Declares allocation sites whose objects may live in the frame
@@ -620,7 +643,9 @@ impl<'p> Interp<'p> {
         {
             self.allocs_since_cycle = 0;
         }
+        self.oracle_pre_remark(&roots);
         let pause = self.heap.gc.remark(&mut self.heap.store, &roots);
+        self.oracle_post_remark();
         self.chaos_after_remark();
         if let Err(trap) = self.finish_cycle(&roots) {
             self.recover_from(trap, &roots)?;
@@ -967,6 +992,7 @@ impl<'p> Interp<'p> {
                             rc.revoke(site, &program.method(mid).name, &reason, "invariant");
                         }
                     }
+                    self.oracle_note_kept(mid, at, kind, Some(receiver), old);
                     let c = self.satb_log_barrier(old);
                     self.stats.barrier.add_cycles(mid, at, kind, c);
                     return Ok(());
@@ -983,6 +1009,7 @@ impl<'p> Interp<'p> {
                 return Ok(());
             }
         }
+        self.oracle_note_kept(mid, at, kind, Some(receiver), old);
         let c = self.satb_log_barrier(old);
         self.stats.barrier.add_cycles(mid, at, kind, c);
         Ok(())
@@ -1023,6 +1050,7 @@ impl<'p> Interp<'p> {
         // Execute the barrier the elision skipped, then rebuild the
         // mark state with a full STW cycle (a nested violation inside
         // it is handled by `recover_from` against the same budget).
+        self.oracle_note_kept(mid, at, kind, None, old);
         let c = self.satb_log_barrier(old);
         self.stats.barrier.add_cycles(mid, at, kind, c);
         self.full_pause()?;
@@ -1031,6 +1059,79 @@ impl<'p> Interp<'p> {
             rc.publish_metrics();
         }
         Ok(())
+    }
+
+    /// Necessity-oracle hook for one kept-barrier execution (see
+    /// [`crate::oracle`]). Both engines call this at every kept SATB
+    /// barrier, immediately before the enqueue, so verdict streams are
+    /// engine-identical. `receiver` is absent only on the
+    /// unsound-elision healing path, where the store already happened.
+    /// No-op unless the oracle is enabled; `BarrierMode::None` runs are
+    /// excluded because no enqueue ever happens there.
+    pub(crate) fn oracle_note_kept(
+        &mut self,
+        mid: MethodId,
+        at: InsnAddr,
+        kind: StoreKind,
+        receiver: Option<GcRef>,
+        old: Option<GcRef>,
+    ) {
+        if self.oracle.is_none() || self.config.mode == BarrierMode::None {
+            return;
+        }
+        let verdict = if !self.heap.gc.is_marking() {
+            NecessityVerdict::MarkingIdle
+        } else {
+            match old {
+                None => NecessityVerdict::NullOld,
+                Some(o) if self.heap.gc.is_marked(o) => NecessityVerdict::AlreadyMarked,
+                Some(o) if self.oracle.as_ref().is_some_and(|x| x.is_pending(o)) => {
+                    NecessityVerdict::Duplicate
+                }
+                Some(_) => NecessityVerdict::Necessary,
+            }
+        };
+        let escaped =
+            receiver.is_some_and(|r| self.heap.witness.as_ref().is_some_and(|w| w.is_escaped(r)));
+        if verdict == NecessityVerdict::Necessary && wbe_telemetry::tracing_enabled() {
+            wbe_telemetry::trace::event(
+                "oracle.necessary",
+                format!(
+                    "{}@B{}[{}] old={}",
+                    self.program.method(mid).name,
+                    at.block.0,
+                    at.index,
+                    old.map_or(0, |o| o.0)
+                ),
+            );
+        }
+        if let Some(oracle) = self.oracle.as_mut() {
+            oracle.record(site_key(mid, at), kind, verdict, old, escaped);
+        }
+    }
+
+    /// Pre-remark half of the oracle's cycle audit: snapshot
+    /// root-reachability once and classify this cycle's necessary
+    /// enqueues as sole-witness vs shielded.
+    fn oracle_pre_remark(&mut self, roots: &[GcRef]) {
+        let Some(mut oracle) = self.oracle.take() else {
+            return;
+        };
+        if oracle.cycle_open() {
+            let reachable = wbe_heap::verify::reachable_set(&self.heap, roots);
+            oracle.classify_witnesses(&reachable);
+        }
+        self.oracle = Some(oracle);
+    }
+
+    /// Post-remark half: cross-check that necessary-enqueued targets
+    /// ended the cycle marked, then reset per-cycle oracle state.
+    fn oracle_post_remark(&mut self) {
+        let Some(mut oracle) = self.oracle.take() else {
+            return;
+        };
+        oracle.finish_cycle_audit(&self.heap);
+        self.oracle = Some(oracle);
     }
 
     /// The mode-dependent SATB logging path (no elision, no per-site
@@ -1262,6 +1363,7 @@ impl<'p> Interp<'p> {
                         self.stats
                             .barrier
                             .record(mid, at, StoreKind::Array, old.is_none());
+                        self.oracle_note_kept(mid, at, StoreKind::Array, Some(arr), old);
                         let c = self.satb_log_barrier(old);
                         self.stats.barrier.add_cycles(mid, at, StoreKind::Array, c);
                     }

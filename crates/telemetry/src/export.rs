@@ -27,6 +27,7 @@ fn histogram_json(h: &HistogramSnapshot) -> String {
     let mut out = String::new();
     let mut w = ObjWriter::new(&mut out);
     w.field_u64("count", h.count)
+        .field_u64("samples", h.count)
         .field_u64("sum", h.sum)
         .field_u64("min", h.min)
         .field_u64("max", h.max)
@@ -34,6 +35,7 @@ fn histogram_json(h: &HistogramSnapshot) -> String {
         .field_u64("p50", h.quantile(0.50))
         .field_u64("p90", h.quantile(0.90))
         .field_u64("p99", h.quantile(0.99))
+        .field_u64("p999", h.quantile(0.999))
         .field_raw("buckets", &buckets);
     w.finish();
     out
@@ -221,13 +223,15 @@ pub fn metrics_ndjson(snap: &MetricsSnapshot) -> String {
         w.field_str("kind", kind)
             .field_str("name", name)
             .field_u64("count", h.count)
+            .field_u64("samples", h.count)
             .field_u64("sum", h.sum)
             .field_u64("min", h.min)
             .field_u64("max", h.max)
             .field_f64("mean", h.mean())
             .field_u64("p50", h.quantile(0.50))
             .field_u64("p90", h.quantile(0.90))
-            .field_u64("p99", h.quantile(0.99));
+            .field_u64("p99", h.quantile(0.99))
+            .field_u64("p999", h.quantile(0.999));
         w.finish();
         out.push('\n');
     }
@@ -261,11 +265,12 @@ pub fn metrics_text(snap: &MetricsSnapshot) -> String {
         for (k, h) in hists {
             let _ = writeln!(
                 out,
-                "  {k:<44} n={} mean={:.1} p50={} p99={} max={}",
+                "  {k:<44} n={} mean={:.1} p50={} p99={} p999={} max={}",
                 h.count,
                 h.mean(),
                 h.quantile(0.50),
                 h.quantile(0.99),
+                h.quantile(0.999),
                 h.max
             );
         }
@@ -281,11 +286,12 @@ pub fn metrics_text(snap: &MetricsSnapshot) -> String {
             let name = &k["span.".len()..k.len() - ".us".len()];
             let _ = writeln!(
                 out,
-                "  {name:<44} n={} total={} mean={:.1} p99={} max={}",
+                "  {name:<44} n={} total={} mean={:.1} p99={} p999={} max={}",
                 h.count,
                 h.sum,
                 h.mean(),
                 h.quantile(0.99),
+                h.quantile(0.999),
                 h.max
             );
         }
@@ -436,16 +442,36 @@ mod tests {
             .unwrap()
             .get("heap.gc.pause.work_units")
             .unwrap();
-        for field in ["count", "sum", "min", "max", "mean", "p50", "p90", "p99"] {
+        for field in [
+            "count", "samples", "sum", "min", "max", "mean", "p50", "p90", "p99", "p999",
+        ] {
             assert!(hist.get(field).is_some(), "metrics_json missing {field}");
         }
+        // `samples` mirrors `count` by construction: the quantiles are
+        // estimates over exactly the recorded sample population.
+        assert_eq!(
+            hist.get("samples").unwrap().as_u64(),
+            hist.get("count").unwrap().as_u64()
+        );
+        // p999 is monotone above p99 and bounded by max.
+        let (p99, p999, max) = (
+            hist.get("p99").unwrap().as_u64().unwrap(),
+            hist.get("p999").unwrap().as_u64().unwrap(),
+            hist.get("max").unwrap().as_u64().unwrap(),
+        );
+        assert!(
+            p99 <= p999 && p999 <= max,
+            "p99={p99} p999={p999} max={max}"
+        );
         let nd = metrics_ndjson(&snap);
         let line = nd
             .lines()
             .find(|l| l.contains("heap.gc.pause.work_units"))
             .unwrap();
         let doc = crate::json::parse(line).unwrap();
-        for field in ["count", "sum", "min", "max", "mean", "p50", "p90", "p99"] {
+        for field in [
+            "count", "samples", "sum", "min", "max", "mean", "p50", "p90", "p99", "p999",
+        ] {
             assert!(doc.get(field).is_some(), "metrics_ndjson missing {field}");
         }
     }
